@@ -1,0 +1,113 @@
+"""Shared workload builders for the figure-reproduction benchmarks.
+
+Sizes default to laptop scale (seconds per figure); set REPRO_BENCH_SCALE
+to grow them toward the paper's (e.g. REPRO_BENCH_SCALE=10 uses 100k-tuple
+tables).  Every benchmark prints the series its figure plots and asserts
+the qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.engine.table import TableR, TableS
+from repro.workload import (
+    WorkloadParams,
+    ZipfSampler,
+    make_band_join_queries,
+    make_select_join_queries,
+    make_tables,
+    r_insert_events,
+    spread_anchors,
+)
+
+
+BASE = WorkloadParams(
+    seed=2006,
+    table_size=10_000,
+    query_count=10_000,
+    # 50 distinct join keys -> each event joins ~2% of S (the paper's
+    # events join ~1%; Figure 8(iv) sweeps this).
+    join_key_grid=50,
+    s_b_sigma=1_000.0,
+    # rangeA spans ~2% of the domain so the per-event affected set (the
+    # shared output term k) stays small; Figure 8(iii) sweeps this.
+    range_a_mid_sigma=2_000.0,
+    range_a_len_mean=200.0,
+    range_a_len_sigma=50.0,
+    # Narrow rangeC keeps the per-event affected set (and hence the shared
+    # output term k) moderate, as in the paper's runs.
+    range_c_len_mean=8.0,
+    range_c_len_sigma=2.0,
+    band_len_mean=120.0,
+    band_len_sigma=40.0,
+)
+
+
+@pytest.fixture(scope="session")
+def params() -> WorkloadParams:
+    return BASE.scaled()
+
+
+@pytest.fixture(scope="session")
+def tables(params):
+    return make_tables(params)
+
+
+def select_queries_with_tau(
+    params: WorkloadParams,
+    count: int,
+    tau: int,
+    seed: int = 7,
+    zipf_beta: Optional[float] = 1.0,
+) -> List:
+    """Select-join queries whose rangeC ranges form ~tau stabbing groups."""
+    anchors = spread_anchors(params, tau)
+    sampler = ZipfSampler(tau, zipf_beta) if zipf_beta else None
+    return make_select_join_queries(
+        params,
+        count,
+        rng=random.Random(seed),
+        range_c_anchors=anchors,
+        anchor_sampler=sampler,
+    )
+
+
+def band_queries_with_tau(
+    params: WorkloadParams,
+    count: int,
+    tau: int,
+    seed: int = 8,
+    zipf_beta: Optional[float] = 1.0,
+) -> List:
+    """Band joins whose windows form ~tau stabbing groups (bands live on
+    the centered difference domain)."""
+    half = params.domain_width / 2.0
+    span = half  # keep bands within +-half/1 so windows hit the table
+    anchors = [-span / 2 + span * (i + 1) / (tau + 1) for i in range(tau)]
+    sampler = ZipfSampler(tau, zipf_beta) if zipf_beta else None
+    return make_band_join_queries(
+        params,
+        count,
+        rng=random.Random(seed),
+        band_anchors=anchors,
+        anchor_sampler=sampler,
+    )
+
+
+def r_events(params: WorkloadParams, count: int, table_r: TableR, seed: int = 9) -> List:
+    """Incoming R-tuples (not inserted; processing cost only, as the paper
+    measures event processing throughput)."""
+    rng = random.Random(seed)
+    return [
+        table_r.new_row(a, b)
+        for a, b in r_insert_events(params, count, rng)
+    ]
+
+
+def load_queries(strategy, queries: Sequence) -> None:
+    for query in queries:
+        strategy.add_query(query)

@@ -1,0 +1,98 @@
+"""Ablation (Section 2.3 design choices): the epsilon tradeoff and the
+lazy-vs-refined maintenance strategies.
+
+The paper's design discussion: a smaller epsilon gives a better (smaller)
+stabbing partition but reconstructs more often; the refined algorithm
+bounds the per-update group churn to one group.  This benchmark sweeps
+epsilon over a mixed update stream and reports partition size,
+reconstruction counts, and amortized update time for both maintainers.
+"""
+
+import random
+import time
+
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.refined_partition import RefinedStabbingPartition
+from repro.core.stabbing import stabbing_number
+from repro.core.intervals import Interval
+
+UPDATES = 6_000
+EPSILONS = [0.25, 1.0, 3.0]
+
+
+def interval_stream(seed: int):
+    """Clustered interval workload with churn."""
+    rng = random.Random(seed)
+    anchors = [rng.uniform(0, 10_000) for __ in range(40)]
+    live = []
+    for __ in range(UPDATES):
+        if live and rng.random() < 0.45:
+            yield "delete", live.pop(rng.randrange(len(live)))
+        else:
+            anchor = rng.choice(anchors)
+            interval = Interval(
+                anchor - abs(rng.normalvariate(20, 10)) - 0.5,
+                anchor + abs(rng.normalvariate(20, 10)) + 0.5,
+            )
+            live.append(interval)
+            yield "insert", interval
+
+
+def run(partition) -> dict:
+    start = time.perf_counter()
+    live = []
+    for kind, interval in interval_stream(seed=77):
+        if kind == "insert":
+            partition.insert(interval)
+            live.append(interval)
+        else:
+            partition.delete(interval)
+            live.remove(interval)
+    elapsed = time.perf_counter() - start
+    return {
+        "ns_per_update": 1e9 * elapsed / UPDATES,
+        "groups": len(partition),
+        "tau": stabbing_number(live),
+        "reconstructions": partition.reconstruction_count,
+    }
+
+
+def test_partition_maintenance_ablation(benchmark):
+    print("\n=== Ablation: dynamic stabbing-partition maintenance ===")
+    print(f"{'maintainer':>10} {'eps':>5} {'groups':>7} {'tau':>5} {'recons':>7} {'ns/update':>11}")
+    stats = {}
+    for eps in EPSILONS:
+        for name, partition in (
+            ("lazy", LazyStabbingPartition(epsilon=eps)),
+            ("refined", RefinedStabbingPartition(epsilon=eps, seed=5)),
+        ):
+            result = run(partition)
+            stats[(name, eps)] = result
+            print(
+                f"{name:>10} {eps:>5} {result['groups']:>7} {result['tau']:>5} "
+                f"{result['reconstructions']:>7} {result['ns_per_update']:>11,.0f}"
+            )
+
+    for (name, eps), result in stats.items():
+        # The (1 + eps) tau bound holds at the end of the stream.
+        assert result["groups"] <= (1 + eps) * result["tau"] + 1e-9, (name, eps)
+    # Smaller epsilon -> at least as many reconstructions (tighter budget)
+    # for the refined maintainer, which uses the simple update-count trigger.
+    assert (
+        stats[("refined", EPSILONS[0])]["reconstructions"]
+        >= stats[("refined", EPSILONS[-1])]["reconstructions"]
+    )
+
+    partition = LazyStabbingPartition(epsilon=1.0)
+    stream = list(interval_stream(seed=78))
+
+    def replay():
+        p = LazyStabbingPartition(epsilon=1.0)
+        live = []
+        for kind, interval in stream[:500]:
+            if kind == "insert":
+                p.insert(interval)
+            else:
+                p.delete(interval)
+
+    benchmark(replay)

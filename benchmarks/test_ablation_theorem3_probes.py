@@ -1,0 +1,78 @@
+"""Ablation (Theorem 3): machine-independent operation counts for band
+joins.
+
+Wall-clock comparisons inherit Python's constant factors; this benchmark
+verifies the *asymptotic* claims directly with the B-tree's probe counters:
+
+* BJ-SSI performs exactly one ordered-index probe per stabbing group per
+  event --- O(tau log m), independent of the number of queries;
+* BJ-QOuter performs one probe per query --- O(n log m);
+* BJ-SSI's leaf scans touch only contributing entries plus at most two
+  terminators per group (output sensitivity).
+"""
+
+import dataclasses
+
+from conftest import BASE, band_queries_with_tau, load_queries, r_events
+
+from repro.operators.band_join import BJQOuter, BJSSI
+from repro.workload import make_tables
+
+from test_fig10i_bj_scaling import band_params
+
+TAU = 25
+EVENTS = 10
+
+
+def test_theorem3_probe_counts(benchmark):
+    params = band_params()
+    table_r, table_s = make_tables(params)
+    events = r_events(params, EVENTS, table_r)
+
+    rows = []
+    for count in (200, 2_000, 20_000):
+        queries = band_queries_with_tau(params, count, TAU, seed=80)
+        ssi = BJSSI(table_s, table_r)
+        qouter = BJQOuter(table_s, table_r)
+        load_queries(ssi, queries)
+        load_queries(qouter, queries)
+
+        table_s.by_b.reset_counters()
+        total_output = 0
+        for r in events:
+            total_output += sum(len(v) for v in ssi.process_r(r).values())
+        ssi_probes = table_s.by_b.probe_count / EVENTS
+        ssi_steps = table_s.by_b.scan_steps / EVENTS
+
+        table_s.by_b.reset_counters()
+        for r in events:
+            qouter.process_r(r)
+        q_probes = table_s.by_b.probe_count / EVENTS
+
+        groups = ssi.group_count
+        rows.append((count, groups, ssi_probes, ssi_steps, total_output / EVENTS, q_probes))
+
+    print("\n=== Ablation: Theorem 3 probe counts per event ===")
+    print(f"{'#queries':>9} {'groups':>7} {'SSI probes':>11} {'SSI steps':>10} {'output k':>9} {'BJ-Q probes':>12}")
+    for count, groups, sp, ss, k, qp in rows:
+        print(f"{count:>9} {groups:>7} {sp:>11.1f} {ss:>10.1f} {k:>9.1f} {qp:>12.1f}")
+
+    for count, groups, ssi_probes, ssi_steps, k, q_probes in rows:
+        # One probe per group (single-descent surrounding), give or take the
+        # edge-of-tree fallback descent.
+        assert ssi_probes <= 2.1 * groups
+        # BJ-Q probes once per query.
+        assert q_probes >= count
+        # Output sensitivity: each affected query (at most k of them) costs
+        # its results plus two collector terminators; plus two per group.
+        assert ssi_steps <= 4 * k + 2 * groups + 2
+
+    # Probe count is tau-bound: the 100x query growth must not grow SSI
+    # probes by more than the group-count growth.
+    first, last = rows[0], rows[-1]
+    assert last[2] <= first[2] * (last[1] / first[1]) * 1.5 + 2
+
+    queries = band_queries_with_tau(params, 2_000, TAU, seed=80)
+    ssi = BJSSI(table_s, table_r)
+    load_queries(ssi, queries)
+    benchmark(lambda: ssi.process_r(events[0]))

@@ -1,0 +1,66 @@
+"""Ablation (Theorem 4): operation counts for select-joins.
+
+Verifies with counters what Figure 7/8 show in wall-clock:
+
+* SJ-SSI probes the composite B-tree once per stabbing group, independent
+  of the query count, and touches R-tree nodes only for groups with join
+  contact (tau * g(n) term);
+* SJ-SelectFirst probes once per query passing the R.A selection (the n'
+  term), which grows linearly with the query count.
+"""
+
+from conftest import BASE, load_queries, r_events, select_queries_with_tau
+
+from repro.operators.select_join import SJSelectFirst, SJSSI
+from repro.workload import make_tables
+
+TAU = 30
+EVENTS = 10
+
+
+def test_theorem4_probe_counts(benchmark):
+    params = BASE.scaled()
+    table_r, table_s = make_tables(params)
+    events = r_events(params, EVENTS, table_r)
+
+    rows = []
+    for count in (500, 5_000, 25_000):
+        queries = select_queries_with_tau(params, count, TAU, seed=90)
+        ssi = SJSSI(table_s, table_r, symmetric=False)
+        select_first = SJSelectFirst(table_s, table_r)
+        load_queries(ssi, queries)
+        load_queries(select_first, queries)
+
+        table_s.by_bc.reset_counters()
+        for r in events:
+            ssi.process_r(r)
+        ssi_probes = table_s.by_bc.probe_count / EVENTS
+
+        table_s.by_bc.reset_counters()
+        n_prime = 0
+        for r in events:
+            select_first.process_r(r)
+            n_prime += sum(1 for q in queries if q.range_a.contains(r.a))
+        sf_probes = table_s.by_bc.probe_count / EVENTS
+
+        rows.append((count, ssi.group_count, ssi_probes, sf_probes, n_prime / EVENTS))
+
+    print("\n=== Ablation: Theorem 4 composite-index probes per event ===")
+    print(f"{'#queries':>9} {'groups':>7} {'SSI probes':>11} {'SJ-S probes':>12} {'n_prime':>9}")
+    for count, groups, sp, fp, np_ in rows:
+        print(f"{count:>9} {groups:>7} {sp:>11.1f} {fp:>12.1f} {np_:>9.1f}")
+
+    for count, groups, ssi_probes, sf_probes, n_prime in rows:
+        # One descent per group (plus rare edge fallbacks).
+        assert ssi_probes <= 2.1 * groups
+        # SJ-S probes once per candidate query.
+        assert sf_probes >= 0.9 * n_prime
+    # SJ-S probe counts grow ~linearly with the query count; SJ-SSI's do
+    # not grow beyond the group count.
+    assert rows[-1][3] > 10 * rows[0][3]
+    assert rows[-1][2] <= rows[0][2] * 2.0 + 2
+
+    queries = select_queries_with_tau(params, 5_000, TAU, seed=90)
+    ssi = SJSSI(table_s, table_r, symmetric=False)
+    load_queries(ssi, queries)
+    benchmark(lambda: ssi.process_r(events[0]))

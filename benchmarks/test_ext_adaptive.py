@@ -1,0 +1,95 @@
+"""Extension benchmark: cost-based per-event strategy selection.
+
+Section 6's adaptive vision: on a stream mixing low-candidate events
+(where SJ-SelectFirst wins) with high-candidate events (where SJ-SSI
+wins), the adaptive processor should track the better of the two fixed
+strategies on the *mixed* stream --- strictly better than whichever fixed
+strategy loses on it.
+"""
+
+import random
+
+from conftest import BASE
+
+from repro.bench.harness import Series, measure_throughput, print_figure
+from repro.core.intervals import Interval
+from repro.engine.queries import SelectJoinQuery
+from repro.operators.adaptive import AdaptiveSelectJoinProcessor
+from repro.operators.select_join import SJSelectFirst, SJSSI
+from repro.workload import make_tables
+
+QUERIES = 15_000
+EVENTS_PER_KIND = 15
+
+
+def make_queries(rng, params):
+    """rangeA bimodal (a hot region around A=2000 and a dead zone) so the
+    per-event candidate count swings; rangeC clustered on 30 anchors so
+    SJ-SSI's tau stays small and it is genuinely the right choice for
+    high-candidate events."""
+    anchors = [params.domain_lo + params.domain_width * (i + 1) / 31 for i in range(30)]
+    queries = []
+    for __ in range(QUERIES):
+        if rng.random() < 0.8:
+            a_lo = rng.normalvariate(2_000.0, 150.0)
+        else:
+            a_lo = rng.uniform(6_000.0, 9_500.0)
+        anchor = rng.choice(anchors)
+        c_lo = anchor - abs(rng.normalvariate(4, 1)) - 0.5
+        c_hi = anchor + abs(rng.normalvariate(4, 1)) + 0.5
+        queries.append(
+            SelectJoinQuery(
+                Interval(a_lo, a_lo + abs(rng.normalvariate(120, 30)) + 1),
+                Interval(c_lo, c_hi),
+            )
+        )
+    return queries
+
+
+def test_ext_adaptive_strategy_selection(benchmark):
+    params = BASE.scaled()
+    rng = random.Random(3)
+    table_r, table_s = make_tables(params)
+    queries = make_queries(rng, params)
+
+    processors = {
+        "SJ-S": SJSelectFirst(table_s, table_r),
+        "SJ-SSI": SJSSI(table_s, table_r, symmetric=False),
+        "ADAPTIVE": AdaptiveSelectJoinProcessor(table_s, table_r),
+    }
+    for name, processor in processors.items():
+        for query in queries:
+            processor.add_query(query)
+
+    hot_events = [
+        table_r.new_row(rng.normalvariate(2_050.0, 120.0), float(rng.randrange(50)) * 200.0)
+        for __ in range(EVENTS_PER_KIND)
+    ]
+    cold_events = [
+        table_r.new_row(rng.uniform(4_000.0, 5_500.0), float(rng.randrange(50)) * 200.0)
+        for __ in range(EVENTS_PER_KIND)
+    ]
+    mixed = [e for pair in zip(hot_events, cold_events) for e in pair]
+
+    series = Series("events/s on mixed stream")
+    rates = {}
+    for name, processor in processors.items():
+        rates[name] = measure_throughput(processor.process_r, mixed)
+        series.add(len(rates), rates[name])
+    print("\n=== Extension: adaptive per-event strategy selection ===")
+    for name, rate in rates.items():
+        print(f"  {name:>9}: {rate:>10,.0f} events/s")
+    adaptive = processors["ADAPTIVE"]
+    print(f"  (adaptive chose SJ-S {adaptive.chosen['SJ-S']}x, SJ-SSI {adaptive.chosen['SJ-SSI']}x)")
+
+    # The adaptive processor used both strategies...
+    assert adaptive.chosen["SJ-S"] > 0
+    assert adaptive.chosen["SJ-SSI"] > 0
+    # ...and beats the worse fixed strategy on the mixed stream, landing
+    # within a modest factor of the better one (choice overhead aside).
+    worse = min(rates["SJ-S"], rates["SJ-SSI"])
+    better = max(rates["SJ-S"], rates["SJ-SSI"])
+    assert rates["ADAPTIVE"] > worse
+    assert rates["ADAPTIVE"] > 0.5 * better
+
+    benchmark(lambda: adaptive.process_r(mixed[0]))

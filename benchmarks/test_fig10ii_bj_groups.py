@@ -1,0 +1,59 @@
+"""Figure 10(ii): band-join throughput vs number of stabbing groups.
+
+Fixed query count; clusteredness swept by the number of band anchors (BJ-Q
+is omitted, as in the paper, "due to its extremely poor performance on a
+large number of queries").  Reported shape: BJ-MJ and BJ-D are insensitive
+to the group count; BJ-SSI deteriorates linearly with it but still wins
+even at thousands of groups.
+"""
+
+from conftest import band_queries_with_tau, load_queries, r_events
+
+from repro.bench.harness import Series, assert_dominates, measure_throughput, print_figure
+from repro.operators.band_join import BJDOuter, BJMergeJoin, BJSSI
+from repro.workload import make_tables
+
+from test_fig10i_bj_scaling import band_params
+
+QUERIES = 10_000
+SWEEP = [10, 100, 1_000, 3_000]
+EVENTS = 15
+
+
+def test_fig10ii_band_join_group_sweep(benchmark):
+    params = band_params()
+    table_r, table_s = make_tables(params)
+    events = r_events(params, EVENTS, table_r)
+
+    series = {name: Series(name) for name in ("BJ-D", "BJ-MJ", "BJ-SSI")}
+    first_ssi = None
+    for tau in SWEEP:
+        queries = band_queries_with_tau(params, QUERIES, tau, seed=60 + tau)
+        strategies = {
+            "BJ-D": BJDOuter(table_s, table_r),
+            "BJ-MJ": BJMergeJoin(table_s, table_r),
+            "BJ-SSI": BJSSI(table_s, table_r),
+        }
+        for name, strategy in strategies.items():
+            load_queries(strategy, queries)
+            series[name].add(tau, measure_throughput(strategy.process_r, events))
+        if first_ssi is None:
+            first_ssi = strategies["BJ-SSI"]
+    print_figure(
+        "Figure 10(ii): band-join throughput vs #stabbing groups (events/s)",
+        "#groups",
+        series.values(),
+    )
+
+    # BJ-MJ and BJ-D are insensitive to the number of groups.
+    for name in ("BJ-D", "BJ-MJ"):
+        ys = series[name].ys
+        assert max(ys) < 4.0 * min(ys), f"{name} should be insensitive to tau"
+    # BJ-SSI deteriorates as the group count grows...
+    ssi = series["BJ-SSI"]
+    assert ssi.y_at(SWEEP[0]) > 5.0 * ssi.y_at(SWEEP[-1])
+    # ...but still outperforms both baselines even at thousands of groups.
+    for name in ("BJ-D", "BJ-MJ"):
+        assert_dominates(ssi, series[name], factor=1.0, at=[SWEEP[-1]])
+
+    benchmark(lambda: first_ssi.process_r(events[0]))

@@ -1,0 +1,101 @@
+"""Figure 11: amortized dynamic-maintenance cost of the band-join indexes.
+
+Starting from the initial query set, a stream of query insertions and
+deletions (each with probability 0.5) is replayed against every strategy's
+index structures; the y-axis is amortized time per update.  Reported shape:
+BJ-Q maintains nothing and costs ~0; BJ-SSI (dynamic stabbing partition
+with eps = 3) stays within a modest factor of BJ-MJ's sorted-list
+maintenance, with reconstructions rare because the subscriptions are
+naturally clustered.
+"""
+
+import random
+
+from conftest import band_queries_with_tau
+
+from repro.bench.harness import Series, measure_amortized_update_ns, print_figure
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.engine.queries import band_interval
+from repro.operators.band_join import BJDOuter, BJMergeJoin, BJQOuter, BJSSI
+from repro.workload import make_tables, mixed_query_stream
+
+from test_fig10i_bj_scaling import band_params
+
+INITIAL = 10_000
+UPDATES = 20_000
+TAU = 40
+EPSILON = 3.0  # the paper's choice for this experiment
+
+
+def test_fig11_maintenance_cost(benchmark):
+    params = band_params()
+    table_r, table_s = make_tables(params)
+    initial = band_queries_with_tau(params, INITIAL, TAU, seed=70)
+
+    def make_query(rng):
+        return band_queries_with_tau(params, 1, TAU, seed=rng.randrange(1 << 30))[0]
+
+    def make_strategies():
+        return {
+            "BJ-D": BJDOuter(table_s, table_r),
+            "BJ-Q": BJQOuter(table_s, table_r),
+            "BJ-MJ": BJMergeJoin(table_s, table_r),
+            "BJ-SSI": BJSSI(
+                table_s,
+                table_r,
+                partition=LazyStabbingPartition(
+                    epsilon=EPSILON, interval_of=band_interval
+                ),
+            ),
+        }
+
+    results = Series("amortized update (ns)")
+    costs = {}
+    ssi_strategy = None
+    for name, strategy in make_strategies().items():
+        for query in initial:
+            strategy.add_query(query)
+        updates = list(
+            mixed_query_stream(initial, UPDATES, make_query, random.Random(71))
+        )
+
+        def apply(update, strategy=strategy):
+            kind, query = update
+            if kind == "insert":
+                strategy.add_query(query)
+            else:
+                strategy.remove_query(query)
+
+        costs[name] = measure_amortized_update_ns(apply, updates)
+        results.add(len(costs), costs[name])
+        if name == "BJ-SSI":
+            ssi_strategy = strategy
+
+    print("\n=== Figure 11: amortized maintenance cost per update (ns) ===")
+    for name, cost in costs.items():
+        print(f"  {name:>8}: {cost:>12,.0f}")
+    partition = ssi_strategy.ssi.partition
+    recon = partition.reconstruction_count
+    print(
+        f"  (BJ-SSI over {UPDATES} updates: {recon} reconstructions, "
+        f"{partition.recalibration_count} recalibrations)"
+    )
+
+    # BJ-Q maintains no index: by far the cheapest.
+    assert costs["BJ-Q"] < 0.25 * min(costs["BJ-D"], costs["BJ-MJ"], costs["BJ-SSI"])
+    # BJ-SSI's maintenance stays within a modest factor of BJ-MJ's (the
+    # paper measured +20% in Java; our partition bookkeeping --- epoch
+    # recalibrations plus per-group endpoint lists --- is heavier, but the
+    # same order of magnitude rather than the orders-of-magnitude gap the
+    # processing benchmarks show in the other direction).
+    assert costs["BJ-SSI"] < 20.0 * costs["BJ-MJ"]
+    # Full reconstructions are rare on naturally clustered subscriptions.
+    assert recon < UPDATES / 100
+
+    sample = band_queries_with_tau(params, 1, TAU, seed=72)[0]
+
+    def roundtrip():
+        ssi_strategy.add_query(sample)
+        ssi_strategy.remove_query(sample)
+
+    benchmark(roundtrip)

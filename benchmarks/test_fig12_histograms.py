@@ -1,0 +1,88 @@
+"""Figure 12: quality of EQW-HIST vs SSI-HIST vs OPTIMAL for intervals.
+
+Paper setup: 100,000 intervals forming 18 stabbing groups; histograms of
+20..70 buckets evaluated by the average relative error of estimated vs
+true stabbing counts over uniformly distributed query points.  (The paper's
+OPTIMAL was run on a 10,000-interval sample because the full DP took 6.5
+hours; our OPTIMAL coarsens the break-point set instead.)
+
+Note on the workload: the literal Table 1 normal parameters do not produce
+18 stabbing groups under the greedy partition, so we generate what the
+paper *reports* --- a workload that forms exactly 18 groups, with
+Zipf-distributed group sizes around spread anchors (see EXPERIMENTS.md).
+
+Reported shape: OPTIMAL consistently wins; SSI-HIST beats EQW-HIST
+everywhere and dramatically narrows the gap to OPTIMAL; EQW-HIST needs a
+multiple of SSI-HIST's bucket budget to match its 20-bucket error.
+"""
+
+import random
+
+from repro.bench.harness import Series, print_figure
+from repro.core.intervals import Interval
+from repro.core.stabbing import canonical_stabbing_partition
+from repro.histogram import (
+    IntervalFrequency,
+    average_relative_error,
+    equal_width_histogram,
+    optimal_histogram,
+    ssi_histogram,
+)
+from repro.workload import WorkloadParams, ZipfSampler, spread_anchors
+
+INTERVALS = 20_000
+GROUPS = 18
+BUCKET_SWEEP = [20, 30, 40, 50, 60, 70]
+QUERY_POINTS = 3_000
+
+
+def make_intervals(seed=1200):
+    rng = random.Random(seed)
+    params = WorkloadParams()
+    anchors = spread_anchors(params, GROUPS)
+    sampler = ZipfSampler(GROUPS, beta=1.0)
+    intervals = []
+    for __ in range(INTERVALS):
+        anchor = anchors[sampler.sample(rng)]
+        left = abs(rng.normalvariate(60, 40)) + 2
+        right = abs(rng.normalvariate(60, 40)) + 2
+        intervals.append(Interval(anchor - left, anchor + right))
+    return intervals
+
+
+def test_fig12_histogram_quality(benchmark):
+    intervals = make_intervals()
+    assert canonical_stabbing_partition(intervals).size == GROUPS
+    frequency = IntervalFrequency(intervals)
+    rng = random.Random(7)
+    lo, hi = frequency.domain
+    points = [rng.uniform(lo, hi) for __ in range(QUERY_POINTS)]
+
+    eqw = Series("EQW-HIST")
+    ssi = Series("SSI-HIST")
+    opt = Series("OPTIMAL")
+    for buckets in BUCKET_SWEEP:
+        eqw.add(buckets, 100 * average_relative_error(
+            equal_width_histogram(frequency, buckets), frequency, points))
+        ssi.add(buckets, 100 * average_relative_error(
+            ssi_histogram(intervals, buckets).histogram, frequency, points))
+        opt.add(buckets, 100 * average_relative_error(
+            optimal_histogram(frequency, buckets), frequency, points))
+    print_figure(
+        "Figure 12: average relative error % vs #buckets",
+        "#buckets",
+        [eqw, ssi, opt],
+        y_format="{:.1f}",
+    )
+
+    for buckets in BUCKET_SWEEP:
+        # OPTIMAL consistently wins (tiny tolerance: it optimizes the
+        # integral E^2 objective, the figure samples points).
+        assert opt.y_at(buckets) <= ssi.y_at(buckets) * 1.10 + 0.5
+        # SSI-HIST beats EQW-HIST at every bucket count.
+        assert ssi.y_at(buckets) < eqw.y_at(buckets)
+    # EQW-HIST needs a multiple of the bucket budget to reach SSI-HIST's
+    # 20-bucket error (the paper measured 50 vs 20).
+    assert eqw.y_at(50) > ssi.y_at(20)
+
+    benchmark(lambda: ssi_histogram(intervals, 20))

@@ -1,0 +1,47 @@
+"""Figure 2: hotspot coverage under Zipf-distributed group sizes.
+
+Paper series: percentage of queries covered by the top-k largest stabbing
+groups out of 5000, for beta in {1.0, 1.1, 1.2}; the anchor data point in
+the text is "top-500 largest stabbing groups (10% of all groups) cover
+about 70% of all queries when beta = 1, and the coverage increases with a
+larger beta".
+"""
+
+from repro.bench.harness import Series, print_figure
+from repro.workload.zipf import coverage_curve
+
+GROUPS = 5000
+TOPS = [1, 10, 50, 100, 200, 500, 1000, 2000, 5000]
+BETAS = [1.0, 1.1, 1.2]
+
+
+def test_fig2_zipf_coverage(benchmark):
+    series = []
+    for beta in BETAS:
+        curve = coverage_curve(GROUPS, beta, TOPS)
+        s = Series(f"beta={beta}")
+        for k, coverage in zip(TOPS, curve):
+            s.add(k, 100.0 * coverage)
+        series.append(s)
+    print_figure(
+        "Figure 2: % queries covered by top-k stabbing groups (Zipf sizes)",
+        "top-k",
+        series,
+        y_format="{:.1f}",
+    )
+
+    by_beta = {s.label: s for s in series}
+    # Anchor from the text: ~70% coverage at k=500 for beta=1.
+    assert 65.0 <= by_beta["beta=1.0"].y_at(500) <= 80.0
+    # Coverage increases with beta at every k.
+    for k in TOPS:
+        assert (
+            by_beta["beta=1.0"].y_at(k)
+            < by_beta["beta=1.1"].y_at(k)
+            < by_beta["beta=1.2"].y_at(k)
+        ) or k == GROUPS  # all betas hit 100% at k = group count
+    # Coverage is monotone in k.
+    for s in series:
+        assert all(a <= b + 1e-9 for a, b in zip(s.ys, s.ys[1:]))
+
+    benchmark(lambda: coverage_curve(GROUPS, 1.0, TOPS))

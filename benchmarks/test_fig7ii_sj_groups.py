@@ -1,0 +1,55 @@
+"""Figure 7(ii): select-join throughput vs number of stabbing groups.
+
+Fixed query count, clusteredness swept by the number of rangeC anchors.
+Reported shape: NAIVE and SJ-S are indifferent to clusteredness; SJ-SSI
+benefits from fewer groups and degrades as the group count grows (in the
+paper SJ-S overtakes it once the group count exceeds the event selectivity,
+~250 there); SJ-J improves slightly on less clustered queries.
+"""
+
+from conftest import BASE, load_queries, r_events, select_queries_with_tau
+
+from repro.bench.harness import Series, measure_throughput, print_figure
+from repro.operators.select_join import make_select_strategies
+from repro.workload import make_tables
+
+QUERIES = 10_000
+SWEEP = [10, 30, 100, 300, 1_000]
+EVENTS = 25
+
+
+def test_fig7ii_select_join_group_sweep(benchmark):
+    params = BASE.scaled()
+    table_r, table_s = make_tables(params)
+    events = r_events(params, EVENTS, table_r)
+
+    series = {name: Series(name) for name in ("NAIVE", "SJ-J", "SJ-S", "SJ-SSI")}
+    ssi_top = None
+    for tau in SWEEP:
+        queries = select_queries_with_tau(params, QUERIES, tau, seed=20 + tau)
+        strategies = make_select_strategies(table_s, table_r)
+        for name, strategy in strategies.items():
+            load_queries(strategy, queries)
+            series[name].add(tau, measure_throughput(strategy.process_r, events))
+        if tau == SWEEP[0]:
+            ssi_top = strategies["SJ-SSI"]
+    print_figure(
+        "Figure 7(ii): select-join throughput vs #stabbing groups (events/s)",
+        "#groups",
+        series.values(),
+    )
+
+    # SJ-SSI degrades as the number of groups grows...
+    ssi = series["SJ-SSI"]
+    assert ssi.y_at(SWEEP[0]) > 2.0 * ssi.y_at(SWEEP[-1])
+    # ...while the group-oblivious strategies stay comparatively flat.
+    for name in ("NAIVE", "SJ-S"):
+        ys = series[name].ys
+        assert max(ys) < 4.0 * min(ys), f"{name} should be insensitive to tau"
+    # SJ-SSI's edge over SJ-S shrinks with the group count (the crossover
+    # direction of the paper's figure).
+    lead_clustered = ssi.y_at(SWEEP[0]) / series["SJ-S"].y_at(SWEEP[0])
+    lead_scattered = ssi.y_at(SWEEP[-1]) / series["SJ-S"].y_at(SWEEP[-1])
+    assert lead_scattered < lead_clustered / 2.0
+
+    benchmark(lambda: ssi_top.process_r(events[0]))

@@ -1,0 +1,95 @@
+"""Coastal-defense monitoring (the paper's Example 2).
+
+Units (gun batteries, missile sites, ...) sit on a one-dimensional coast
+line; surface targets move along it.  For each unit class a continuous
+band join alerts when a target enters the class's effective range:
+
+    sigma_{model=M} Unit JOIN_{Unit.pos - Target.pos in range_M} Target
+
+Different classes have different firing ranges, so the join conditions are
+genuine band joins with different windows --- the case NiagaraCQ-style
+identical-join sharing cannot group, and BJ-SSI can.
+
+Run:  python examples/coastal_defense.py
+"""
+
+import random
+import time
+
+from repro.core.intervals import Interval
+from repro.engine import BandJoinQuery, TableR, TableS
+from repro.operators import BJQOuter, BJSSI
+
+COAST_KM = 500.0
+UNIT_CLASSES = {
+    # class: (symmetric effective range in km, number of deployed batteries)
+    "gun-battery": (15.0, 40),
+    "missile-site": (60.0, 25),
+    "mortar-post": (5.0, 60),
+    "radar-guided": (90.0, 10),
+}
+TARGETS = 120
+
+
+def main() -> None:
+    rng = random.Random(1914)
+
+    # Target(id, type, pos) plays S; Unit positions arrive as R updates.
+    targets = TableS()
+    for __ in range(TARGETS):
+        targets.add(b=rng.uniform(0, COAST_KM), c=0.0)  # b = position
+    units = TableR()
+
+    ssi = BJSSI(targets, units)
+    baseline = BJQOuter(targets, units)
+    class_of = {}
+    for model, (effective_range, count) in UNIT_CLASSES.items():
+        for __ in range(count):
+            # Alert when unit.pos - target.pos lies within +-range: the
+            # band window is symmetric around zero with the class's reach.
+            query = BandJoinQuery(Interval(-effective_range, effective_range))
+            class_of[query.qid] = model
+            ssi.add_query(query)
+            baseline.add_query(query)
+    print(
+        f"{ssi.query_count} unit-class subscriptions in "
+        f"{ssi.group_count} stabbing group(s) along a {COAST_KM:.0f} km coast"
+    )
+
+    # Units report their positions; each report must be matched against
+    # every class's band join.
+    reports = [units.new_row(a=0.0, b=rng.uniform(0, COAST_KM)) for __ in range(200)]
+    for name, engine in (("BJ-SSI", ssi), ("BJ-QOuter", baseline)):
+        start = time.perf_counter()
+        alerts = sum(
+            sum(len(hits) for hits in engine.process_r(report).values())
+            for report in reports
+        )
+        elapsed = time.perf_counter() - start
+        print(f"{name:>10}: {len(reports) / elapsed:>9,.0f} reports/s, {alerts} alerts")
+
+    report = reports[0]
+    hits = ssi.process_r(report)
+    print(f"\nunit at km {report.b:.1f}:")
+    for query, in_range in sorted(hits.items(), key=lambda kv: kv[0].qid)[:4]:
+        nearest = min(abs(t.b - report.b) for t in in_range)
+        print(
+            f"  {class_of[query.qid]:>13}: {len(in_range)} target(s) in range, "
+            f"nearest {nearest:.1f} km"
+        )
+
+    # A new target appears: the symmetric S-side probe finds which unit
+    # classes (at which positions) must be alerted.
+    intruder = targets.new_row(b=rng.uniform(0, COAST_KM), c=0.0)
+    for report in reports[:40]:
+        units.insert(report)
+    s_side = ssi.process_s(intruder)
+    print(
+        f"\nnew target at km {intruder.b:.1f} alerts "
+        f"{sum(len(v) for v in s_side.values())} deployed units "
+        f"across {len(s_side)} class subscriptions"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Tracking evolving hotspots (Section 2.2's seasonal example).
+
+"People tend to pay more attention to high temperatures in summer, but
+more to low temperatures when winter comes."  Subscribers register
+temperature-alert ranges; the popular range drifts with the season, and
+the hotspot tracker promotes and demotes groups as interest shifts ---
+with the amortized boundary-move bound (invariant I3) holding throughout.
+
+Run:  python examples/evolving_hotspots.py
+"""
+
+import random
+
+from repro.core.hotspot_tracker import HotspotTracker
+from repro.core.intervals import Interval
+
+SEASONS = [
+    ("summer", 33.0),
+    ("autumn", 15.0),
+    ("winter", -8.0),
+    ("spring", 18.0),
+]
+SUBSCRIBERS_PER_SEASON = 600
+ALPHA = 0.15
+
+
+def seasonal_query(rng: random.Random, focus: float) -> Interval:
+    if rng.random() < 0.75:
+        center = rng.normalvariate(focus, 1.2)
+        spread = abs(rng.normalvariate(3.0, 1.0)) + 0.5
+    else:  # background interest anywhere on the thermometer
+        center = rng.uniform(-20, 40)
+        spread = abs(rng.normalvariate(2.0, 1.0)) + 0.5
+    return Interval(center - spread, center + spread)
+
+
+def main() -> None:
+    rng = random.Random(365)
+    tracker: HotspotTracker[Interval] = HotspotTracker(alpha=ALPHA)
+    live: list[Interval] = []
+
+    print(f"alpha = {ALPHA}: a group is promoted at {ALPHA:.0%} of all queries\n")
+    for season, focus in SEASONS:
+        # New seasonal subscribers arrive; an equal number of stale ones
+        # (mostly last season's) cancel.
+        for __ in range(SUBSCRIBERS_PER_SEASON):
+            query = seasonal_query(rng, focus)
+            tracker.insert(query)
+            live.append(query)
+        if len(live) > SUBSCRIBERS_PER_SEASON:
+            for __ in range(SUBSCRIBERS_PER_SEASON):
+                victim = live.pop(rng.randrange(len(live) // 2))  # bias to old
+                tracker.delete(victim)
+
+        tracker.validate()
+        points = sorted(
+            (group.size, group.stabbing_point) for group in tracker.hotspot_groups
+        )
+        described = ", ".join(
+            f"{point:+.1f}C ({size} queries)" for size, point in reversed(points)
+        ) or "none"
+        print(
+            f"{season:>7}: {len(live):4d} live subscriptions | "
+            f"hotspots: {described}"
+        )
+        print(
+            f"         coverage {tracker.hotspot_coverage:5.0%}, "
+            f"boundary moves so far {tracker.boundary_moves()} "
+            f"(bound {5 * tracker.update_count})"
+        )
+
+    assert tracker.boundary_moves() <= 5 * tracker.update_count
+    print("\ninvariant I3 held: amortized boundary moves <= 5 per update")
+
+
+if __name__ == "__main__":
+    main()

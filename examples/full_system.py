@@ -1,0 +1,79 @@
+"""The full continuous-query system, end to end.
+
+A market-surveillance scenario: R is a stream of buy orders (price limit,
+venue), S is a stream of sell quotes (venue, price).  Traders hold band
+joins ("alert when a sell quote lands within delta of my reference level
+at the same time") and select-joins ("match my buy-price window against
+sell quotes in my price window on the same venue"); results are delivered
+through callbacks as events arrive on both sides.
+
+Run:  python examples/full_system.py
+"""
+
+import random
+
+from repro.core.intervals import Interval
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.system import ContinuousQuerySystem
+
+VENUES = 12
+TRADERS = 600
+EVENTS = 400
+
+
+def main() -> None:
+    rng = random.Random(2006)
+    system = ContinuousQuerySystem(alpha=0.02)
+
+    alerts: list = []
+
+    def on_alert(query, row, matches):
+        alerts.append((query.qid, len(matches)))
+
+    # Traders subscribe; interest clusters around two popular price bands.
+    for __ in range(TRADERS):
+        if rng.random() < 0.5:
+            # Band join: sell-quote venue-key within +-delta of the buy key.
+            delta = abs(rng.normalvariate(0.4, 0.15)) + 0.05
+            system.subscribe(BandJoinQuery(Interval(-delta, delta)), on_alert)
+        else:
+            hot = rng.random() < 0.7
+            center = rng.normalvariate(100.0 if hot else 400.0, 6.0)
+            width = abs(rng.normalvariate(4.0, 1.5)) + 0.5
+            system.subscribe(
+                SelectJoinQuery(
+                    range_a=Interval(center - width, center + width),
+                    range_c=Interval(center - width, center + width),
+                ),
+                on_alert,
+            )
+    print(f"{system.subscription_count} trader subscriptions registered")
+
+    # Interleaved order/quote stream.
+    for step in range(EVENTS):
+        venue = float(rng.randrange(VENUES))
+        price = rng.normalvariate(100.0 if rng.random() < 0.7 else 400.0, 8.0)
+        if step % 2 == 0:
+            system.insert_s(b=venue, c=price)       # sell quote
+        else:
+            system.insert_r(a=price, b=venue)       # buy order
+    print(
+        f"processed {system.events_processed} events, "
+        f"{system.results_produced} result tuples, "
+        f"{len(alerts)} callback notifications"
+    )
+
+    top = {}
+    for qid, count in alerts:
+        top[qid] = top.get(qid, 0) + count
+    busiest = sorted(top.items(), key=lambda kv: -kv[1])[:3]
+    for qid, count in busiest:
+        print(f"  subscription {qid}: {count} matches")
+
+    assert system.events_processed == EVENTS
+    assert len(alerts) > 0
+    print("system example OK")
+
+
+if __name__ == "__main__":
+    main()

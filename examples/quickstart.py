@@ -1,0 +1,76 @@
+"""Quickstart: stabbing partitions, hotspot tracking, and an SSI band join.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    HotspotTracker,
+    Interval,
+    LazyStabbingPartition,
+    canonical_stabbing_partition,
+    stabbing_number,
+)
+from repro.engine import BandJoinQuery, TableR, TableS
+from repro.operators import BJSSI
+
+
+def main() -> None:
+    rng = random.Random(42)
+
+    # --- 1. Stabbing partitions ------------------------------------------
+    # Query ranges that cluster around two hotspots plus some stragglers.
+    intervals = (
+        [Interval(10 - rng.random() * 3, 10 + rng.random() * 3) for __ in range(40)]
+        + [Interval(50 - rng.random() * 2, 50 + rng.random() * 2) for __ in range(25)]
+        + [Interval(x, x + 1) for x in (70, 80, 90)]
+    )
+    partition = canonical_stabbing_partition(intervals)
+    print(f"{len(intervals)} intervals -> tau = {partition.size} stabbing groups")
+    print(f"top-2 groups cover {partition.coverage_of_top(2):.0%} of all intervals")
+
+    # --- 2. Dynamic maintenance -------------------------------------------
+    dynamic = LazyStabbingPartition(epsilon=1.0)
+    for interval in intervals:
+        dynamic.insert(interval)
+    print(
+        f"dynamic partition keeps {len(dynamic)} groups "
+        f"(within (1+eps) * tau = {2 * stabbing_number(intervals)})"
+    )
+
+    # --- 3. Hotspot tracking ----------------------------------------------
+    tracker = HotspotTracker(alpha=0.2)
+    for interval in intervals:
+        tracker.insert(interval)
+    print(
+        f"alpha=0.2 hotspots: {len(tracker.hotspot_groups)} groups covering "
+        f"{tracker.hotspot_coverage:.0%} of intervals"
+    )
+
+    # --- 4. Continuous band joins via the SSI -----------------------------
+    table_s = TableS()
+    for __ in range(2_000):
+        table_s.add(rng.uniform(0, 100), rng.uniform(0, 1))
+    table_r = TableR()
+    engine = BJSSI(table_s, table_r)
+    queries = [
+        BandJoinQuery(Interval(delta - 0.05, delta + 0.05))
+        for delta in (-5.0, 0.0, 5.0)
+        for __ in range(10)
+    ]
+    for query in queries:
+        engine.add_query(query)
+    print(
+        f"\n{engine.query_count} band joins indexed in "
+        f"{engine.group_count} stabbing groups"
+    )
+    r = table_r.new_row(a=0.0, b=rng.uniform(0, 100))
+    results = engine.process_r(r)
+    print(f"incoming R-tuple b={r.b:.2f} affects {len(results)} queries:")
+    for query, matches in sorted(results.items(), key=lambda kv: kv[0].qid)[:5]:
+        print(f"  query {query.qid} (band {query.band}): {len(matches)} new result(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of *Scalable Continuous Query Processing by
+Tracking Hotspots* (Agarwal, Xie, Yang, Yu; VLDB 2006).
+
+The package implements the paper's full stack from scratch:
+
+* ``repro.core`` — stabbing partitions, dynamic (1+eps)-approximate
+  maintenance, hotspot tracking, and the stabbing set index framework;
+* ``repro.dstruct`` — the index substrates (B+ tree, R-tree, interval tree,
+  treap with split/join, sorted sequences);
+* ``repro.engine`` — relations, update streams, and the continuous-query
+  model;
+* ``repro.operators`` — the band-join and select-join processing strategies
+  (SSI-based and all paper baselines);
+* ``repro.histogram`` — SSI-HIST, EQW-HIST and the DP-optimal histogram for
+  interval stabbing counts;
+* ``repro.workload`` — synthetic workload generators matching Table 1;
+* ``repro.bench`` — the throughput/maintenance measurement harness used by
+  the figure-reproduction benchmarks.
+"""
+
+from repro.core import (
+    HotspotTracker,
+    Interval,
+    LazyStabbingPartition,
+    RefinedStabbingPartition,
+    StabbingSetIndex,
+    canonical_stabbing_partition,
+    stabbing_number,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HotspotTracker",
+    "Interval",
+    "LazyStabbingPartition",
+    "RefinedStabbingPartition",
+    "StabbingSetIndex",
+    "canonical_stabbing_partition",
+    "stabbing_number",
+    "__version__",
+]

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Self-contained utilities that do not require the repository checkout:
+
+* ``info``      — version and subsystem inventory;
+* ``zipf``      — print the Figure 2 coverage curve for chosen parameters;
+* ``partition`` — read intervals ("lo hi" per line) from a file or stdin
+  and print their canonical stabbing partition and hotspots;
+* ``validate``  — run a built-in randomized cross-validation sweep (every
+  join strategy against brute force) and report pass/fail, a quick
+  install smoke test.
+
+Figure regeneration itself lives in ``benchmarks/`` (run with
+``pytest benchmarks/ --benchmark-only`` from a checkout).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from repro import __version__
+from repro.core.intervals import Interval
+from repro.core.stabbing import canonical_stabbing_partition
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {__version__} — Scalable Continuous Query Processing by Tracking Hotspots (VLDB 2006)")
+    print("subsystems:")
+    for name, what in [
+        ("repro.core", "stabbing partitions, dynamic maintenance, hotspot tracking, SSI"),
+        ("repro.dstruct", "B+ tree, R-tree, interval tree, interval skip list, treap"),
+        ("repro.engine", "relations, query model, ContinuousQuerySystem facade"),
+        ("repro.operators", "BJ-*/SJ-* strategies, hotspot processing, extensions"),
+        ("repro.histogram", "EQW-HIST, SSI-HIST, OPTIMAL"),
+        ("repro.workload", "Table 1 generators, Zipf popularity"),
+    ]:
+        print(f"  {name:<16} {what}")
+    return 0
+
+
+def _cmd_zipf(args: argparse.Namespace) -> int:
+    from repro.workload.zipf import coverage_curve
+
+    tops = sorted({min(k, args.groups) for k in args.top})
+    print(f"coverage of top-k of {args.groups} Zipf(beta={args.beta}) groups:")
+    for k, coverage in zip(tops, coverage_curve(args.groups, args.beta, tops)):
+        print(f"  top-{k:<6} {coverage:7.1%}")
+    return 0
+
+
+def _read_intervals(path: Optional[str]) -> List[Interval]:
+    stream = sys.stdin if path in (None, "-") else open(path)
+    intervals = []
+    try:
+        for line_no, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise SystemExit(f"line {line_no}: expected 'lo hi', got {line!r}")
+            intervals.append(Interval(float(parts[0]), float(parts[1])))
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    return intervals
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    intervals = _read_intervals(args.file)
+    if not intervals:
+        print("no intervals read", file=sys.stderr)
+        return 1
+    partition = canonical_stabbing_partition(intervals)
+    print(f"{len(intervals)} intervals -> tau = {partition.size} stabbing groups")
+    hotspots = partition.hotspots(args.alpha)
+    for rank, group in enumerate(
+        sorted(partition.groups, key=lambda g: -g.size), start=1
+    ):
+        tag = "HOTSPOT" if group in hotspots else "       "
+        print(
+            f"  #{rank:<3} {tag} size={group.size:<6} "
+            f"stab point={group.stabbing_point:g} common={group.common}"
+        )
+    covered = sum(group.size for group in hotspots) / len(intervals)
+    print(f"{len(hotspots)} alpha={args.alpha:g} hotspots cover {covered:.0%} of intervals")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.engine.queries import (
+        BandJoinQuery,
+        SelectJoinQuery,
+        brute_force_band_join,
+        brute_force_select_join,
+    )
+    from repro.engine.table import TableR, TableS
+    from repro.operators import make_band_strategies, make_select_strategies
+
+    rng = random.Random(args.seed)
+    failures = 0
+    for trial in range(args.trials):
+        table_s = TableS(order=4)
+        table_r = TableR(order=4)
+        for __ in range(150):
+            table_s.add(float(rng.randrange(12)), rng.uniform(0, 60))
+        band_queries = []
+        select_queries = []
+        for __ in range(60):
+            lo = rng.uniform(-8, 8)
+            band_queries.append(BandJoinQuery(Interval(lo, lo + rng.uniform(0, 4))))
+            a_lo, c_lo = rng.uniform(0, 50), rng.uniform(0, 50)
+            select_queries.append(
+                SelectJoinQuery(
+                    Interval(a_lo, a_lo + rng.uniform(0, 15)),
+                    Interval(c_lo, c_lo + rng.uniform(0, 15)),
+                )
+            )
+        band = make_band_strategies(table_s, table_r)
+        select = make_select_strategies(table_s, table_r)
+        for strategy in band.values():
+            for query in band_queries:
+                strategy.add_query(query)
+        for strategy in select.values():
+            for query in select_queries:
+                strategy.add_query(query)
+        for __ in range(5):
+            r = table_r.new_row(rng.uniform(0, 60), float(rng.randrange(12)))
+
+            def norm(results):
+                return {q.qid: sorted(s.sid for s in v) for q, v in results.items()}
+
+            want_band = norm(brute_force_band_join(band_queries, r, table_s))
+            want_select = norm(brute_force_select_join(select_queries, r, table_s))
+            for name, strategy in band.items():
+                if norm(strategy.process_r(r)) != want_band:
+                    print(f"MISMATCH: {name} trial {trial}", file=sys.stderr)
+                    failures += 1
+            for name, strategy in select.items():
+                if norm(strategy.process_r(r)) != want_select:
+                    print(f"MISMATCH: {name} trial {trial}", file=sys.stderr)
+                    failures += 1
+    total = args.trials * 5 * 8
+    print(f"validate: {total - failures}/{total} strategy evaluations matched brute force")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Hotspot-tracking continuous query processing (VLDB 2006 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and subsystem inventory").set_defaults(func=_cmd_info)
+
+    zipf = sub.add_parser("zipf", help="Figure 2 coverage curve")
+    zipf.add_argument("--groups", type=int, default=5000)
+    zipf.add_argument("--beta", type=float, default=1.0)
+    zipf.add_argument("--top", type=int, nargs="+", default=[10, 50, 100, 500, 1000, 5000])
+    zipf.set_defaults(func=_cmd_zipf)
+
+    part = sub.add_parser("partition", help="stabbing-partition a file of intervals")
+    part.add_argument("file", nargs="?", default="-", help="file with 'lo hi' lines (default: stdin)")
+    part.add_argument("--alpha", type=float, default=0.1, help="hotspot threshold")
+    part.set_defaults(func=_cmd_partition)
+
+    validate = sub.add_parser("validate", help="randomized strategy cross-validation")
+    validate.add_argument("--trials", type=int, default=3)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

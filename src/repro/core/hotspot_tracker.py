@@ -1,0 +1,258 @@
+"""Hotspot tracking (Section 2.2, Theorem 1).
+
+The tracker maintains, over a dynamic set of items with interval ranges:
+
+* ``I_H`` — an explicit list of *hotspot groups*, each stabbed by a common
+  point and holding at least an (alpha/2) fraction of all items;
+* ``I_S`` — a dynamic stabbing partition (Section 2.3) over the remaining
+  *scattered* items.
+
+Groups move across the boundary with hysteresis: a scattered group that
+reaches ``alpha * n`` items is **promoted** into ``I_H``; a hotspot group
+that falls below ``(alpha / 2) * n`` items is **demoted**, its items
+re-inserted into the scattered partition one by one.  The paper's credit
+argument (invariant I3) shows the amortized number of items crossing the
+boundary is at most 5 per update; the tracker counts every crossing so the
+property tests can check the bound directly.
+
+Invariants maintained at all times (Theorem 1):
+
+* (I1) ``I_H`` contains every alpha-hotspot, only (alpha/2)-hotspots, hence
+  at most ``2 / alpha`` groups;
+* (I2) the overall partition has at most ``(1 + eps) * tau(I) + 2 / alpha``
+  groups;
+* (I3) amortized boundary crossings per update <= 5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, List, Optional, Protocol
+
+from repro.core.intervals import Interval
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.partition_base import DynamicGroup, DynamicStabbingPartitionBase, T
+from repro.core.stabbing import identity_interval
+
+
+class HotspotListener(Protocol[T]):
+    """Callbacks fired as groups cross the hotspot/scattered boundary.
+
+    The SSI-on-hotspots processors use these to build (on promote) and drop
+    (on demote) the per-hotspot index structures.
+    """
+
+    def on_promoted(self, group: DynamicGroup[T]) -> None: ...
+
+    def on_demoted(self, group: DynamicGroup[T]) -> None: ...
+
+    def on_hot_item_added(self, group: DynamicGroup[T], item: T) -> None: ...
+
+    def on_hot_item_removed(self, group: DynamicGroup[T], item: T) -> None: ...
+
+
+def _default_partition_factory(
+    epsilon: float, interval_of: Callable[[T], Interval]
+) -> DynamicStabbingPartitionBase[T]:
+    return LazyStabbingPartition(epsilon=epsilon, interval_of=interval_of)
+
+
+class HotspotTracker(Generic[T]):
+    """Tracks alpha-hotspots of a dynamic interval set (Theorem 1)."""
+
+    def __init__(
+        self,
+        items: Optional[List[T]] = None,
+        *,
+        alpha: float,
+        epsilon: float = 1.0,
+        interval_of: Callable[[T], Interval] = identity_interval,
+        partition_factory: Callable[
+            [float, Callable[[T], Interval]], DynamicStabbingPartitionBase[T]
+        ] = _default_partition_factory,
+    ):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self._alpha = alpha
+        self._interval_of = interval_of
+        self._hot: List[DynamicGroup[T]] = []
+        self._hot_of: Dict[int, DynamicGroup[T]] = {}
+        self._scattered = partition_factory(epsilon, interval_of)
+        self._n = 0
+        self._listeners: List[HotspotListener[T]] = []
+        self.update_count = 0
+        # Boundary-crossing counters for the (I3) bound.
+        self.moves_into_scattered = 0
+        self.moves_out_of_scattered = 0
+        if items:
+            for item in items:
+                self.insert(item)
+
+    # -- listener plumbing --------------------------------------------------
+
+    def add_listener(self, listener: HotspotListener[T]) -> None:
+        self._listeners.append(listener)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def hotspot_groups(self) -> List[DynamicGroup[T]]:
+        """The current hotspot groups I_H (at most 2/alpha of them)."""
+        return list(self._hot)
+
+    @property
+    def scattered(self) -> DynamicStabbingPartitionBase[T]:
+        """The dynamic stabbing partition I_S over the scattered items."""
+        return self._scattered
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def hotspot_item_count(self) -> int:
+        return sum(group.size for group in self._hot)
+
+    @property
+    def hotspot_coverage(self) -> float:
+        """Fraction of items currently living in hotspot groups."""
+        return self.hotspot_item_count / self._n if self._n else 0.0
+
+    def is_hotspot_item(self, item: T) -> bool:
+        return id(item) in self._hot_of
+
+    def boundary_moves(self) -> int:
+        """Total items that have crossed the H/S boundary (for invariant I3)."""
+        return self.moves_into_scattered + self.moves_out_of_scattered
+
+    # -- updates -----------------------------------------------------------------
+
+    def insert(self, item: T) -> None:
+        """Insert an item: into an overlapping hotspot group if one exists
+        (O(|I_H|) = O(1/alpha) brute force, as the paper allows), otherwise
+        into the scattered partition."""
+        self._n += 1
+        self.update_count += 1
+        interval = self._interval_of(item)
+        target = None
+        for group in self._hot:
+            if group.would_remain_stabbed(interval):
+                target = group
+                break
+        if target is not None:
+            target.add(item)
+            self._hot_of[id(item)] = target
+            for listener in self._listeners:
+                listener.on_hot_item_added(target, item)
+        else:
+            self._scattered.insert(item)
+        self._rebalance()
+
+    def delete(self, item: T) -> None:
+        self._n -= 1
+        self.update_count += 1
+        group = self._hot_of.pop(id(item), None)
+        if group is not None:
+            group.remove(item)
+            for listener in self._listeners:
+                listener.on_hot_item_removed(group, item)
+            if group.size == 0:
+                self._hot.remove(group)
+                for listener in self._listeners:
+                    listener.on_demoted(group)
+        else:
+            self._scattered.delete(item)
+        self._rebalance()
+
+    # -- promote / demote -----------------------------------------------------------
+
+    def _rebalance(self) -> None:
+        """Promote/demote until no group violates its threshold.
+
+        Promotions can follow demotions (demoted items may pile into an
+        existing scattered group), so this loops to a fixpoint; each pass
+        moves items across the boundary, and the credit argument bounds the
+        total work.
+        """
+        while True:
+            if self._promote_one():
+                continue
+            if self._demote_one():
+                continue
+            break
+
+    def _promote_one(self) -> bool:
+        threshold = self._alpha * self._n
+        candidate = None
+        for group in self._scattered.groups:
+            if group.size >= threshold:
+                candidate = group
+                break
+        if candidate is None:
+            return False
+        # Snapshot first: deleting from the scattered partition may trigger a
+        # reconstruction that redistributes groups.
+        members = list(candidate)
+        hot_group: DynamicGroup[T] = DynamicGroup(self._interval_of)
+        for item in members:
+            self._scattered.delete(item)
+            hot_group.add(item)
+            self._hot_of[id(item)] = hot_group
+            self.moves_out_of_scattered += 1
+        self._hot.append(hot_group)
+        for listener in self._listeners:
+            listener.on_promoted(hot_group)
+        return True
+
+    def _demote_one(self) -> bool:
+        threshold = (self._alpha / 2.0) * self._n
+        candidate = None
+        for group in self._hot:
+            if group.size < threshold:
+                candidate = group
+                break
+        if candidate is None:
+            return False
+        self._hot.remove(candidate)
+        for listener in self._listeners:
+            listener.on_demoted(candidate)
+        for item in list(candidate):
+            del self._hot_of[id(item)]
+            self._scattered.insert(item)
+            self.moves_into_scattered += 1
+        return True
+
+    # -- validation ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert invariants I1 and I2 plus structural consistency (tests)."""
+        from repro.core.stabbing import stabbing_number
+
+        # Structural: every hotspot group stabbed; counts consistent.
+        for group in self._hot:
+            assert group.size > 0
+            point = group.stabbing_point
+            for item in group:
+                assert self._interval_of(item).contains(point)
+        self._scattered.validate()
+        total = self.hotspot_item_count + self._scattered.total_items()
+        assert total == self._n, f"item count drift: {total} != {self._n}"
+        if self._n == 0:
+            return
+        # (I1): hotspot groups are at least (alpha/2)-hotspots, scattered
+        # groups are below the alpha threshold, and |I_H| <= 2/alpha.
+        for group in self._hot:
+            assert group.size >= (self._alpha / 2.0) * self._n
+        for group in self._scattered.groups:
+            assert group.size < self._alpha * self._n
+        assert len(self._hot) <= 2.0 / self._alpha
+        # (I2): |I| <= (1 + eps) tau(I) + 2/alpha.
+        all_items = [item for group in self._hot for item in group]
+        for group in self._scattered.groups:
+            all_items.extend(group)
+        tau = stabbing_number(all_items, self._interval_of)
+        epsilon = getattr(self._scattered, "epsilon", 1.0)
+        total_groups = len(self._hot) + len(self._scattered)
+        assert total_groups <= (1.0 + epsilon) * tau + 2.0 / self._alpha + 1e-9

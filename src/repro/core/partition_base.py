@@ -1,0 +1,202 @@
+"""Shared machinery for dynamic stabbing-partition maintainers.
+
+Both maintenance strategies of Section 2.3 (the lazy strategy of Lemma 3 and
+the refined algorithm of Appendix B) expose the same interface: insert/delete
+items carrying intervals, enumerate the current groups, and notify listeners
+when group membership changes so that higher layers (the SSI per-group
+structures, the hotspot tracker) can stay synchronized.
+
+Items are arbitrary objects mapped to intervals by an ``interval_of``
+function; they are identified by object identity, so two distinct continuous
+queries may carry equal ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, Iterable, Iterator, List, Optional, Protocol, TypeVar
+
+from repro.core.intervals import Interval
+from repro.core.stabbing import identity_interval
+from repro.dstruct.sorted_list import SortedKeyList
+
+T = TypeVar("T")
+
+
+class PartitionListener(Protocol[T]):
+    """Callbacks fired by a dynamic partition as its groups evolve.
+
+    ``on_rebuilt`` replaces the per-item callbacks during a reconstruction
+    stage: listeners should drop all per-group state and rebuild from the
+    partition's current groups.
+    """
+
+    def on_group_created(self, group: "DynamicGroup[T]") -> None: ...
+
+    def on_group_destroyed(self, group: "DynamicGroup[T]") -> None: ...
+
+    def on_item_added(self, group: "DynamicGroup[T]", item: T) -> None: ...
+
+    def on_item_removed(self, group: "DynamicGroup[T]", item: T) -> None: ...
+
+    def on_rebuilt(self, partition: "DynamicStabbingPartitionBase[T]") -> None: ...
+
+
+class DynamicGroup(Generic[T]):
+    """A mutable stabbing group: members plus their maintained intersection.
+
+    The common intersection is kept exactly (not just a stabbing point) via
+    sorted multisets of left and right endpoints, so deletions that *widen*
+    the intersection are handled in O(log g).  This is the "more careful
+    implementation" the paper recommends for the insertion refinement.
+    """
+
+    __slots__ = ("_items", "_los", "_his", "_interval_of", "_max_lo", "_min_hi")
+
+    def __init__(self, interval_of: Callable[[T], Interval]):
+        self._items: Dict[int, T] = {}
+        self._los: SortedKeyList[float] = SortedKeyList()
+        self._his: SortedKeyList[float] = SortedKeyList()
+        self._interval_of = interval_of
+        # Cached intersection endpoints (= max lo / min hi of members);
+        # the insertion path tests every group against a new interval, so
+        # these keep that test to two attribute reads.
+        self._max_lo = float("-inf")
+        self._min_hi = float("inf")
+
+    def add(self, item: T) -> None:
+        key = id(item)
+        if key in self._items:
+            raise ValueError("item already present in group")
+        interval = self._interval_of(item)
+        self._items[key] = item
+        self._los.add(interval.lo)
+        self._his.add(interval.hi)
+        if interval.lo > self._max_lo:
+            self._max_lo = interval.lo
+        if interval.hi < self._min_hi:
+            self._min_hi = interval.hi
+
+    def remove(self, item: T) -> None:
+        interval = self._interval_of(item)
+        del self._items[id(item)]
+        self._los.remove(interval.lo)
+        self._his.remove(interval.hi)
+        if not self._items:
+            self._max_lo = float("-inf")
+            self._min_hi = float("inf")
+        else:
+            if interval.lo == self._max_lo:
+                self._max_lo = self._los[len(self._los) - 1]
+            if interval.hi == self._min_hi:
+                self._min_hi = self._his[0]
+
+    def __contains__(self, item: T) -> bool:
+        return id(item) in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items.values())
+
+    @property
+    def size(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> List[T]:
+        return list(self._items.values())
+
+    @property
+    def common(self) -> Optional[Interval]:
+        """Common intersection of all members (None iff empty group)."""
+        if not self._items:
+            return None
+        assert self._max_lo <= self._min_hi, "group invariant violated"
+        return Interval(self._max_lo, self._min_hi)
+
+    @property
+    def stabbing_point(self) -> float:
+        common = self.common
+        assert common is not None, "empty group has no stabbing point"
+        return common.hi
+
+    def would_remain_stabbed(self, interval: Interval) -> bool:
+        """True if adding ``interval`` keeps the common intersection nonempty."""
+        if not self._items:
+            return True
+        # Inlined overlap check against [max lo, min hi]; this runs once per
+        # existing group on every insertion, so it avoids building objects.
+        return self._max_lo <= interval.hi and interval.lo <= self._min_hi
+
+
+class DynamicStabbingPartitionBase(Generic[T]):
+    """Common state and listener plumbing for both maintenance strategies."""
+
+    def __init__(self, interval_of: Callable[[T], Interval] = identity_interval):
+        self._interval_of = interval_of
+        self._listeners: List[PartitionListener[T]] = []
+        # Statistics exposed for the Figure 11 maintenance-cost benchmark.
+        self.reconstruction_count = 0
+        self.update_count = 0
+
+    # -- listener plumbing ------------------------------------------------
+
+    def add_listener(self, listener: PartitionListener[T]) -> None:
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: PartitionListener[T]) -> None:
+        self._listeners.remove(listener)
+
+    def _notify_group_created(self, group: DynamicGroup[T]) -> None:
+        for listener in self._listeners:
+            listener.on_group_created(group)
+
+    def _notify_group_destroyed(self, group: DynamicGroup[T]) -> None:
+        for listener in self._listeners:
+            listener.on_group_destroyed(group)
+
+    def _notify_item_added(self, group: DynamicGroup[T], item: T) -> None:
+        for listener in self._listeners:
+            listener.on_item_added(group, item)
+
+    def _notify_item_removed(self, group: DynamicGroup[T], item: T) -> None:
+        for listener in self._listeners:
+            listener.on_item_removed(group, item)
+
+    def _notify_rebuilt(self) -> None:
+        for listener in self._listeners:
+            listener.on_rebuilt(self)
+
+    # -- interface to implement --------------------------------------------
+
+    def insert(self, item: T) -> None:
+        raise NotImplementedError
+
+    def delete(self, item: T) -> None:
+        raise NotImplementedError
+
+    @property
+    def groups(self) -> Iterable[DynamicGroup[T]]:
+        raise NotImplementedError
+
+    @property
+    def interval_of(self) -> Callable[[T], Interval]:
+        return self._interval_of
+
+    def __len__(self) -> int:
+        """Number of groups currently maintained (|P|)."""
+        raise NotImplementedError
+
+    def total_items(self) -> int:
+        return sum(group.size for group in self.groups)
+
+    def validate(self) -> None:
+        """Assert every group is stabbed by its stabbing point (tests only)."""
+        for group in self.groups:
+            assert group.size > 0, "empty group retained"
+            point = group.stabbing_point
+            for item in group:
+                assert self._interval_of(item).contains(point), (
+                    f"{self._interval_of(item)} not stabbed by {point}"
+                )

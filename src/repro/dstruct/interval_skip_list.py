@@ -1,0 +1,262 @@
+"""An interval skip list (Hanson & Johnson [11]) for stabbing queries.
+
+The paper lists the interval skip list alongside the interval tree as the
+classic way to index range-selection continuous queries: "These queries
+can be indexed as a set of intervals using, for example, interval tree or
+interval skip list."  This implementation follows Hanson's design:
+
+* a probabilistic skip list over the distinct interval endpoints;
+* each stored interval is *marked* on a maximal set of skip-list edges (and
+  isolated nodes) that exactly covers it: an edge at some level carries the
+  mark iff the interval covers the whole edge span but not the span of the
+  corresponding edge one level up;
+* a stabbing query walks the usual skip-list search path for x, collecting
+  marks from every traversed edge that strictly contains x and from the
+  terminal node if x is an endpoint --- expected
+  O(log n + output distinct marks) per query.
+
+The API mirrors :class:`repro.dstruct.interval_tree.IntervalTree` so the
+two are interchangeable behind the range-subscription indexes, and the
+property tests drive both against the same oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Generic, Iterator, List, Optional, Set, Tuple, TypeVar
+
+from repro.core.intervals import Interval
+
+P = TypeVar("P")
+
+_MAX_LEVEL = 32
+
+
+class _Entry(Generic[P]):
+    """One stored (interval, payload) pair; identity used for marking."""
+
+    __slots__ = ("interval", "payload")
+
+    def __init__(self, interval: Interval, payload: P):
+        self.interval = interval
+        self.payload = payload
+
+
+class _Node(Generic[P]):
+    __slots__ = ("key", "forward", "edge_marks", "node_marks", "owners")
+
+    def __init__(self, key: float, level: int):
+        self.key = key
+        self.forward: List[Optional["_Node[P]"]] = [None] * level
+        # edge_marks[i]: entries marked on the edge leaving this node at
+        # level i; node_marks: entries marked on this node itself.
+        self.edge_marks: List[Set[_Entry[P]]] = [set() for __ in range(level)]
+        self.node_marks: Set[_Entry[P]] = set()
+        # Entries having an endpoint at this key (for node lifetime).
+        self.owners: Set[_Entry[P]] = set()
+
+    @property
+    def level(self) -> int:
+        return len(self.forward)
+
+
+class IntervalSkipList(Generic[P]):
+    """Dynamic interval set supporting O(log n + out) expected stabbing."""
+
+    def __init__(self, rng: Optional[random.Random] = None, p: float = 0.5):
+        self._rng = rng if rng is not None else random.Random()
+        self._p = p
+        self._head: _Node[P] = _Node(float("-inf"), _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        self._entries: Dict[int, _Entry[P]] = {}
+
+    # -- skip-list plumbing ----------------------------------------------
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < self._p:
+            level += 1
+        return level
+
+    def _search_path(self, key: float) -> List[_Node[P]]:
+        """update[i] = rightmost node at level i with node.key < key."""
+        update: List[_Node[P]] = [self._head] * self._level
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < key:
+                node = node.forward[i]
+            update[i] = node
+        return update
+
+    def _find_node(self, key: float) -> Optional[_Node[P]]:
+        update = self._search_path(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate
+        return None
+
+    def _insert_node(self, key: float) -> _Node[P]:
+        """Insert an endpoint node, splitting the edges that spanned it so
+        existing marks stay exactly covering."""
+        update = self._search_path(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            return candidate
+        level = self._random_level()
+        if level > self._level:
+            for i in range(self._level, level):
+                update.append(self._head)
+            self._level = level
+        node = _Node(key, level)
+        for i in range(level):
+            pred = update[i]
+            node.forward[i] = pred.forward[i]
+            pred.forward[i] = node
+            # The old edge pred -> old_next spanned the new node: splitting
+            # it marks both halves and routes the covers through the node.
+            marks = pred.edge_marks[i]
+            if marks:
+                node.edge_marks[i] = set(marks)
+                node.node_marks.update(marks)
+        # (Marks on edges of level >= `level` keep spanning the node whole;
+        # the stab walk collects them directly, so no node mark is needed.)
+        return node
+
+    def _remove_node_if_unused(self, key: float) -> None:
+        """Unlink an endpoint node no interval owns, repairing the covers
+        of every interval whose mark chain routed through it."""
+        node = self._find_node(key)
+        if node is None or node.owners:
+            return
+        affected = [
+            entry for entry in node.node_marks if id(entry) in self._entries
+        ]
+        for entry in affected:
+            self._remove_marks(entry)
+        update = self._search_path(key)
+        for i in range(node.level):
+            pred = update[i]
+            assert pred.forward[i] is node
+            assert not pred.edge_marks[i] and not node.edge_marks[i], (
+                "dangling marks on a dying node's edges"
+            )
+            pred.forward[i] = node.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        for entry in affected:
+            self._place_marks(entry)
+
+    # -- marking ------------------------------------------------------------
+
+    def _place_marks(self, entry: _Entry[P]) -> None:
+        """Mark a maximal edge cover of [lo, hi] along the search path."""
+        lo, hi = entry.interval.lo, entry.interval.hi
+        node = self._find_node(lo)
+        assert node is not None
+        node.node_marks.add(entry)
+        # Ascend/descend greedily: at each position take the highest edge
+        # that stays inside [.., hi].
+        while node is not None and node.key < hi:
+            placed = False
+            for i in range(min(node.level, self._level) - 1, -1, -1):
+                nxt = node.forward[i]
+                if nxt is not None and nxt.key <= hi:
+                    node.edge_marks[i].add(entry)
+                    nxt.node_marks.add(entry)
+                    node = nxt
+                    placed = True
+                    break
+            if not placed:  # pragma: no cover - hi node always reachable
+                break
+
+    def _remove_marks(self, entry: _Entry[P]) -> None:
+        lo, hi = entry.interval.lo, entry.interval.hi
+        node = self._find_node(lo)
+        assert node is not None
+        node.node_marks.discard(entry)
+        while node is not None and node.key < hi:
+            advanced = False
+            for i in range(min(node.level, self._level) - 1, -1, -1):
+                if entry in node.edge_marks[i]:
+                    node.edge_marks[i].discard(entry)
+                    node = node.forward[i]
+                    assert node is not None
+                    node.node_marks.discard(entry)
+                    advanced = True
+                    break
+            if not advanced:
+                break
+
+    # -- public API -----------------------------------------------------------
+
+    def insert(self, interval: Interval, payload: P) -> None:
+        entry = _Entry(interval, payload)
+        lo_node = self._insert_node(interval.lo)
+        hi_node = self._insert_node(interval.hi) if interval.hi != interval.lo else lo_node
+        lo_node.owners.add(entry)
+        hi_node.owners.add(entry)
+        self._place_marks(entry)
+        self._entries[id(entry)] = entry
+        self._size += 1
+
+    def remove(self, interval: Interval, payload: P) -> None:
+        """Remove the entry with this interval and payload (identity first,
+        then equality).  Raises KeyError when absent."""
+        entry = None
+        for candidate in self._entries.values():
+            if candidate.interval == interval and candidate.payload is payload:
+                entry = candidate
+                break
+        if entry is None:
+            for candidate in self._entries.values():
+                if candidate.interval == interval and candidate.payload == payload:
+                    entry = candidate
+                    break
+        if entry is None:
+            raise KeyError((interval, payload))
+        self._remove_marks(entry)
+        del self._entries[id(entry)]
+        self._size -= 1
+        for key in {interval.lo, interval.hi}:
+            node = self._find_node(key)
+            assert node is not None
+            node.owners.discard(entry)
+        for key in {interval.lo, interval.hi}:
+            self._remove_node_if_unused(key)
+
+    def stab(self, x: float) -> List[Tuple[Interval, P]]:
+        """All (interval, payload) entries whose interval contains ``x``."""
+        found: Set[_Entry[P]] = set()
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            while node.forward[i] is not None and node.forward[i].key < x:
+                node = node.forward[i]
+            # The edge we are about to descend from strictly spans x.
+            nxt = node.forward[i]
+            if nxt is not None and nxt.key > x:
+                found |= node.edge_marks[i]
+        candidate = node.forward[0]
+        if candidate is not None and candidate.key == x:
+            found |= candidate.node_marks
+            for entry in candidate.owners:
+                if entry.interval.contains(x):
+                    found.add(entry)
+        return [
+            (entry.interval, entry.payload)
+            for entry in found
+            if entry.interval.contains(x)
+        ]
+
+    def iter_stab(self, x: float) -> Iterator[Tuple[Interval, P]]:
+        yield from self.stab(x)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[Tuple[Interval, P]]:
+        for entry in self._entries.values():
+            yield entry.interval, entry.payload

@@ -1,0 +1,179 @@
+"""A dynamic interval tree answering point-stabbing queries.
+
+The baselines BJ-DOuter (band joins, data as the outer relation) and
+SJ-SelectFirst (select-joins, selection first) both need a dynamic index over
+a set of intervals that, given a point ``x``, reports every interval
+containing ``x`` in O(log n + output) time.  The paper suggests a priority
+search tree or external interval tree; we implement the standard in-memory
+equivalent: a balanced BST over left endpoints where every node is augmented
+with the maximum right endpoint in its subtree.  The stabbing search prunes
+any subtree whose ``max_hi`` falls left of the query point.
+
+Items are ``(interval, payload)`` pairs so callers can attach the continuous
+query that owns each range.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.core.intervals import Interval
+
+P = TypeVar("P")
+
+
+class _Node(Generic[P]):
+    __slots__ = ("interval", "payload", "priority", "left", "right", "max_hi", "size")
+
+    def __init__(self, interval: Interval, payload: P, priority: float):
+        self.interval = interval
+        self.payload = payload
+        self.priority = priority
+        self.left: Optional["_Node[P]"] = None
+        self.right: Optional["_Node[P]"] = None
+        self.max_hi = interval.hi
+        self.size = 1
+
+
+class IntervalTree(Generic[P]):
+    """Treap-balanced augmented interval tree with O(log n + out) stabbing."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._root: Optional[_Node[P]] = None
+        self._rng = rng if rng is not None else random.Random()
+
+    # -- maintenance -------------------------------------------------------
+
+    def _pull(self, node: _Node[P]) -> None:
+        node.max_hi = node.interval.hi
+        node.size = 1
+        if node.left is not None:
+            node.max_hi = max(node.max_hi, node.left.max_hi)
+            node.size += node.left.size
+        if node.right is not None:
+            node.max_hi = max(node.max_hi, node.right.max_hi)
+            node.size += node.right.size
+
+    def _merge(self, a: Optional[_Node[P]], b: Optional[_Node[P]]) -> Optional[_Node[P]]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.priority > b.priority:
+            a.right = self._merge(a.right, b)
+            self._pull(a)
+            return a
+        b.left = self._merge(a, b.left)
+        self._pull(b)
+        return b
+
+    def _split(
+        self, node: Optional[_Node[P]], lo: float
+    ) -> Tuple[Optional[_Node[P]], Optional[_Node[P]]]:
+        """Split by left endpoint: (< lo is ambiguous for equals -> <= lo left)."""
+        if node is None:
+            return None, None
+        if node.interval.lo <= lo:
+            left, right = self._split(node.right, lo)
+            node.right = left
+            self._pull(node)
+            return node, right
+        left, right = self._split(node.left, lo)
+        node.left = right
+        self._pull(node)
+        return left, node
+
+    # -- public API ----------------------------------------------------------
+
+    def insert(self, interval: Interval, payload: P) -> None:
+        node = _Node(interval, payload, self._rng.random())
+        left, right = self._split(self._root, interval.lo)
+        self._root = self._merge(self._merge(left, node), right)
+
+    def remove(self, interval: Interval, payload: P) -> None:
+        """Remove the entry with this exact interval and payload.
+
+        Payloads are compared with ``is`` first, then ``==``.  Raises
+        KeyError when no matching entry exists.
+        """
+
+        def _remove(node: Optional[_Node[P]], by_identity: bool) -> Tuple[Optional[_Node[P]], bool]:
+            if node is None:
+                return None, False
+            if interval.lo < node.interval.lo:
+                node.left, removed = _remove(node.left, by_identity)
+            elif node.interval.lo < interval.lo:
+                node.right, removed = _remove(node.right, by_identity)
+            else:
+                matches = node.interval == interval and (
+                    node.payload is payload if by_identity else node.payload == payload
+                )
+                if matches:
+                    return self._merge(node.left, node.right), True
+                node.left, removed = _remove(node.left, by_identity)
+                if not removed:
+                    node.right, removed = _remove(node.right, by_identity)
+            if removed:
+                self._pull(node)
+            return node, removed
+
+        self._root, removed = _remove(self._root, True)
+        if not removed:
+            self._root, removed = _remove(self._root, False)
+        if not removed:
+            raise KeyError((interval, payload))
+
+    def stab(self, x: float) -> List[Tuple[Interval, P]]:
+        """Return all (interval, payload) entries whose interval contains ``x``."""
+        out: List[Tuple[Interval, P]] = []
+        self._stab(self._root, x, out)
+        return out
+
+    def _stab(self, node: Optional[_Node[P]], x: float, out: List[Tuple[Interval, P]]) -> None:
+        if node is None or node.max_hi < x:
+            return
+        self._stab(node.left, x, out)
+        if node.interval.lo <= x:
+            if x <= node.interval.hi:
+                out.append((node.interval, node.payload))
+            self._stab(node.right, x, out)
+        # If node.interval.lo > x no interval in the right subtree can start
+        # at or before x either, so the right subtree is pruned.
+
+    def stab_count(self, x: float) -> int:
+        """Number of intervals containing ``x`` (same traversal, no list)."""
+        return sum(1 for __ in self.iter_stab(x))
+
+    def iter_stab(self, x: float) -> Iterator[Tuple[Interval, P]]:
+        stack: List[_Node[P]] = []
+        if self._root is not None:
+            stack.append(self._root)
+        while stack:
+            node = stack.pop()
+            if node.max_hi < x:
+                continue
+            if node.left is not None:
+                stack.append(node.left)
+            if node.interval.lo <= x:
+                if x <= node.interval.hi:
+                    yield node.interval, node.payload
+                if node.right is not None:
+                    stack.append(node.right)
+
+    def __len__(self) -> int:
+        return self._root.size if self._root is not None else 0
+
+    def __iter__(self) -> Iterator[Tuple[Interval, P]]:
+        stack: List[Tuple[_Node[P], bool]] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append((node, False))
+                node = node.left
+            top, __ = stack.pop()
+            yield top.interval, top.payload
+            node = top.right
+
+    def __bool__(self) -> bool:
+        return self._root is not None

@@ -1,0 +1,321 @@
+"""A Guttman R-tree over axis-aligned rectangles with point-stabbing search.
+
+SJ-JoinFirst probes "a two-dimensional index (e.g., an R-tree) constructed on
+the set of query rectangles" with each join result point, and SJ-SSI stores
+"each group in the SSI ... as an R-tree that indexes the member queries by
+their query rectangles".  This module provides that index: insertion with
+least-enlargement descent, quadratic-split node overflow handling, deletion
+with condense-tree reinsertion, and point/rectangle search.
+
+``node_visits`` counts nodes touched by searches; the Theorem 4 ablation
+benchmark uses it as a machine-independent proxy for g(n).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+P = TypeVar("P")
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle [xlo, xhi] x [ylo, yhi]."""
+
+    xlo: float
+    ylo: float
+    xhi: float
+    yhi: float
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi or self.ylo > self.yhi:
+            raise ValueError(f"invalid rectangle: {self!r}")
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.xlo <= x <= self.xhi and self.ylo <= y <= self.yhi
+
+    def intersects(self, other: "Rect") -> bool:
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xlo, other.xlo),
+            min(self.ylo, other.ylo),
+            max(self.xhi, other.xhi),
+            max(self.yhi, other.yhi),
+        )
+
+    @property
+    def area(self) -> float:
+        return (self.xhi - self.xlo) * (self.yhi - self.ylo)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase of this rectangle needed to also cover ``other``."""
+        return self.union(other).area - self.area
+
+
+class _RNode(Generic[P]):
+    __slots__ = ("leaf", "entries", "parent")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        # Leaf entries: (Rect, payload).  Internal entries: (Rect, _RNode).
+        self.entries: List[Tuple[Rect, Any]] = []
+        self.parent: Optional["_RNode[P]"] = None
+
+    def mbr(self) -> Rect:
+        rect = self.entries[0][0]
+        for r, __ in self.entries[1:]:
+            rect = rect.union(r)
+        return rect
+
+
+class RTree(Generic[P]):
+    """Dynamic R-tree (Guttman 1984) with quadratic split.
+
+    ``max_entries`` defaults to a small fan-out appropriate for the modest
+    per-group rectangle counts the SSI produces; raise it for large flat
+    indexes.
+    """
+
+    def __init__(self, max_entries: int = 16):
+        if max_entries < 4:
+            raise ValueError("max_entries must be >= 4")
+        self._max = max_entries
+        self._min = max(2, max_entries // 3)
+        self._root: _RNode[P] = _RNode(leaf=True)
+        self._size = 0
+        self.node_visits = 0
+
+    # -- search ----------------------------------------------------------------
+
+    def stab(self, x: float, y: float) -> List[Tuple[Rect, P]]:
+        """All (rect, payload) entries whose rectangle contains point (x, y)."""
+        out: List[Tuple[Rect, P]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.node_visits += 1
+            if node.leaf:
+                for rect, payload in node.entries:
+                    if rect.contains_point(x, y):
+                        out.append((rect, payload))
+            else:
+                for rect, child in node.entries:
+                    if rect.contains_point(x, y):
+                        stack.append(child)
+        return out
+
+    def search(self, window: Rect) -> List[Tuple[Rect, P]]:
+        """All entries whose rectangle intersects ``window``."""
+        out: List[Tuple[Rect, P]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.node_visits += 1
+            if node.leaf:
+                for rect, payload in node.entries:
+                    if rect.intersects(window):
+                        out.append((rect, payload))
+            else:
+                for rect, child in node.entries:
+                    if rect.intersects(window):
+                        stack.append(child)
+        return out
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, rect: Rect, payload: P) -> None:
+        leaf = self._choose_leaf(self._root, rect)
+        leaf.entries.append((rect, payload))
+        self._size += 1
+        if len(leaf.entries) > self._max:
+            self._handle_overflow(leaf)
+        else:
+            self._adjust_upward(leaf)
+
+    def _choose_leaf(self, node: _RNode[P], rect: Rect) -> _RNode[P]:
+        while not node.leaf:
+            best = None
+            best_key = (math.inf, math.inf)
+            for entry_rect, child in node.entries:
+                key = (entry_rect.enlargement(rect), entry_rect.area)
+                if key < best_key:
+                    best_key = key
+                    best = child
+            assert best is not None
+            node = best
+        return node
+
+    def _handle_overflow(self, node: _RNode[P]) -> None:
+        while len(node.entries) > self._max:
+            sibling = self._quadratic_split(node)
+            parent = node.parent
+            if parent is None:
+                new_root: _RNode[P] = _RNode(leaf=False)
+                new_root.entries = [(node.mbr(), node), (sibling.mbr(), sibling)]
+                node.parent = new_root
+                sibling.parent = new_root
+                self._root = new_root
+                return
+            self._replace_child_mbr(parent, node)
+            parent.entries.append((sibling.mbr(), sibling))
+            sibling.parent = parent
+            node = parent
+        self._adjust_upward(node)
+
+    def _quadratic_split(self, node: _RNode[P]) -> _RNode[P]:
+        entries = node.entries
+        # Pick the pair of seeds wasting the most area if grouped together.
+        best_waste = -math.inf
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = entries[i][0].union(entries[j][0]).area - entries[i][0].area - entries[j][0].area
+                if waste > best_waste:
+                    best_waste = waste
+                    seeds = (i, j)
+        i, j = seeds
+        group_a = [entries[i]]
+        group_b = [entries[j]]
+        rect_a = entries[i][0]
+        rect_b = entries[j][0]
+        rest = [entries[k] for k in range(len(entries)) if k not in (i, j)]
+        # Distribute by maximal preference difference, respecting min fill.
+        while rest:
+            if len(group_a) + len(rest) == self._min:
+                group_a.extend(rest)
+                rest = []
+                break
+            if len(group_b) + len(rest) == self._min:
+                group_b.extend(rest)
+                rest = []
+                break
+            best_idx = 0
+            best_diff = -math.inf
+            for idx, (rect, __) in enumerate(rest):
+                diff = abs(rect_a.enlargement(rect) - rect_b.enlargement(rect))
+                if diff > best_diff:
+                    best_diff = diff
+                    best_idx = idx
+            rect, payload = rest.pop(best_idx)
+            if rect_a.enlargement(rect) <= rect_b.enlargement(rect):
+                group_a.append((rect, payload))
+                rect_a = rect_a.union(rect)
+            else:
+                group_b.append((rect, payload))
+                rect_b = rect_b.union(rect)
+        node.entries = group_a
+        sibling: _RNode[P] = _RNode(leaf=node.leaf)
+        sibling.entries = group_b
+        if not node.leaf:
+            for __, child in group_b:
+                child.parent = sibling
+        return sibling
+
+    def _replace_child_mbr(self, parent: _RNode[P], child: _RNode[P]) -> None:
+        for idx, (__, c) in enumerate(parent.entries):
+            if c is child:
+                parent.entries[idx] = (child.mbr(), child)
+                return
+        raise AssertionError("child not found in parent")
+
+    def _adjust_upward(self, node: _RNode[P]) -> None:
+        while node.parent is not None:
+            self._replace_child_mbr(node.parent, node)
+            node = node.parent
+
+    # -- deletion --------------------------------------------------------------
+
+    def remove(self, rect: Rect, payload: P) -> None:
+        """Remove the entry with this rectangle and payload (KeyError if absent)."""
+        leaf = self._find_leaf(self._root, rect, payload)
+        if leaf is None:
+            raise KeyError((rect, payload))
+        for idx, (r, p) in enumerate(leaf.entries):
+            if r == rect and (p is payload or p == payload):
+                leaf.entries.pop(idx)
+                break
+        self._size -= 1
+        self._condense(leaf)
+
+    def _find_leaf(self, node: _RNode[P], rect: Rect, payload: P) -> Optional[_RNode[P]]:
+        if node.leaf:
+            for r, p in node.entries:
+                if r == rect and (p is payload or p == payload):
+                    return node
+            return None
+        for r, child in node.entries:
+            if r.intersects(rect):
+                found = self._find_leaf(child, rect, payload)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, node: _RNode[P]) -> None:
+        orphans: List[Tuple[Rect, P]] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self._min:
+                # Drop the underfull node; reinsert its leaf entries later.
+                parent.entries = [(r, c) for r, c in parent.entries if c is not node]
+                orphans.extend(self._collect_leaf_entries(node))
+            else:
+                self._replace_child_mbr(parent, node)
+            node = parent
+        while not self._root.leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0][1]
+            self._root.parent = None
+        if not self._root.leaf and not self._root.entries:
+            self._root = _RNode(leaf=True)
+        for rect, payload in orphans:
+            self._size -= 1  # insert() will re-increment
+            self.insert(rect, payload)
+
+    def _collect_leaf_entries(self, node: _RNode[P]) -> List[Tuple[Rect, P]]:
+        if node.leaf:
+            return list(node.entries)
+        out: List[Tuple[Rect, P]] = []
+        for __, child in node.entries:
+            out.extend(self._collect_leaf_entries(child))
+        return out
+
+    # -- misc --------------------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        self.node_visits = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Tuple[Rect, P]]:
+        yield from self._collect_leaf_entries(self._root)
+
+    def check_invariants(self) -> None:
+        """Validate MBRs, parent pointers, fill factors (tests only)."""
+
+        def _walk(node: _RNode[P], depth: int) -> Tuple[int, int]:
+            count = 0
+            depths = set()
+            if node is not self._root:
+                assert len(node.entries) >= self._min, "underfull node"
+            assert len(node.entries) <= self._max, "overfull node"
+            if node.leaf:
+                return len(node.entries), depth
+            for rect, child in node.entries:
+                assert child.parent is node, "broken parent pointer"
+                assert rect == child.mbr(), "stale MBR"
+                c, d = _walk(child, depth + 1)
+                count += c
+                depths.add(d)
+            assert len(depths) <= 1, "unbalanced R-tree"
+            return count, depths.pop() if depths else depth
+        count, __ = _walk(self._root, 0)
+        assert count == self._size, f"size mismatch: {count} != {self._size}"

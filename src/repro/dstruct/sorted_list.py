@@ -1,0 +1,105 @@
+"""A sorted sequence with key extraction, built on ``bisect``.
+
+Several strategies in the paper keep query ranges in sorted order:
+
+* ``BJ-MJ`` keeps band-join windows sorted by left endpoint so that merge
+  join never needs to re-sort;
+* each SSI group for band joins keeps two sorted sequences (ascending left
+  endpoints and descending right endpoints).
+
+Python's ``bisect`` module only gained key functions recently and offers no
+removal support, so this small class wraps a plain list with a parallel key
+list.  Insertion and removal are O(n) due to list shifting, which is the same
+bound a sorted array gives; the strategies that rely on this structure are
+exactly the ones whose maintenance cost the paper measures in Figure 11.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class SortedKeyList(Generic[T]):
+    """A list kept sorted by ``key(item)``, with bisect-based lookups.
+
+    Duplicate keys are allowed; items with equal keys keep insertion order
+    (new items go after existing equals).
+    """
+
+    def __init__(self, items: Iterable[T] = (), *, key: Callable[[T], Any] = lambda x: x):
+        self._key = key
+        self._items: List[T] = sorted(items, key=key)
+        self._keys: List[Any] = [key(item) for item in self._items]
+
+    def add(self, item: T) -> int:
+        """Insert ``item``, returning the index it was placed at."""
+        k = self._key(item)
+        idx = bisect.bisect_right(self._keys, k)
+        self._items.insert(idx, item)
+        self._keys.insert(idx, k)
+        return idx
+
+    def remove(self, item: T) -> None:
+        """Remove one occurrence of ``item`` (compared by identity, then equality).
+
+        Raises ValueError if the item is not present.
+        """
+        k = self._key(item)
+        idx = bisect.bisect_left(self._keys, k)
+        first_equal: Optional[int] = None
+        while idx < len(self._keys) and self._keys[idx] == k:
+            if self._items[idx] is item:
+                del self._items[idx]
+                del self._keys[idx]
+                return
+            if first_equal is None and self._items[idx] == item:
+                first_equal = idx
+            idx += 1
+        if first_equal is not None:
+            del self._items[first_equal]
+            del self._keys[first_equal]
+            return
+        raise ValueError(f"item not found: {item!r}")
+
+    def bisect_left(self, key: Any) -> int:
+        """Index of the first item with key >= ``key``."""
+        return bisect.bisect_left(self._keys, key)
+
+    def bisect_right(self, key: Any) -> int:
+        """Index just past the last item with key <= ``key``."""
+        return bisect.bisect_right(self._keys, key)
+
+    def irange(self, lo: Any = None, hi: Any = None) -> Iterator[T]:
+        """Iterate items with lo <= key <= hi (either bound may be None)."""
+        start = 0 if lo is None else self.bisect_left(lo)
+        stop = len(self._items) if hi is None else self.bisect_right(hi)
+        for i in range(start, stop):
+            yield self._items[i]
+
+    def count_in_range(self, lo: Any, hi: Any) -> int:
+        """Number of items with lo <= key <= hi, in O(log n)."""
+        return max(0, self.bisect_right(hi) - self.bisect_left(lo))
+
+    def __getitem__(self, idx: int) -> T:
+        return self._items[idx]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __contains__(self, item: T) -> bool:
+        k = self._key(item)
+        idx = bisect.bisect_left(self._keys, k)
+        while idx < len(self._keys) and self._keys[idx] == k:
+            if self._items[idx] == item:
+                return True
+            idx += 1
+        return False
+
+    def __repr__(self) -> str:
+        return f"SortedKeyList({self._items!r})"

@@ -1,0 +1,32 @@
+"""Relations, tuples, continuous-query objects and update streams."""
+
+from repro.engine.events import DataEvent, EventKind, QueryEvent, insertions, replay_query_events
+from repro.engine.queries import (
+    BandJoinQuery,
+    SelectJoinQuery,
+    band_interval,
+    brute_force_band_join,
+    brute_force_select_join,
+    range_a_interval,
+    range_c_interval,
+)
+from repro.engine.table import RTuple, STuple, TableR, TableS
+
+__all__ = [
+    "BandJoinQuery",
+    "DataEvent",
+    "EventKind",
+    "QueryEvent",
+    "RTuple",
+    "STuple",
+    "SelectJoinQuery",
+    "TableR",
+    "TableS",
+    "band_interval",
+    "brute_force_band_join",
+    "brute_force_select_join",
+    "insertions",
+    "range_a_interval",
+    "range_c_interval",
+    "replay_query_events",
+]

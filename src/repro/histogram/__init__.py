@@ -1,0 +1,33 @@
+"""Histograms for interval stabbing counts (Section 3.3)."""
+
+from repro.histogram.builders import (
+    SSIHistogramReport,
+    equal_width_histogram,
+    optimal_histogram,
+    ssi_histogram,
+)
+from repro.histogram.errors import average_relative_error, mean_squared_relative_error
+from repro.histogram.frequency import Density, IntervalFrequency
+from repro.histogram.kmeans import (
+    KMeansResult,
+    contiguous_partition_dp,
+    kmeans_1d_dp,
+    kmeans_1d_lloyd,
+)
+from repro.histogram.step import StepFunction
+
+__all__ = [
+    "Density",
+    "IntervalFrequency",
+    "KMeansResult",
+    "SSIHistogramReport",
+    "StepFunction",
+    "average_relative_error",
+    "contiguous_partition_dp",
+    "equal_width_histogram",
+    "kmeans_1d_dp",
+    "kmeans_1d_lloyd",
+    "mean_squared_relative_error",
+    "optimal_histogram",
+    "ssi_histogram",
+]

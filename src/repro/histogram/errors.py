@@ -1,0 +1,61 @@
+"""Error metrics for interval histograms (Section 3.3 / Figure 12).
+
+Two views of histogram quality:
+
+* :func:`mean_squared_relative_error` — the analytic objective
+  E^2(h, f) = integral of |h - f|^2 / |f|^2 * phi(x) dx that OPTIMAL
+  minimizes and SSI-HIST approximates (denominators are clamped at 1 where
+  f vanishes, matching the builders' weights);
+* :func:`average_relative_error` — the empirical measurement of Figure 12:
+  the mean relative error of estimated vs true stabbing counts over a set
+  of query points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.histogram.frequency import Density, IntervalFrequency
+from repro.histogram.step import StepFunction
+
+
+def mean_squared_relative_error(
+    histogram: StepFunction,
+    frequency: IntervalFrequency,
+    phi: Optional[Density] = None,
+) -> float:
+    """E^2(h, f_I): phi-weighted mean squared relative error."""
+    phi = phi if phi is not None else Density.uniform_over(frequency)
+    f = frequency.step_function()
+    points = sorted(
+        set(f.boundaries)
+        | set(histogram.boundaries)
+        | {phi.lo, phi.hi}
+    )
+    total = 0.0
+    for a, b in zip(points, points[1:]):
+        mass = phi.mass(a, b)
+        if mass == 0.0:
+            continue
+        mid = (a + b) / 2.0
+        true = f(mid)
+        est = histogram(mid)
+        total += mass * (est - true) ** 2 / max(true, 1.0) ** 2
+    return total
+
+
+def average_relative_error(
+    histogram: StepFunction,
+    frequency: IntervalFrequency,
+    points: Sequence[float],
+) -> float:
+    """Mean of |h(x) - f(x)| / f(x) over query points (Figure 12's metric);
+    points where f vanishes are measured against a count of 1."""
+    if not points:
+        raise ValueError("need at least one query point")
+    total = 0.0
+    for x in points:
+        true = frequency.count(x)
+        est = histogram(x)
+        total += abs(est - true) / max(true, 1.0)
+    return total / len(points)

@@ -1,0 +1,315 @@
+"""Weighted one-dimensional k-means clustering.
+
+Lemma 5 reduces per-group histogram construction to weighted k-means on the
+break-point values ``y_l`` with weights ``u_l = w_l / y_l^2``.  In one
+dimension optimal clusters are contiguous runs of the sorted values, so two
+solvers are provided:
+
+* :func:`kmeans_1d_dp` — exact dynamic program over contiguous runs,
+  O(m^2 k) with O(1) per-cell cost via prefix sums (used by tests and for
+  small groups);
+* :func:`kmeans_1d_lloyd` — the iterative Lloyd heuristic the paper
+  recommends in practice, with quantile initialization, O(iters * m).
+
+Both return cluster *cut indices* (the contiguous partition) plus centers
+and total cost, so the histogram builder can translate clusters directly
+into bucket boundaries.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """A contiguous clustering of sorted 1-D values.
+
+    ``cuts`` has ``k + 1`` entries with ``cuts[0] == 0`` and
+    ``cuts[-1] == m``; cluster j covers indices ``cuts[j]..cuts[j+1]-1``.
+    """
+
+    cuts: Tuple[int, ...]
+    centers: Tuple[float, ...]
+    cost: float
+
+    @property
+    def k(self) -> int:
+        return len(self.centers)
+
+
+class _PrefixCost:
+    """O(1) weighted-SSE cost of any contiguous run via prefix sums."""
+
+    def __init__(self, values: Sequence[float], weights: Sequence[float]):
+        self.w = list(itertools.accumulate(weights, initial=0.0))
+        self.wy = list(
+            itertools.accumulate((w * y for y, w in zip(values, weights)), initial=0.0)
+        )
+        self.wyy = list(
+            itertools.accumulate((w * y * y for y, w in zip(values, weights)), initial=0.0)
+        )
+
+    def center(self, i: int, j: int) -> float:
+        """Weighted mean of values[i:j]."""
+        w = self.w[j] - self.w[i]
+        if w <= 0.0:
+            return 0.0
+        return (self.wy[j] - self.wy[i]) / w
+
+    def cost(self, i: int, j: int) -> float:
+        """min_c sum of w_l (y_l - c)^2 over values[i:j]."""
+        w = self.w[j] - self.w[i]
+        if w <= 0.0:
+            return 0.0
+        wy = self.wy[j] - self.wy[i]
+        wyy = self.wyy[j] - self.wyy[i]
+        return max(0.0, wyy - wy * wy / w)
+
+
+def _validate(values: Sequence[float], weights: Sequence[float], k: int) -> None:
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    if not values:
+        raise ValueError("cannot cluster an empty sequence")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if any(values[i] > values[i + 1] for i in range(len(values) - 1)):
+        raise ValueError("values must be sorted ascending")
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be nonnegative")
+
+
+def kmeans_1d_dp(
+    values: Sequence[float], weights: Sequence[float], k: int
+) -> KMeansResult:
+    """Exact weighted 1-D k-means by dynamic programming.
+
+    Optimal 1-D clusters are contiguous runs of the *sorted* values, so this
+    validates sortedness and delegates to :func:`contiguous_partition_dp`.
+    O(m^2 k) time, O(m k) space.
+    """
+    _validate(values, weights, k)
+    return contiguous_partition_dp(values, weights, k)
+
+
+def contiguous_partition_dp(
+    values: Sequence[float], weights: Sequence[float], k: int
+) -> KMeansResult:
+    """Optimal partition of a sequence into k contiguous runs minimizing
+    weighted within-run SSE.
+
+    Unlike k-means this does *not* assume sorted values: it is also the
+    inner engine of the OPTIMAL histogram, whose buckets must be contiguous
+    in x-order even though the frequency values along x are not monotone.
+
+    The O(m^2 k) table is filled with numpy-vectorized inner minimizations,
+    which keeps histogram-scale inputs (hundreds of segments, tens of
+    buckets) comfortably fast.
+    """
+    import numpy as np
+
+    m = len(values)
+    k = min(k, m)
+    y = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    pw = np.concatenate(([0.0], np.cumsum(w)))
+    pwy = np.concatenate(([0.0], np.cumsum(w * y)))
+    pwyy = np.concatenate(([0.0], np.cumsum(w * y * y)))
+
+    def run_cost(splits: "np.ndarray", i: int) -> "np.ndarray":
+        """Cost of the run (split, i] for a vector of split positions."""
+        dw = pw[i] - pw[splits]
+        dwy = pwy[i] - pwy[splits]
+        dwyy = pwyy[i] - pwyy[splits]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = dwyy - np.where(dw > 0.0, dwy * dwy / np.where(dw > 0.0, dw, 1.0), 0.0)
+        return np.maximum(out, 0.0)
+
+    inf = math.inf
+    dp_prev = np.full(m + 1, inf)
+    dp_prev[0] = 0.0
+    parents = []
+    for j in range(1, k + 1):
+        dp_cur = np.full(m + 1, inf)
+        parent = np.zeros(m + 1, dtype=int)
+        for i in range(j, m + 1):
+            splits = np.arange(j - 1, i)
+            cand = dp_prev[splits] + run_cost(splits, i)
+            best = int(np.argmin(cand))
+            dp_cur[i] = cand[best]
+            parent[i] = splits[best]
+        parents.append(parent)
+        dp_prev = dp_cur
+    cuts = [m]
+    i = m
+    for j in range(k, 0, -1):
+        i = int(parents[j - 1][i])
+        cuts.append(i)
+    cuts.reverse()
+    pc = _PrefixCost(values, weights)
+    centers = tuple(pc.center(a, b) for a, b in zip(cuts, cuts[1:]))
+    return KMeansResult(tuple(cuts), centers, float(dp_prev[m]))
+
+
+def agglomerate_segments(
+    values: Sequence[float], weights: Sequence[float], target: int
+) -> Tuple[List[float], List[float], List[int]]:
+    """Greedy bottom-up merging of adjacent segments down to ``target``.
+
+    Repeatedly merges the adjacent pair whose merge increases the weighted
+    SSE the least, so sharp value changes (histogram spikes) survive
+    coarsening.  Returns merged values (weighted means), merged weights, and
+    the cut indices into the original sequence.  Used to keep the DP solvers
+    tractable on break-point sets with tens of thousands of segments.
+    """
+    m = len(values)
+    if m != len(weights):
+        raise ValueError("values and weights must have equal length")
+    if target < 1:
+        raise ValueError("target must be >= 1")
+    if m <= target:
+        return list(values), list(weights), list(range(m + 1))
+
+    import heapq
+
+    # Doubly-linked segments over original indices; seg i covers
+    # [start[i], end[i]) with aggregated (w, wy, wyy).
+    prev = list(range(-1, m - 1))
+    nxt = list(range(1, m + 1))
+    alive = [True] * m
+    agg_w = [float(w) for w in weights]
+    agg_wy = [w * y for y, w in zip(values, weights)]
+    agg_wyy = [w * y * y for y, w in zip(values, weights)]
+    start = list(range(m))
+    end = list(range(1, m + 1))
+
+    def seg_cost(i: int) -> float:
+        if agg_w[i] <= 0.0:
+            return 0.0
+        return max(0.0, agg_wyy[i] - agg_wy[i] ** 2 / agg_w[i])
+
+    def merge_penalty(i: int, j: int) -> float:
+        w = agg_w[i] + agg_w[j]
+        if w <= 0.0:
+            return 0.0
+        wy = agg_wy[i] + agg_wy[j]
+        wyy = agg_wyy[i] + agg_wyy[j]
+        merged = max(0.0, wyy - wy * wy / w)
+        return merged - seg_cost(i) - seg_cost(j)
+
+    version = [0] * m
+    heap: List[Tuple[float, int, int, int, int]] = []
+
+    def push(i: int, j: int) -> None:
+        heapq.heappush(heap, (merge_penalty(i, j), version[i], version[j], i, j))
+
+    for i in range(m - 1):
+        push(i, i + 1)
+    remaining = m
+    while remaining > target and heap:
+        __, vi, vj, i, j = heapq.heappop(heap)
+        if not (alive[i] and alive[j]) or nxt[i] != j:
+            continue  # stale pair
+        if version[i] != vi or version[j] != vj:
+            continue  # stale priority: one side changed since the push
+        # Merge j into i.
+        agg_w[i] += agg_w[j]
+        agg_wy[i] += agg_wy[j]
+        agg_wyy[i] += agg_wyy[j]
+        end[i] = end[j]
+        alive[j] = False
+        nxt[i] = nxt[j]
+        version[i] += 1
+        if nxt[i] < m:
+            prev[nxt[i]] = i
+            push(i, nxt[i])
+        if prev[i] >= 0:
+            push(prev[i], i)
+        remaining -= 1
+
+    out_values: List[float] = []
+    out_weights: List[float] = []
+    cuts: List[int] = []
+    i = 0
+    while i < m:
+        if alive[i]:
+            cuts.append(start[i])
+            if agg_w[i] > 0.0:
+                out_values.append(agg_wy[i] / agg_w[i])
+            else:
+                out_values.append(values[start[i]])
+            out_weights.append(agg_w[i])
+            i = end[i]
+        else:  # pragma: no cover - skipped segments are absorbed
+            i += 1
+    cuts.append(m)
+    return out_values, out_weights, cuts
+
+
+def kmeans_1d_lloyd(
+    values: Sequence[float],
+    weights: Sequence[float],
+    k: int,
+    *,
+    max_iters: int = 60,
+    tol: float = 1e-12,
+) -> KMeansResult:
+    """Weighted 1-D Lloyd iterations with quantile initialization.
+
+    In one dimension the nearest-center assignment of sorted values is a
+    contiguous partition cut at midpoints between adjacent centers, so each
+    iteration is two linear passes.  Converges to a local optimum; the
+    histogram tests check it never beats :func:`kmeans_1d_dp` and stays
+    within a reasonable factor of it.
+    """
+    _validate(values, weights, k)
+    m = len(values)
+    k = min(k, m)
+    pc = _PrefixCost(values, weights)
+    # Quantile init: centers at the weighted quantiles of the values.
+    total_w = pc.w[m]
+    if total_w <= 0:
+        # All weights zero: any clustering costs zero.
+        cuts = tuple(round(i * m / k) for i in range(k + 1))
+        centers = tuple(values[min(max(c, 0), m - 1)] for c in cuts[:-1])
+        return KMeansResult(cuts, centers, 0.0)
+    centers = []
+    for j in range(k):
+        target = total_w * (2 * j + 1) / (2 * k)
+        idx = bisect.bisect_left(pc.w, target, 1, m)
+        centers.append(values[idx - 1])
+    centers.sort()
+
+    cost = math.inf
+    cuts: List[int] = []
+    for __ in range(max_iters):
+        # Assignment: cut sorted values at midpoints between centers.
+        cuts = [0]
+        for a, b in zip(centers, centers[1:]):
+            midpoint = (a + b) / 2.0
+            cuts.append(max(cuts[-1], bisect.bisect_right(values, midpoint, cuts[-1], m)))
+        cuts.append(m)
+        # Update step + new cost.
+        new_centers = []
+        new_cost = 0.0
+        for a, b in zip(cuts, cuts[1:]):
+            if a == b:
+                new_centers.append(centers[len(new_centers)] if len(new_centers) < len(centers) else values[-1])
+                continue
+            new_centers.append(pc.center(a, b))
+            new_cost += pc.cost(a, b)
+        centers = new_centers
+        if cost - new_cost <= tol:
+            cost = new_cost
+            break
+        cost = new_cost
+    centers_out = tuple(
+        pc.center(a, b) if b > a else centers[i]
+        for i, (a, b) in enumerate(zip(cuts, cuts[1:]))
+    )
+    return KMeansResult(tuple(cuts), centers_out, cost)

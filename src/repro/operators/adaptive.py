@@ -1,0 +1,134 @@
+"""Cost-based adaptive select-join processing (Section 6 future work).
+
+The paper closes with: "we are developing a general cost-based
+optimization framework for identifying the best processing strategy ...
+we are making our system adaptive at much finer granularity --- every
+incoming data update event can potentially be processed using a different
+strategy."
+
+This processor maintains both SJ-SelectFirst and SJ-SSI structures and
+picks per event using the Theorem 4 cost model:
+
+* SJ-SelectFirst costs ~ n'(event) * log m, where n' is the number of
+  queries whose rangeA contains the event's A value;
+* SJ-SSI costs ~ tau * (log m + g) plus the shared output.
+
+n' is *estimated* with the Section 3.3 machinery: an SSI-HIST histogram
+over the rangeA intervals ("estimating the number of continuous join
+queries whose local selection conditions are satisfied by an incoming
+tuple" is the use case the paper gives for it).  The histogram is rebuilt
+lazily after enough subscription churn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.queries import SelectJoinQuery
+from repro.engine.table import RTuple, TableR, TableS
+from repro.histogram import ssi_histogram
+from repro.histogram.step import StepFunction
+from repro.operators.select_join import SelectResults, SJSelectFirst, SJSSI
+
+
+class AdaptiveSelectJoinProcessor:
+    """Per-event choice between SJ-SelectFirst and SJ-SSI.
+
+    Parameters
+    ----------
+    ssi_group_cost:
+        Relative cost of one SSI group probe versus one SJ-SelectFirst
+        candidate probe; SJ-SSI is chosen when
+        ``estimated n' > ssi_group_cost * tau``.  Both probes are one
+        composite-index descent plus output, so the default of 1.0 reflects
+        the model; tune for a platform if needed.
+    histogram_buckets / rebuild_every:
+        Resolution and refresh cadence of the rangeA selectivity histogram.
+    """
+
+    name = "ADAPTIVE"
+
+    def __init__(
+        self,
+        table_s: TableS,
+        table_r: Optional[TableR] = None,
+        *,
+        epsilon: float = 1.0,
+        ssi_group_cost: float = 1.0,
+        histogram_buckets: int = 32,
+        rebuild_every: int = 512,
+    ):
+        self.table_s = table_s
+        self.table_r = table_r if table_r is not None else TableR()
+        self._select_first = SJSelectFirst(table_s, self.table_r)
+        self._ssi = SJSSI(table_s, self.table_r, epsilon=epsilon, symmetric=False)
+        self._ssi_group_cost = ssi_group_cost
+        self._buckets = histogram_buckets
+        self._rebuild_every = rebuild_every
+        self._histogram: Optional[StepFunction] = None
+        self._updates_since_histogram = 0
+        self.chosen: Dict[str, int] = {"SJ-S": 0, "SJ-SSI": 0}
+
+    # -- maintenance ---------------------------------------------------------
+
+    def add_query(self, query: SelectJoinQuery) -> None:
+        self._select_first.add_query(query)
+        self._ssi.add_query(query)
+        self._note_churn()
+
+    def remove_query(self, query: SelectJoinQuery) -> None:
+        self._select_first.remove_query(query)
+        self._ssi.remove_query(query)
+        self._note_churn()
+
+    @property
+    def query_count(self) -> int:
+        return self._ssi.query_count
+
+    @property
+    def group_count(self) -> int:
+        return self._ssi.group_count
+
+    def _note_churn(self) -> None:
+        self._updates_since_histogram += 1
+        # Refresh after the configured cadence, or sooner while the
+        # subscription set is still small relative to the churn (so bulk
+        # loading converges to an accurate histogram in O(log n) rebuilds).
+        threshold = min(self._rebuild_every, max(8, self.query_count // 2))
+        if self._histogram is None or self._updates_since_histogram >= threshold:
+            self._refresh_histogram()
+
+    def _refresh_histogram(self) -> None:
+        self._updates_since_histogram = 0
+        queries = self._ssi.queries
+        if not queries:
+            self._histogram = None
+            return
+        intervals = [query.range_a for query in queries]
+        # Cost decisions need absolute candidate counts, so the histogram is
+        # built under the absolute (V-optimal) per-group objective rather
+        # than the relative one used for Figure 12.
+        self._histogram = ssi_histogram(
+            intervals, self._buckets, objective="absolute"
+        ).histogram
+
+    # -- estimation + processing ---------------------------------------------
+
+    def estimate_candidates(self, a: float) -> float:
+        """Estimated n': queries whose rangeA contains ``a``."""
+        if self._histogram is None:
+            return 0.0
+        return max(self._histogram(a), 0.0)
+
+    def choose(self, r: RTuple) -> str:
+        """The strategy the cost model picks for this event."""
+        estimated = self.estimate_candidates(r.a)
+        threshold = self._ssi_group_cost * max(self._ssi.group_count, 1)
+        return "SJ-S" if estimated <= threshold else "SJ-SSI"
+
+    def process_r(self, r: RTuple) -> SelectResults:
+        strategy = self.choose(r)
+        self.chosen[strategy] += 1
+        if strategy == "SJ-S":
+            return self._select_first.process_r(r)
+        return self._ssi.process_r(r)

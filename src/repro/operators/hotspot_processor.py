@@ -1,0 +1,293 @@
+"""Hotspot-based query processing (Section 2.2 applied to Section 3; Fig 9).
+
+The "purist" SSI strategies apply group processing to *every* stabbing
+group, paying per-group overhead even for tiny groups.  The hotspot-based
+processors instead maintain a :class:`~repro.core.hotspot_tracker.
+HotspotTracker` over the query ranges and
+
+* run the SSI per-group probe only on the hotspot groups (at most 2/alpha of
+  them, so O(alpha^-1 (log m + g(n)) + k) for the hotspot queries), and
+* fall back to a traditional algorithm for the scattered remainder
+  (SJ-SelectFirst for select-joins, a per-query window scan for band joins),
+
+exactly the TRADITIONAL vs HOTSPOT-BASED comparison of Figure 9.  The
+per-hotspot index structures (an R-tree of query rectangles, or the two
+endpoint orders for band joins) are built on promotion and dropped on
+demotion via the tracker's listener callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.hotspot_tracker import HotspotTracker
+from repro.core.partition_base import DynamicGroup
+from repro.dstruct.interval_tree import IntervalTree
+from repro.dstruct.rtree import RTree
+from repro.engine.queries import (
+    BandJoinQuery,
+    SelectJoinQuery,
+    band_interval,
+    range_c_interval,
+)
+from repro.engine.table import RTuple, STuple, TableR, TableS
+from repro.operators.band_join import (
+    BandResults,
+    _BandGroupIndex,
+    probe_band_group_r,
+)
+from repro.operators.select_join import SelectResults, probe_select_group_r
+
+
+class HotspotSelectJoinProcessor:
+    """HOTSPOT-BASED select-join processing: SJ-SSI on the hotspots,
+    SJ-SelectFirst on the scattered queries."""
+
+    name = "HOTSPOT-BASED"
+
+    def __init__(
+        self,
+        table_s: TableS,
+        table_r: Optional[TableR] = None,
+        *,
+        alpha: float,
+        epsilon: float = 1.0,
+        rtree_fanout: int = 16,
+    ):
+        self.table_s = table_s
+        self.table_r = table_r if table_r is not None else TableR()
+        self._fanout = rtree_fanout
+        self._queries: Dict[int, SelectJoinQuery] = {}
+        # Hotspot side: one R-tree of query rectangles per hotspot group.
+        self._hot_rtrees: Dict[int, RTree] = {}
+        # Scattered side: SJ-SelectFirst structures over scattered queries.
+        self._scattered: Dict[int, SelectJoinQuery] = {}
+        self._scattered_a: IntervalTree[SelectJoinQuery] = IntervalTree()
+        self.tracker: HotspotTracker[SelectJoinQuery] = HotspotTracker(
+            alpha=alpha, epsilon=epsilon, interval_of=range_c_interval
+        )
+        self.tracker.add_listener(self)
+
+    # -- tracker listener callbacks ------------------------------------------
+
+    def on_promoted(self, group: DynamicGroup[SelectJoinQuery]) -> None:
+        rtree: RTree[SelectJoinQuery] = RTree(self._fanout)
+        for query in group:
+            rtree.insert(query.rect, query)
+            self._drop_scattered(query)
+        self._hot_rtrees[id(group)] = rtree
+
+    def on_demoted(self, group: DynamicGroup[SelectJoinQuery]) -> None:
+        del self._hot_rtrees[id(group)]
+        for query in group:
+            self._add_scattered(query)
+
+    def on_hot_item_added(self, group: DynamicGroup[SelectJoinQuery], query: SelectJoinQuery) -> None:
+        self._hot_rtrees[id(group)].insert(query.rect, query)
+
+    def on_hot_item_removed(self, group: DynamicGroup[SelectJoinQuery], query: SelectJoinQuery) -> None:
+        self._hot_rtrees[id(group)].remove(query.rect, query)
+
+    def _add_scattered(self, query: SelectJoinQuery) -> None:
+        if id(query) not in self._scattered:
+            self._scattered[id(query)] = query
+            self._scattered_a.insert(query.range_a, query)
+
+    def _drop_scattered(self, query: SelectJoinQuery) -> None:
+        if id(query) in self._scattered:
+            del self._scattered[id(query)]
+            self._scattered_a.remove(query.range_a, query)
+
+    # -- query maintenance -------------------------------------------------------
+
+    def add_query(self, query: SelectJoinQuery) -> None:
+        if query.qid in self._queries:
+            raise ValueError(f"duplicate query id {query.qid}")
+        self._queries[query.qid] = query
+        self.tracker.insert(query)
+        if not self.tracker.is_hotspot_item(query):
+            self._add_scattered(query)
+
+    def remove_query(self, query: SelectJoinQuery) -> None:
+        del self._queries[query.qid]
+        self._drop_scattered(query)
+        self.tracker.delete(query)
+
+    @property
+    def query_count(self) -> int:
+        return len(self._queries)
+
+    @property
+    def hotspot_coverage(self) -> float:
+        return self.tracker.hotspot_coverage
+
+    # -- event processing ------------------------------------------------------------
+
+    def process_r(self, r: RTuple) -> SelectResults:
+        results: SelectResults = {}
+        # Hotspot queries: SSI group probes, one per hotspot.
+        for group in self.tracker.hotspot_groups:
+            probe_select_group_r(
+                self.table_s.by_bc, r, group.stabbing_point,
+                self._hot_rtrees[id(group)], results,
+            )
+        # Scattered queries: SJ-SelectFirst.
+        for __, query in self._scattered_a.iter_stab(r.a):
+            cur = self.table_s.by_bc.cursor_ge((r.b, query.range_c.lo))
+            hits = cur.collect_forward_prefix_le(r.b, query.range_c.hi) if cur.valid else []
+            if hits:
+                results[query] = hits
+        return results
+
+    def process_s(self, s: STuple):
+        """Symmetric S-arrival processing, one composite-index scan per
+        query passing the C selection (traditional; the hotspot tracker is
+        keyed on rangeC projections, which group R-side probes only)."""
+        results = {}
+        for query in self._queries.values():
+            if not query.range_c.contains(s.c):
+                continue
+            cur = self.table_r.by_ba.cursor_ge((s.b, query.range_a.lo))
+            hits = cur.collect_forward_prefix_le(s.b, query.range_a.hi) if cur.valid else []
+            if hits:
+                results[query] = hits
+        return results
+
+    def validate(self) -> None:
+        """Check hot/scattered bookkeeping against the tracker (tests)."""
+        self.tracker.validate()
+        hot = {id(q) for g in self.tracker.hotspot_groups for q in g}
+        assert hot.isdisjoint(self._scattered.keys())
+        assert len(hot) + len(self._scattered) == len(self._queries)
+        assert set(self._hot_rtrees) == {id(g) for g in self.tracker.hotspot_groups}
+        for group in self.tracker.hotspot_groups:
+            assert len(self._hot_rtrees[id(group)]) == group.size
+
+
+class TraditionalSelectJoinProcessor:
+    """TRADITIONAL baseline of Figure 9: plain SJ-SelectFirst over all
+    queries, indifferent to clusteredness."""
+
+    name = "TRADITIONAL"
+
+    def __init__(self, table_s: TableS, table_r: Optional[TableR] = None):
+        from repro.operators.select_join import SJSelectFirst
+
+        self._inner = SJSelectFirst(table_s, table_r)
+
+    def add_query(self, query: SelectJoinQuery) -> None:
+        self._inner.add_query(query)
+
+    def remove_query(self, query: SelectJoinQuery) -> None:
+        self._inner.remove_query(query)
+
+    @property
+    def query_count(self) -> int:
+        return self._inner.query_count
+
+    def process_r(self, r: RTuple) -> SelectResults:
+        return self._inner.process_r(r)
+
+
+class HotspotBandJoinProcessor:
+    """Hotspot-based band-join processing: BJ-SSI per-group probes on the
+    hotspots, per-query ordered-index scans (BJ-QOuter style) on the
+    scattered remainder."""
+
+    name = "HOTSPOT-BASED-BJ"
+
+    def __init__(
+        self,
+        table_s: TableS,
+        table_r: Optional[TableR] = None,
+        *,
+        alpha: float,
+        epsilon: float = 1.0,
+    ):
+        self.table_s = table_s
+        self.table_r = table_r if table_r is not None else TableR()
+        self._queries: Dict[int, BandJoinQuery] = {}
+        self._hot_indexes: Dict[int, _BandGroupIndex] = {}
+        self._scattered: Dict[int, BandJoinQuery] = {}
+        self.tracker: HotspotTracker[BandJoinQuery] = HotspotTracker(
+            alpha=alpha, epsilon=epsilon, interval_of=band_interval
+        )
+        self.tracker.add_listener(self)
+
+    # -- tracker listener callbacks ---------------------------------------------
+
+    def on_promoted(self, group: DynamicGroup[BandJoinQuery]) -> None:
+        index = _BandGroupIndex()
+        for query in group:
+            index.add(query)
+            self._scattered.pop(id(query), None)
+        self._hot_indexes[id(group)] = index
+
+    def on_demoted(self, group: DynamicGroup[BandJoinQuery]) -> None:
+        del self._hot_indexes[id(group)]
+        for query in group:
+            self._scattered[id(query)] = query
+
+    def on_hot_item_added(self, group: DynamicGroup[BandJoinQuery], query: BandJoinQuery) -> None:
+        self._hot_indexes[id(group)].add(query)
+
+    def on_hot_item_removed(self, group: DynamicGroup[BandJoinQuery], query: BandJoinQuery) -> None:
+        self._hot_indexes[id(group)].remove(query)
+
+    # -- query maintenance ------------------------------------------------------------
+
+    def add_query(self, query: BandJoinQuery) -> None:
+        if query.qid in self._queries:
+            raise ValueError(f"duplicate query id {query.qid}")
+        self._queries[query.qid] = query
+        self.tracker.insert(query)
+        if not self.tracker.is_hotspot_item(query):
+            self._scattered[id(query)] = query
+
+    def remove_query(self, query: BandJoinQuery) -> None:
+        del self._queries[query.qid]
+        self._scattered.pop(id(query), None)
+        self.tracker.delete(query)
+
+    @property
+    def query_count(self) -> int:
+        return len(self._queries)
+
+    @property
+    def hotspot_coverage(self) -> float:
+        return self.tracker.hotspot_coverage
+
+    # -- event processing ----------------------------------------------------------------
+
+    def process_r(self, r: RTuple) -> BandResults:
+        results: BandResults = {}
+        for group in self.tracker.hotspot_groups:
+            probe_band_group_r(
+                self.table_s.by_b, r, group.stabbing_point,
+                self._hot_indexes[id(group)], results,
+            )
+        for query in self._scattered.values():
+            window = query.s_window(r)
+            hits = self.table_s.by_b.range_values(window.lo, window.hi)
+            if hits:
+                results[query] = hits
+        return results
+
+    def process_s(self, s: STuple):
+        """Symmetric S-arrival processing: per-query window scan over R
+        (traditional; the hotspot structures group R-side probes only)."""
+        results = {}
+        for query in self._queries.values():
+            window = query.r_window(s)
+            hits = self.table_r.by_b.range_values(window.lo, window.hi)
+            if hits:
+                results[query] = hits
+        return results
+
+    def validate(self) -> None:
+        self.tracker.validate()
+        hot = {id(q) for g in self.tracker.hotspot_groups for q in g}
+        assert hot.isdisjoint(self._scattered.keys())
+        assert len(hot) + len(self._scattered) == len(self._queries)
+        for group in self.tracker.hotspot_groups:
+            assert len(self._hot_indexes[id(group)].by_lo) == group.size

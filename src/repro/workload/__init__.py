@@ -1,0 +1,28 @@
+"""Synthetic workload generators matching the paper's Table 1."""
+
+from repro.workload.generator import (
+    clustered_intervals,
+    make_band_join_queries,
+    make_select_join_queries,
+    make_tables,
+    mixed_query_stream,
+    r_insert_events,
+    spread_anchors,
+)
+from repro.workload.params import WorkloadParams, bench_scale
+from repro.workload.zipf import ZipfSampler, coverage_curve, zipf_weights
+
+__all__ = [
+    "WorkloadParams",
+    "ZipfSampler",
+    "bench_scale",
+    "clustered_intervals",
+    "coverage_curve",
+    "make_band_join_queries",
+    "make_select_join_queries",
+    "make_tables",
+    "mixed_query_stream",
+    "r_insert_events",
+    "spread_anchors",
+    "zipf_weights",
+]

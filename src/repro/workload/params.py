@@ -1,0 +1,95 @@
+"""Experimental parameters (Table 1 of the paper).
+
+The paper's workload: two 100,000-tuple tables and 100,000 initial
+continuous queries over an integer domain [0, 10000], with
+
+============================  =======================
+Join attribute R.B            Uni(0, 10000)
+Local selection R.A, S.C      Uni(0, 10000)
+Join attribute S.B            Normal(5000, 1000)
+Midpoint of rangeA_i          Normal(mu1, sigma1^2)
+Length of rangeA_i, rangeC_i  Normal(mu2, sigma2^2)
+Midpoint of rangeB_i/rangeC_i Uni(0, 10000)
+Length of rangeB_i            Normal(mu3, sigma3^2)
+============================  =======================
+
+The mus and sigmas "adjust various input characteristics that affect
+performance, such as selectivities of incoming events against continuous
+queries as well as the degree of overlap among continuous queries".
+
+Our benchmarks default to scaled-down sizes so every figure regenerates in
+seconds on a laptop; ``REPRO_BENCH_SCALE`` (a float multiplier, default 1.0)
+scales the table and query counts back up towards the paper's.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+
+DOMAIN_LO = 0.0
+DOMAIN_HI = 10_000.0
+
+
+def bench_scale() -> float:
+    """Benchmark size multiplier from the REPRO_BENCH_SCALE env var."""
+    raw = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    try:
+        scale = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_BENCH_SCALE must be a number, got {raw!r}") from exc
+    if scale <= 0:
+        raise ValueError("REPRO_BENCH_SCALE must be positive")
+    return scale
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Table 1, parameterized.
+
+    The defaults mirror the paper's distributions; table/query counts are
+    the scaled-down benchmark defaults (multiply by ``bench_scale()``).
+    """
+
+    seed: int = 0
+    domain_lo: float = DOMAIN_LO
+    domain_hi: float = DOMAIN_HI
+    table_size: int = 10_000
+    query_count: int = 10_000
+    # S.B ~ Normal(mu, sigma) discretized, clipped to the domain; controls
+    # how many S-tuples join with an incoming event (Figure 8(iv)).
+    s_b_mean: float = 5_000.0
+    s_b_sigma: float = 1_000.0
+    # rangeA: midpoint Normal(mu1, sigma1), length Normal(mu2, sigma2);
+    # controls event selectivity on local R.A selections (Figure 8(iii)).
+    range_a_mid_mean: float = 5_000.0
+    range_a_mid_sigma: float = 2_000.0
+    range_a_len_mean: float = 1_000.0
+    range_a_len_sigma: float = 200.0
+    # rangeC / rangeB: midpoints uniform; lengths Normal(mu, sigma); the
+    # length distribution controls the stabbing number (Figures 7(ii),
+    # 10(ii)).
+    range_c_len_mean: float = 1_000.0
+    range_c_len_sigma: float = 200.0
+    band_len_mean: float = 200.0
+    band_len_sigma: float = 50.0
+    integer_valued: bool = True
+    # Number of distinct join-key values; R.B events and S.B snap to this
+    # grid.  Controls the equality-join fan-out: each event joins roughly
+    # ``table_size / join_key_grid`` S-tuples (the paper's events join ~1%
+    # of S).  None leaves join keys on the full integer domain.
+    join_key_grid: int | None = 100
+
+    def scaled(self, scale: float | None = None) -> "WorkloadParams":
+        """Scale table and query counts by ``scale`` (default: env var)."""
+        scale = bench_scale() if scale is None else scale
+        return replace(
+            self,
+            table_size=max(1, int(self.table_size * scale)),
+            query_count=max(1, int(self.query_count * scale)),
+        )
+
+    @property
+    def domain_width(self) -> float:
+        return self.domain_hi - self.domain_lo

@@ -1,0 +1,56 @@
+"""Zipf-distributed group popularity (Section 2.2, Figure 2).
+
+The motivation for hotspots: if stabbing-group sizes follow a Zipf law with
+exponent beta ~= 1, a small number of top groups covers most queries.
+Figure 2 plots the coverage of the top-k groups out of 5000 for
+beta in {1.0, 1.1, 1.2}; :func:`coverage_curve` reproduces it analytically
+and :func:`sample_group` draws group assignments for synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import List, Sequence
+
+
+def zipf_weights(group_count: int, beta: float) -> List[float]:
+    """Unnormalized Zipf weights: the k-th largest group has weight
+    proportional to k^-beta (k starting at 1)."""
+    if group_count < 1:
+        raise ValueError("need at least one group")
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    return [(k + 1) ** -beta for k in range(group_count)]
+
+
+def coverage_curve(group_count: int, beta: float, tops: Sequence[int]) -> List[float]:
+    """Fraction of queries covered by the top-k groups, for each k in
+    ``tops`` (the series of Figure 2)."""
+    weights = zipf_weights(group_count, beta)
+    prefix = list(itertools.accumulate(weights))
+    total = prefix[-1]
+    out: List[float] = []
+    for k in tops:
+        if k < 1:
+            raise ValueError("top-k requires k >= 1")
+        k = min(k, group_count)
+        out.append(prefix[k - 1] / total)
+    return out
+
+
+class ZipfSampler:
+    """Draws group indices (0 = most popular) with Zipf(beta) popularity."""
+
+    def __init__(self, group_count: int, beta: float):
+        weights = zipf_weights(group_count, beta)
+        total = sum(weights)
+        self._cumulative = list(itertools.accumulate(w / total for w in weights))
+
+    def sample(self, rng: random.Random) -> int:
+        return bisect.bisect(self._cumulative, rng.random())
+
+    @property
+    def group_count(self) -> int:
+        return len(self._cumulative)

@@ -1,0 +1,54 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def interval_strategy(
+    lo: float = -100.0, hi: float = 100.0, max_length: float = 50.0
+) -> st.SearchStrategy[Interval]:
+    """Closed intervals with finite float endpoints inside [lo, hi]."""
+
+    def build(start: float, length: float) -> Interval:
+        return Interval(start, min(start + length, hi))
+
+    return st.builds(
+        build,
+        st.floats(min_value=lo, max_value=hi, allow_nan=False, allow_infinity=False),
+        st.floats(min_value=0.0, max_value=max_length, allow_nan=False, allow_infinity=False),
+    )
+
+
+def int_interval_strategy(lo: int = -50, hi: int = 50) -> st.SearchStrategy[Interval]:
+    """Integer-endpoint intervals: small discrete space, high collision rate
+    --- good at shaking out tie-handling bugs."""
+
+    def build(start: int, length: int) -> Interval:
+        return Interval(float(start), float(min(start + length, hi)))
+
+    return st.builds(
+        build,
+        st.integers(min_value=lo, max_value=hi),
+        st.integers(min_value=0, max_value=20),
+    )
+
+
+def interval_lists(min_size: int = 1, max_size: int = 60) -> st.SearchStrategy[list]:
+    return st.lists(int_interval_strategy(), min_size=min_size, max_size=max_size)
+
+
+def fresh_intervals(intervals: list[Interval]) -> list[Interval]:
+    """Copy intervals into distinct objects (the dynamic partitions key items
+    by identity, so shared objects would alias)."""
+    return [Interval(interval.lo, interval.hi) for interval in intervals]

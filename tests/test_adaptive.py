@@ -1,0 +1,105 @@
+"""Tests for the cost-based adaptive select-join processor."""
+
+import random
+
+from repro.core.intervals import Interval
+from repro.engine.queries import SelectJoinQuery, brute_force_select_join
+from repro.engine.table import TableR, TableS
+from repro.operators.adaptive import AdaptiveSelectJoinProcessor
+
+
+def norm(results):
+    return {q.qid: sorted(s.sid for s in rows) for q, rows in results.items()}
+
+
+def make_tables(seed, n_s=300, b_values=15):
+    rng = random.Random(seed)
+    table_s = TableS(order=4)
+    table_r = TableR(order=4)
+    for __ in range(n_s):
+        table_s.add(float(rng.randrange(b_values)), rng.uniform(0, 100))
+    return rng, table_s, table_r
+
+
+def clustered_queries(rng, count):
+    """rangeA midpoints split between a popular region and a sparse one,
+    so events see very different candidate counts."""
+    queries = []
+    for __ in range(count):
+        if rng.random() < 0.8:
+            a_lo = rng.uniform(10, 25)   # popular: events at ~20 hit many
+        else:
+            a_lo = rng.uniform(60, 95)   # sparse
+        c_lo = rng.uniform(0, 90)
+        queries.append(
+            SelectJoinQuery(
+                Interval(a_lo, a_lo + rng.uniform(2, 8)),
+                Interval(c_lo, c_lo + rng.uniform(2, 8)),
+            )
+        )
+    return queries
+
+
+class TestCorrectness:
+    def test_matches_bruteforce_regardless_of_choice(self):
+        rng, table_s, table_r = make_tables(601)
+        processor = AdaptiveSelectJoinProcessor(table_s, table_r, rebuild_every=50)
+        queries = clustered_queries(rng, 250)
+        for query in queries:
+            processor.add_query(query)
+        for __ in range(40):
+            r = table_r.new_row(rng.uniform(0, 100), float(rng.randrange(15)))
+            assert norm(processor.process_r(r)) == norm(
+                brute_force_select_join(queries, r, table_s)
+            )
+
+    def test_removal(self):
+        rng, table_s, table_r = make_tables(602)
+        processor = AdaptiveSelectJoinProcessor(table_s, table_r)
+        queries = clustered_queries(rng, 100)
+        for query in queries:
+            processor.add_query(query)
+        for query in queries[::2]:
+            processor.remove_query(query)
+        assert processor.query_count == 50
+        r = table_r.new_row(20.0, 5.0)
+        assert norm(processor.process_r(r)) == norm(
+            brute_force_select_join(queries[1::2], r, table_s)
+        )
+
+
+class TestAdaptivity:
+    def test_uses_both_strategies_across_event_mix(self):
+        rng, table_s, table_r = make_tables(603)
+        processor = AdaptiveSelectJoinProcessor(table_s, table_r, rebuild_every=50)
+        for query in clustered_queries(rng, 400):
+            processor.add_query(query)
+        # Events in the popular A region (many candidates -> SJ-SSI) and in
+        # the dead zone (few candidates -> SJ-S).
+        for __ in range(15):
+            processor.process_r(table_r.new_row(rng.uniform(12, 25), float(rng.randrange(15))))
+            processor.process_r(table_r.new_row(rng.uniform(30, 55), float(rng.randrange(15))))
+        assert processor.chosen["SJ-SSI"] > 0
+        assert processor.chosen["SJ-S"] > 0
+
+    def test_estimates_track_reality(self):
+        rng, table_s, table_r = make_tables(604)
+        processor = AdaptiveSelectJoinProcessor(table_s, table_r, histogram_buckets=48)
+        queries = clustered_queries(rng, 500)
+        for query in queries:
+            processor.add_query(query)
+        popular = 20.0
+        sparse = 45.0
+        true_popular = sum(1 for q in queries if q.range_a.contains(popular))
+        true_sparse = sum(1 for q in queries if q.range_a.contains(sparse))
+        assert true_popular > 10 * max(true_sparse, 1)
+        assert processor.estimate_candidates(popular) > 3 * (
+            processor.estimate_candidates(sparse) + 1
+        )
+
+    def test_empty_processor(self):
+        __, table_s, table_r = make_tables(605)
+        processor = AdaptiveSelectJoinProcessor(table_s, table_r)
+        r = table_r.new_row(1.0, 1.0)
+        assert processor.process_r(r) == {}
+        assert processor.estimate_candidates(1.0) == 0.0

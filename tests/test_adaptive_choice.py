@@ -1,0 +1,61 @@
+"""Tests for the adaptive processor's choose() decision surface."""
+
+import random
+
+from repro.core.intervals import Interval
+from repro.engine.queries import SelectJoinQuery
+from repro.engine.table import TableR, TableS
+from repro.operators.adaptive import AdaptiveSelectJoinProcessor
+
+
+def build(seed=1, group_cost=1.0):
+    rng = random.Random(seed)
+    table_s = TableS(order=4)
+    table_r = TableR(order=4)
+    for __ in range(200):
+        table_s.add(float(rng.randrange(10)), rng.uniform(0, 100))
+    processor = AdaptiveSelectJoinProcessor(
+        table_s, table_r, ssi_group_cost=group_cost, histogram_buckets=32
+    )
+    return rng, table_r, processor
+
+
+def test_choose_prefers_select_first_in_dead_zones():
+    rng, table_r, processor = build()
+    # All rangeA interest sits around 10; rangeC clusters at one anchor.
+    for __ in range(300):
+        a_lo = rng.normalvariate(10.0, 1.0)
+        processor.add_query(
+            SelectJoinQuery(
+                Interval(a_lo, a_lo + 2.0), Interval(50.0 - rng.random(), 50.0 + rng.random())
+            )
+        )
+    dead = table_r.new_row(80.0, 3.0)
+    hot = table_r.new_row(10.0, 3.0)
+    assert processor.choose(dead) == "SJ-S"
+    assert processor.choose(hot) == "SJ-SSI"
+
+
+def test_group_cost_scales_the_threshold():
+    # A very large group cost makes SJ-S the universal choice.
+    rng, table_r, processor = build(seed=2, group_cost=1e9)
+    for __ in range(200):
+        a_lo = rng.normalvariate(10.0, 1.0)
+        processor.add_query(
+            SelectJoinQuery(Interval(a_lo, a_lo + 2.0), Interval(49.0, 51.0))
+        )
+    assert processor.choose(table_r.new_row(10.0, 3.0)) == "SJ-S"
+
+
+def test_chosen_counters_accumulate():
+    rng, table_r, processor = build(seed=3)
+    for __ in range(200):
+        a_lo = rng.normalvariate(10.0, 1.0)
+        processor.add_query(
+            SelectJoinQuery(Interval(a_lo, a_lo + 2.0), Interval(49.0, 51.0))
+        )
+    for __ in range(4):
+        processor.process_r(table_r.new_row(10.0, 3.0))
+        processor.process_r(table_r.new_row(80.0, 3.0))
+    assert processor.chosen["SJ-SSI"] == 4
+    assert processor.chosen["SJ-S"] == 4

@@ -1,0 +1,204 @@
+"""Tests for the four band-join strategies: equivalence with the brute-force
+oracle under randomized workloads, plus strategy-specific behaviours."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.refined_partition import RefinedStabbingPartition
+from repro.engine.queries import BandJoinQuery, band_interval, brute_force_band_join
+from repro.engine.table import TableR, TableS
+from repro.operators.band_join import (
+    BJDOuter,
+    BJMergeJoin,
+    BJQOuter,
+    BJSSI,
+    make_band_strategies,
+)
+
+STRATEGY_CLASSES = [BJQOuter, BJDOuter, BJMergeJoin, BJSSI]
+
+
+def norm(results):
+    return {
+        query.qid: sorted(row.sid if hasattr(row, "sid") else row.rid for row in rows)
+        for query, rows in results.items()
+    }
+
+
+def make_workload(seed, n_s=120, n_r=40, n_q=60, domain=60.0, band_span=10.0):
+    rng = random.Random(seed)
+    table_s = TableS(order=4)
+    table_r = TableR(order=4)
+    for __ in range(n_s):
+        table_s.add(rng.uniform(0, domain), rng.uniform(0, domain))
+    for __ in range(n_r):
+        table_r.add(rng.uniform(0, domain), rng.uniform(0, domain))
+    queries = []
+    for __ in range(n_q):
+        lo = rng.uniform(-band_span, band_span)
+        queries.append(BandJoinQuery(Interval(lo, lo + rng.uniform(0, band_span / 2))))
+    return rng, table_s, table_r, queries
+
+
+@pytest.mark.parametrize("cls", STRATEGY_CLASSES)
+class TestAgainstOracle:
+    def test_process_r_matches_bruteforce(self, cls):
+        rng, table_s, table_r, queries = make_workload(seed=101)
+        strategy = cls(table_s, table_r)
+        for query in queries:
+            strategy.add_query(query)
+        for __ in range(30):
+            r = table_r.new_row(rng.uniform(0, 60), rng.uniform(0, 60))
+            assert norm(strategy.process_r(r)) == norm(
+                brute_force_band_join(queries, r, table_s)
+            )
+
+    def test_process_s_matches_bruteforce(self, cls):
+        rng, table_s, table_r, queries = make_workload(seed=102)
+        strategy = cls(table_s, table_r)
+        for query in queries:
+            strategy.add_query(query)
+        for __ in range(20):
+            s = table_s.new_row(rng.uniform(0, 60), rng.uniform(0, 60))
+            want = {
+                q.qid: sorted(r.rid for r in table_r if q.matches(r, s))
+                for q in queries
+                if any(q.matches(r, s) for r in table_r)
+            }
+            assert norm(strategy.process_s(s)) == want
+
+    def test_query_removal_respected(self, cls):
+        rng, table_s, table_r, queries = make_workload(seed=103)
+        strategy = cls(table_s, table_r)
+        for query in queries:
+            strategy.add_query(query)
+        removed = queries[::2]
+        for query in removed:
+            strategy.remove_query(query)
+        kept = [q for q in queries if q not in removed]
+        assert strategy.query_count == len(kept)
+        r = table_r.new_row(30.0, 30.0)
+        assert norm(strategy.process_r(r)) == norm(
+            brute_force_band_join(kept, r, table_s)
+        )
+
+    def test_empty_s_table(self, cls):
+        strategy = cls(TableS(), TableR())
+        strategy.add_query(BandJoinQuery(Interval(-1, 1)))
+        r = strategy.table_r.new_row(0.0, 0.0)
+        assert strategy.process_r(r) == {}
+
+    def test_no_queries(self, cls):
+        table_s = TableS()
+        table_s.add(1.0, 1.0)
+        strategy = cls(table_s)
+        r = strategy.table_r.new_row(0.0, 1.0)
+        assert strategy.process_r(r) == {}
+
+    def test_duplicate_query_id_rejected(self, cls):
+        strategy = cls(TableS())
+        query = BandJoinQuery(Interval(0, 1))
+        strategy.add_query(query)
+        with pytest.raises(ValueError):
+            strategy.add_query(query)
+
+
+class TestBJSSISpecifics:
+    def test_boundary_band_exactly_touching(self):
+        # s.b - r.b lands exactly on a band endpoint: closed semantics.
+        table_s = TableS(order=4)
+        s = table_s.add(10.0, 0.0)
+        strategy = BJSSI(table_s)
+        query = BandJoinQuery(Interval(2.0, 5.0))
+        strategy.add_query(query)
+        assert norm(strategy.process_r(strategy.table_r.new_row(0.0, 8.0))) == {
+            query.qid: [s.sid]
+        }  # 10 - 8 = 2 == band.lo
+        assert norm(strategy.process_r(strategy.table_r.new_row(0.0, 5.0))) == {
+            query.qid: [s.sid]
+        }  # 10 - 5 = 5 == band.hi
+        assert strategy.process_r(strategy.table_r.new_row(0.0, 4.9)) == {}
+
+    def test_duplicate_s_values(self):
+        table_s = TableS(order=4)
+        rows = [table_s.add(10.0, float(i)) for i in range(5)]
+        strategy = BJSSI(table_s)
+        query = BandJoinQuery(Interval(0.0, 0.0))  # degenerate band
+        strategy.add_query(query)
+        got = norm(strategy.process_r(strategy.table_r.new_row(0.0, 10.0)))
+        assert got == {query.qid: sorted(r.sid for r in rows)}
+
+    def test_group_count_tracks_stabbing_number(self):
+        table_s = TableS()
+        strategy = BJSSI(table_s)
+        # Two clusters of bands -> at most 2 (1+eps)-approximate groups.
+        for i in range(20):
+            strategy.add_query(BandJoinQuery(Interval(0.0, 5.0 + i * 0.01)))
+        for i in range(20):
+            strategy.add_query(BandJoinQuery(Interval(100.0, 105.0 + i * 0.01)))
+        assert strategy.group_count <= 4  # (1 + 1.0) * tau with tau = 2
+
+    def test_refined_partition_backend(self):
+        rng, table_s, table_r, queries = make_workload(seed=104)
+        partition = RefinedStabbingPartition(
+            epsilon=1.0, interval_of=band_interval, seed=5
+        )
+        strategy = BJSSI(table_s, table_r, partition=partition)
+        for query in queries:
+            strategy.add_query(query)
+        r = table_r.new_row(rng.uniform(0, 60), rng.uniform(0, 60))
+        assert norm(strategy.process_r(r)) == norm(
+            brute_force_band_join(queries, r, table_s)
+        )
+
+
+@given(st.integers(0, 10_000), st.integers(1, 40), st.integers(0, 80))
+@settings(max_examples=25, deadline=None)
+def test_all_strategies_agree_randomized(seed, n_q, n_s):
+    rng = random.Random(seed)
+    table_s = TableS(order=4)
+    table_r = TableR(order=4)
+    for __ in range(n_s):
+        table_s.add(float(rng.randrange(0, 30)), 0.0)
+    queries = []
+    for __ in range(n_q):
+        lo = float(rng.randrange(-10, 10))
+        queries.append(BandJoinQuery(Interval(lo, lo + rng.randrange(0, 6))))
+    strategies = make_band_strategies(table_s, table_r)
+    for strategy in strategies.values():
+        for query in queries:
+            strategy.add_query(query)
+    for __ in range(5):
+        r = table_r.new_row(0.0, float(rng.randrange(0, 30)))
+        want = norm(brute_force_band_join(queries, r, table_s))
+        for name, strategy in strategies.items():
+            assert norm(strategy.process_r(r)) == want, name
+
+
+def test_maintenance_under_mixed_stream():
+    rng = random.Random(7)
+    table_s = TableS(order=4)
+    for __ in range(100):
+        table_s.add(rng.uniform(0, 50), 0.0)
+    strategies = make_band_strategies(table_s)
+    live = []
+    for step in range(300):
+        if live and rng.random() < 0.45:
+            query = live.pop(rng.randrange(len(live)))
+            for strategy in strategies.values():
+                strategy.remove_query(query)
+        else:
+            lo = rng.uniform(-10, 10)
+            query = BandJoinQuery(Interval(lo, lo + rng.uniform(0, 4)))
+            live.append(query)
+            for strategy in strategies.values():
+                strategy.add_query(query)
+        if step % 50 == 49:
+            r = TableR().new_row(0.0, rng.uniform(0, 50))
+            want = norm(brute_force_band_join(live, r, table_s))
+            for name, strategy in strategies.items():
+                assert norm(strategy.process_r(r)) == want, name

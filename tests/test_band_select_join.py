@@ -1,0 +1,126 @@
+"""Tests for band joins with local selections (Section 6 extension)."""
+
+import random
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.engine.table import TableR, TableS
+from repro.operators.band_select_join import (
+    BandSelectJoinQuery,
+    BSJPerQuery,
+    BSJSSI,
+    brute_force_band_select_join,
+)
+
+
+def norm(results):
+    return {q.qid: sorted(s.sid for s in rows) for q, rows in results.items()}
+
+
+def make_workload(seed, n_s=200, n_q=80):
+    rng = random.Random(seed)
+    table_s = TableS(order=4)
+    table_r = TableR(order=4)
+    for __ in range(n_s):
+        table_s.add(rng.uniform(0, 100), rng.uniform(0, 50))
+    queries = []
+    for __ in range(n_q):
+        band_lo = rng.uniform(-10, 10)
+        a_lo = rng.uniform(0, 40)
+        c_lo = rng.uniform(0, 40)
+        queries.append(
+            BandSelectJoinQuery(
+                band=Interval(band_lo, band_lo + rng.uniform(0, 4)),
+                range_a=Interval(a_lo, a_lo + rng.uniform(0, 15)),
+                range_c=Interval(c_lo, c_lo + rng.uniform(0, 15)),
+            )
+        )
+    return rng, table_s, table_r, queries
+
+
+class TestQueryModel:
+    def test_matches_requires_all_three_conditions(self):
+        query = BandSelectJoinQuery(
+            band=Interval(-1, 1), range_a=Interval(0, 10), range_c=Interval(0, 10)
+        )
+        table = TableS()
+        r_ok = TableR().new_row(a=5.0, b=50.0)
+        s_ok = table.new_row(b=50.5, c=5.0)
+        assert query.matches(r_ok, s_ok)
+        assert not query.matches(TableR().new_row(a=50.0, b=50.0), s_ok)  # A fails
+        assert not query.matches(r_ok, table.new_row(b=50.5, c=50.0))     # C fails
+        assert not query.matches(r_ok, table.new_row(b=60.0, c=5.0))      # band fails
+
+    def test_s_window(self):
+        query = BandSelectJoinQuery(
+            band=Interval(-1, 2), range_a=Interval(0, 1), range_c=Interval(0, 1)
+        )
+        assert query.s_window(TableR().new_row(0.0, 10.0)) == Interval(9.0, 12.0)
+
+
+@pytest.mark.parametrize("cls", [BSJPerQuery, BSJSSI])
+class TestAgainstOracle:
+    def test_matches_bruteforce(self, cls):
+        rng, table_s, table_r, queries = make_workload(seed=501)
+        strategy = cls(table_s, table_r)
+        for query in queries:
+            strategy.add_query(query)
+        for __ in range(30):
+            r = table_r.new_row(rng.uniform(0, 50), rng.uniform(0, 100))
+            assert norm(strategy.process_r(r)) == norm(
+                brute_force_band_select_join(queries, r, table_s)
+            )
+
+    def test_removal(self, cls):
+        rng, table_s, table_r, queries = make_workload(seed=502)
+        strategy = cls(table_s, table_r)
+        for query in queries:
+            strategy.add_query(query)
+        for query in queries[::2]:
+            strategy.remove_query(query)
+        kept = queries[1::2]
+        r = table_r.new_row(20.0, 50.0)
+        assert norm(strategy.process_r(r)) == norm(
+            brute_force_band_select_join(kept, r, table_s)
+        )
+
+    def test_duplicate_rejected(self, cls):
+        strategy = cls(TableS())
+        query = BandSelectJoinQuery(Interval(0, 1), Interval(0, 1), Interval(0, 1))
+        strategy.add_query(query)
+        with pytest.raises(ValueError):
+            strategy.add_query(query)
+
+    def test_empty_table(self, cls):
+        strategy = cls(TableS(), TableR())
+        strategy.add_query(
+            BandSelectJoinQuery(Interval(-1, 1), Interval(0, 100), Interval(0, 100))
+        )
+        assert strategy.process_r(strategy.table_r.new_row(5.0, 5.0)) == {}
+
+
+def test_strategies_agree_under_churn():
+    rng, table_s, table_r, queries = make_workload(seed=503)
+    per_query = BSJPerQuery(table_s, table_r)
+    ssi = BSJSSI(table_s, table_r)
+    live = []
+    for step in range(200):
+        if live and rng.random() < 0.4:
+            victim = live.pop(rng.randrange(len(live)))
+            per_query.remove_query(victim)
+            ssi.remove_query(victim)
+        else:
+            band_lo = rng.uniform(-10, 10)
+            query = BandSelectJoinQuery(
+                band=Interval(band_lo, band_lo + rng.uniform(0, 4)),
+                range_a=Interval(rng.uniform(0, 40), rng.uniform(40, 60)),
+                range_c=Interval(rng.uniform(0, 40), rng.uniform(40, 60)),
+            )
+            live.append(query)
+            per_query.add_query(query)
+            ssi.add_query(query)
+        if step % 25 == 24:
+            r = table_r.new_row(rng.uniform(0, 60), rng.uniform(0, 100))
+            assert norm(per_query.process_r(r)) == norm(ssi.process_r(r))
+    assert ssi.group_count <= len(live) or not live

@@ -1,0 +1,103 @@
+"""Focused tests for the B+ tree bulk leaf-walk collectors (the SSI result
+enumeration hot path)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dstruct.btree import BPlusTree
+
+
+def build(keys, order=4):
+    tree = BPlusTree(order)
+    for key in keys:
+        tree.insert(key, f"v{key}")
+    return tree
+
+
+class TestScalarCollectors:
+    def test_collect_forward_le(self):
+        tree = build(range(0, 50, 5))
+        cur = tree.cursor_ge(12)
+        assert cur.collect_forward_le(30) == ["v15", "v20", "v25", "v30"]
+
+    def test_collect_forward_le_runs_off_end(self):
+        tree = build([1, 2, 3])
+        cur = tree.cursor_ge(2)
+        assert cur.collect_forward_le(999) == ["v2", "v3"]
+
+    def test_collect_backward_ge_ascending_order(self):
+        tree = build(range(0, 50, 5))
+        cur = tree.cursor_le(33)
+        assert cur.collect_backward_ge(15) == ["v15", "v20", "v25", "v30"]
+
+    def test_collect_backward_ge_runs_off_start(self):
+        tree = build([5, 6, 7])
+        cur = tree.cursor_le(6)
+        assert cur.collect_backward_ge(-999) == ["v5", "v6"]
+
+    def test_cursor_position_unchanged(self):
+        tree = build(range(10))
+        cur = tree.cursor_ge(3)
+        cur.collect_forward_le(7)
+        assert cur.key == 3
+
+    def test_counts_scan_steps(self):
+        tree = build(range(20))
+        tree.reset_counters()
+        tree.cursor_ge(0).collect_forward_le(9)
+        assert tree.scan_steps >= 10
+
+    @given(
+        st.lists(st.integers(0, 40), min_size=1, max_size=80),
+        st.integers(-5, 45),
+        st.integers(-5, 45),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_filter_semantics(self, keys, start, bound):
+        tree = BPlusTree(4)
+        for key in keys:
+            tree.insert(key, key)
+        ordered = sorted(keys)
+        cur = tree.cursor_ge(start)
+        got = cur.collect_forward_le(bound)
+        assert got == [k for k in ordered if start <= k <= bound]
+        back = tree.cursor_le(start)
+        got_back = back.collect_backward_ge(bound)
+        assert got_back == [k for k in ordered if bound <= k <= start]
+
+
+class TestCompositeCollectors:
+    def build_composite(self):
+        tree = BPlusTree(4)
+        for b in range(3):
+            for c in range(6):
+                tree.insert((float(b), float(c)), (b, c))
+        return tree
+
+    def test_forward_prefix_stops_at_key_change(self):
+        tree = self.build_composite()
+        cur = tree.cursor_ge((1.0, 2.0))
+        got = cur.collect_forward_prefix_le(1.0, 99.0)
+        assert got == [(1, c) for c in range(2, 6)]
+
+    def test_backward_prefix_stops_at_key_change(self):
+        tree = self.build_composite()
+        cur = tree.cursor_le((1.0, 3.0))
+        got = cur.collect_backward_prefix_ge(1.0, -99.0)
+        assert got == [(1, c) for c in range(0, 4)]
+
+    def test_prefix_bounds_respected(self):
+        tree = self.build_composite()
+        cur = tree.cursor_ge((2.0, 1.0))
+        assert cur.collect_forward_prefix_le(2.0, 3.0) == [(2, 1), (2, 2), (2, 3)]
+
+    def test_empty_when_prefix_mismatch(self):
+        tree = self.build_composite()
+        cur = tree.cursor_ge((1.0, 5.5))  # lands on (2, 0)
+        assert cur.collect_forward_prefix_le(1.0, 99.0) == []
+
+    def test_range_values(self):
+        tree = build(range(0, 30, 3))
+        assert tree.range_values(5, 14) == ["v6", "v9", "v12"]
+        assert tree.range_values(100, 200) == []
+        assert BPlusTree(4).range_values(0, 1) == []

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out and "repro.core" in out
+
+
+def test_zipf(capsys):
+    assert main(["zipf", "--groups", "5000", "--beta", "1.0", "--top", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "top-500" in out
+    # The Figure 2 anchor: ~70% coverage.
+    assert any(token.endswith("%") for token in out.split())
+
+
+def test_zipf_top_clipped(capsys):
+    assert main(["zipf", "--groups", "10", "--top", "99"]) == 0
+    assert "top-10" in capsys.readouterr().out
+
+
+def test_partition_from_file(tmp_path, capsys):
+    path = tmp_path / "intervals.txt"
+    path.write_text("# comment\n0 10\n2 8\n50 60\n\n")
+    assert main(["partition", str(path), "--alpha", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "tau = 2" in out
+    assert "HOTSPOT" in out
+
+
+def test_partition_empty_file(tmp_path, capsys):
+    path = tmp_path / "empty.txt"
+    path.write_text("\n")
+    assert main(["partition", str(path)]) == 1
+
+
+def test_partition_malformed(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("1 2 3\n")
+    with pytest.raises(SystemExit):
+        main(["partition", str(path)])
+
+
+def test_validate(capsys):
+    assert main(["validate", "--trials", "1", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "40/40" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

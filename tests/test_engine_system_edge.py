@@ -1,0 +1,78 @@
+"""Additional edge-path tests for the engine facade and tables."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.system import ContinuousQuerySystem
+from repro.engine.table import TableR, TableS
+
+
+class TestSystemEdgeCases:
+    def test_insert_before_any_subscription(self):
+        system = ContinuousQuerySystem(alpha=None)
+        assert system.insert_r(1.0, 2.0) == {}
+        assert system.insert_s(2.0, 3.0) == {}
+        assert system.events_processed == 2
+
+    def test_unsubscribe_stops_deltas(self):
+        system = ContinuousQuerySystem(alpha=None)
+        band = system.subscribe(BandJoinQuery(Interval(-1, 1)))
+        system.insert_s(10.0, 0.0)
+        assert band in system.insert_r(0.0, 10.0)
+        system.unsubscribe(band)
+        assert system.insert_r(0.0, 10.0) == {}
+
+    def test_callback_not_called_without_matches(self):
+        system = ContinuousQuerySystem(alpha=None)
+        calls = []
+        system.subscribe(
+            SelectJoinQuery(Interval(0, 1), Interval(0, 1)),
+            on_results=lambda *a: calls.append(a),
+        )
+        system.insert_r(50.0, 3.0)  # A selection fails
+        assert calls == []
+
+    def test_resubscribe_after_unsubscribe(self):
+        system = ContinuousQuerySystem(alpha=None)
+        query = BandJoinQuery(Interval(-1, 1))
+        system.subscribe(query)
+        system.unsubscribe(query)
+        system.subscribe(query)
+        system.insert_s(5.0, 0.0)
+        assert query in system.insert_r(0.0, 5.5)
+
+    def test_hotspot_config_handles_churny_subscriptions(self):
+        system = ContinuousQuerySystem(alpha=0.2)
+        queries = [system.subscribe(BandJoinQuery(Interval(-0.5, 0.5))) for __ in range(30)]
+        for query in queries[:20]:
+            system.unsubscribe(query)
+        system.insert_s(10.0, 0.0)
+        deltas = system.insert_r(0.0, 10.0)
+        assert len(deltas) == 10
+
+
+class TestTableEdgeCases:
+    def test_delete_missing_row_raises(self):
+        table = TableS()
+        row = table.new_row(1.0, 2.0)  # never inserted
+        with pytest.raises(KeyError):
+            table.delete(row)
+
+    def test_reinsert_after_delete(self):
+        table = TableS()
+        row = table.add(1.0, 2.0)
+        table.delete(row)
+        table.insert(row)
+        assert table.get(row.sid) is row
+        assert table.joining(1.0) == [row]
+
+    def test_many_duplicate_join_keys(self):
+        table = TableR()
+        rows = [table.add(float(i), 7.0) for i in range(200)]
+        assert len(table.joining(7.0)) == 200
+        for row in rows[::2]:
+            table.delete(row)
+        assert len(table.joining(7.0)) == 100
+        got = [v.a for __, v in table.by_ba.irange((7.0, 0.0), (7.0, 999.0))]
+        assert got == sorted(got)

@@ -1,0 +1,46 @@
+"""Tests for the histogram error metrics."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.histogram.errors import average_relative_error, mean_squared_relative_error
+from repro.histogram.frequency import Density, IntervalFrequency
+from repro.histogram.step import StepFunction
+
+
+def test_perfect_histogram_zero_error():
+    freq = IntervalFrequency([Interval(0, 10), Interval(5, 10)])
+    exact = freq.step_function()
+    assert mean_squared_relative_error(exact, freq) == pytest.approx(0.0, abs=1e-12)
+    assert average_relative_error(exact, freq, [1.0, 6.0, 9.0]) == pytest.approx(0.0)
+
+
+def test_relative_error_scales_by_truth():
+    freq = IntervalFrequency([Interval(0, 10)] * 4)  # f = 4 on [0, 10]
+    over = StepFunction((0.0, 10.0), (6.0,))  # off by 2 on truth 4
+    assert average_relative_error(over, freq, [5.0]) == pytest.approx(0.5)
+    assert mean_squared_relative_error(over, freq) == pytest.approx(0.25)
+
+
+def test_zero_truth_clamped_to_one():
+    freq = IntervalFrequency([Interval(0, 1)])
+    hist = StepFunction((0.0, 10.0), (3.0,))
+    # At x=5 truth is 0; denominator clamps to 1 -> error 3.
+    assert average_relative_error(hist, freq, [5.0]) == pytest.approx(3.0)
+
+
+def test_average_relative_error_requires_points():
+    freq = IntervalFrequency([Interval(0, 1)])
+    hist = StepFunction((0.0, 1.0), (1.0,))
+    with pytest.raises(ValueError):
+        average_relative_error(hist, freq, [])
+
+
+def test_mean_squared_error_respects_phi_support():
+    freq = IntervalFrequency([Interval(0, 10)])
+    # Histogram wrong only on [5, 10]; phi concentrated on [0, 5].
+    hist = StepFunction((0.0, 5.0, 10.0), (1.0, 9.0))
+    good_phi = Density(0.0, 5.0)
+    bad_phi = Density(5.0, 10.0)
+    assert mean_squared_relative_error(hist, freq, good_phi) == pytest.approx(0.0)
+    assert mean_squared_relative_error(hist, freq, bad_phi) == pytest.approx(64.0)

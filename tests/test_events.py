@@ -1,0 +1,41 @@
+"""Tests for the update-event model."""
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.engine.events import (
+    DataEvent,
+    EventKind,
+    QueryEvent,
+    insertions,
+    replay_query_events,
+)
+from repro.engine.queries import BandJoinQuery
+from repro.engine.table import TableS
+from repro.operators.band_join import BJQOuter
+
+
+def test_data_event_validates_relation():
+    with pytest.raises(ValueError):
+        DataEvent(EventKind.INSERT, "X", None)
+
+
+def test_insertions_wraps_rows():
+    events = list(insertions([1, 2, 3], "R"))
+    assert all(e.kind is EventKind.INSERT and e.relation == "R" for e in events)
+    assert [e.row for e in events] == [1, 2, 3]
+
+
+def test_replay_query_events_applies_to_processor():
+    strategy = BJQOuter(TableS())
+    a = BandJoinQuery(Interval(0, 1))
+    b = BandJoinQuery(Interval(2, 3))
+    stream = [
+        QueryEvent(EventKind.INSERT, a),
+        QueryEvent(EventKind.INSERT, b),
+        QueryEvent(EventKind.DELETE, a),
+    ]
+    applied = replay_query_events(stream, strategy)
+    assert applied == 3
+    assert strategy.query_count == 1
+    assert strategy.queries == [b]

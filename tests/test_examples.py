@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example runs end to end.
+
+These guard the examples (and the README-facing API surface) against
+drift; each example's internal assertions also run.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_readme_quickstart_snippet():
+    """The code block shown in README.md must keep working verbatim."""
+    from repro import Interval, HotspotTracker, canonical_stabbing_partition
+    from repro.engine import BandJoinQuery, TableS, TableR
+    from repro.operators import BJSSI
+
+    ranges = [Interval(9.8, 10.4), Interval(9.9, 10.2), Interval(55.0, 55.5)]
+    partition = canonical_stabbing_partition(ranges)
+    assert partition.size == 2
+
+    tracker = HotspotTracker(alpha=0.25)
+    for r in ranges:
+        tracker.insert(r)
+    assert 0.0 <= tracker.hotspot_coverage <= 1.0
+
+    table_s, table_r = TableS(), TableR()
+    engine = BJSSI(table_s, table_r)
+    engine.add_query(BandJoinQuery(Interval(-0.5, 0.5)))
+    table_s.add(b=100.0, c=0.0)
+    new_results = engine.process_r(table_r.new_row(a=0.0, b=99.8))
+    assert sum(len(v) for v in new_results.values()) == 1

@@ -1,0 +1,107 @@
+"""Tests for the interval stabbing-count function f_I and densities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.histogram.frequency import Density, IntervalFrequency, segment_weights
+
+from conftest import int_interval_strategy
+
+
+class TestCount:
+    def test_basic(self):
+        freq = IntervalFrequency([Interval(0, 10), Interval(5, 15)])
+        assert freq.count(-1) == 0
+        assert freq.count(0) == 1
+        assert freq.count(7) == 2
+        assert freq.count(15) == 1
+        assert freq.count(16) == 0
+
+    def test_closed_endpoints(self):
+        freq = IntervalFrequency([Interval(3, 5)])
+        assert freq.count(3) == 1
+        assert freq.count(5) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalFrequency([])
+
+    def test_domain(self):
+        freq = IntervalFrequency([Interval(2, 3), Interval(-5, 1)])
+        assert freq.domain == (-5.0, 3.0)
+
+    @given(
+        st.lists(int_interval_strategy(), min_size=1, max_size=50),
+        st.lists(st.integers(-60, 60), min_size=1, max_size=20),
+    )
+    @settings(max_examples=80)
+    def test_count_matches_bruteforce(self, intervals, probes):
+        freq = IntervalFrequency(intervals)
+        for x in probes:
+            assert freq.count(x) == sum(1 for iv in intervals if iv.contains(x))
+
+
+class TestStepFunction:
+    def test_step_matches_count_at_midpoints(self):
+        intervals = [Interval(0, 10), Interval(5, 15), Interval(5, 8)]
+        freq = IntervalFrequency(intervals)
+        f = freq.step_function()
+        for a, b in zip(f.boundaries, f.boundaries[1:]):
+            mid = (a + b) / 2
+            assert f(mid) == freq.count(mid)
+
+    def test_restricted_domain(self):
+        freq = IntervalFrequency([Interval(0, 10), Interval(5, 15)])
+        f = freq.step_function(4, 12)
+        assert f.support == (4.0, 12.0)
+        assert f(4.5) == 1
+        assert f(6.0) == 2
+
+    def test_invalid_restriction(self):
+        freq = IntervalFrequency([Interval(0, 10)])
+        with pytest.raises(ValueError):
+            freq.step_function(5, 5)
+
+    @given(st.lists(int_interval_strategy(), min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_step_equals_count_everywhere_off_breakpoints(self, intervals):
+        freq = IntervalFrequency(intervals)
+        lo, hi = freq.domain
+        if lo == hi:
+            return
+        f = freq.step_function()
+        for i in range(10):
+            x = lo + (hi - lo) * (i + 0.37) / 10.0
+            if x in set(freq.breakpoints()):
+                continue
+            assert f(x) == freq.count(x)
+
+    def test_breakpoints_filtering(self):
+        freq = IntervalFrequency([Interval(0, 10), Interval(5, 15)])
+        assert freq.breakpoints() == [0, 5, 10, 15]
+        assert freq.breakpoints(lo=4, hi=11) == [5, 10]
+
+
+class TestDensity:
+    def test_uniform_mass(self):
+        phi = Density(0.0, 10.0)
+        assert phi.mass(0, 10) == pytest.approx(1.0)
+        assert phi.mass(0, 5) == pytest.approx(0.5)
+        assert phi.mass(-5, 5) == pytest.approx(0.5)  # clipped
+        assert phi.mass(20, 30) == 0.0
+
+    def test_invalid_support(self):
+        with pytest.raises(ValueError):
+            Density(1.0, 1.0)
+
+    def test_uniform_over_frequency(self):
+        freq = IntervalFrequency([Interval(2, 8)])
+        phi = Density.uniform_over(freq)
+        assert (phi.lo, phi.hi) == (2.0, 8.0)
+
+    def test_segment_weights(self):
+        phi = Density(0.0, 10.0)
+        weights = segment_weights([0.0, 2.0, 10.0], phi)
+        assert weights == pytest.approx([0.2, 0.8])

@@ -1,0 +1,193 @@
+"""Tests for the three histogram builders and the Figure 12 ordering."""
+
+import random
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.histogram import (
+    Density,
+    IntervalFrequency,
+    average_relative_error,
+    equal_width_histogram,
+    mean_squared_relative_error,
+    optimal_histogram,
+    ssi_histogram,
+)
+from repro.histogram.builders import _allocate_buckets
+
+
+def clustered_workload(seed=1, count=3000, cluster_count=8):
+    rng = random.Random(seed)
+    anchors = sorted(rng.uniform(500, 9500) for __ in range(cluster_count))
+    intervals = []
+    for __ in range(count):
+        anchor = anchors[min(int(rng.expovariate(0.6)), cluster_count - 1)]
+        left = abs(rng.normalvariate(120, 90)) + 2
+        right = abs(rng.normalvariate(120, 90)) + 2
+        intervals.append(Interval(anchor - left, anchor + right))
+    return intervals
+
+
+class TestEqualWidth:
+    def test_bucket_count(self):
+        freq = IntervalFrequency([Interval(0, 10), Interval(3, 7)])
+        hist = equal_width_histogram(freq, 5)
+        assert hist.piece_count == 5
+        assert hist.support == (0.0, 10.0)
+
+    def test_single_bucket_is_mean(self):
+        freq = IntervalFrequency([Interval(0, 10), Interval(0, 5)])
+        hist = equal_width_histogram(freq, 1)
+        # f = 2 on [0,5), 1 on [5,10): uniform-phi mean = 1.5
+        assert hist.values[0] == pytest.approx(1.5)
+
+    def test_invalid_buckets(self):
+        freq = IntervalFrequency([Interval(0, 1)])
+        with pytest.raises(ValueError):
+            equal_width_histogram(freq, 0)
+
+
+class TestOptimal:
+    def test_exact_when_buckets_cover_pieces(self):
+        # f has 3 distinct pieces; 3 buckets represent it exactly.
+        freq = IntervalFrequency([Interval(0, 10), Interval(4, 6)])
+        hist = optimal_histogram(freq, 3)
+        assert mean_squared_relative_error(hist, freq) == pytest.approx(0.0, abs=1e-12)
+
+    def test_beats_equal_width(self):
+        intervals = clustered_workload()
+        freq = IntervalFrequency(intervals)
+        for buckets in (15, 30):
+            opt = optimal_histogram(freq, buckets)
+            eqw = equal_width_histogram(freq, buckets)
+            assert mean_squared_relative_error(opt, freq) <= (
+                mean_squared_relative_error(eqw, freq) + 1e-9
+            )
+
+    def test_more_buckets_never_hurt(self):
+        intervals = clustered_workload(seed=2, count=500)
+        freq = IntervalFrequency(intervals)
+        errors = [
+            mean_squared_relative_error(optimal_histogram(freq, b), freq)
+            for b in (5, 10, 20, 40)
+        ]
+        for a, b in zip(errors, errors[1:]):
+            assert b <= a + 1e-9
+
+    def test_coarsening_keeps_quality(self):
+        intervals = clustered_workload(seed=3, count=1500)
+        freq = IntervalFrequency(intervals)
+        fine = optimal_histogram(freq, 20, max_segments=100_000)
+        coarse = optimal_histogram(freq, 20, max_segments=300)
+        e_fine = mean_squared_relative_error(fine, freq)
+        e_coarse = mean_squared_relative_error(coarse, freq)
+        assert e_coarse <= e_fine * 2.0 + 1e-6
+
+
+class TestSSIHistogram:
+    def test_report_metadata(self):
+        intervals = clustered_workload(seed=4, count=800)
+        report = ssi_histogram(intervals, 24)
+        assert report.group_count >= 1
+        assert len(report.allocations) == report.group_count
+        assert all(k >= 1 for k in report.allocations)
+        assert report.total_buckets >= 24 or report.total_buckets >= report.group_count
+
+    def test_single_group_exact_representation(self):
+        intervals = [Interval(0, 10), Interval(2, 8), Interval(4, 6)]
+        report = ssi_histogram(intervals, 6, method="dp")
+        freq = IntervalFrequency(intervals)
+        for x in (0.5, 3.0, 5.0, 7.0, 9.5):
+            assert report.histogram(x) == pytest.approx(freq.count(x))
+
+    def test_methods_agree_roughly(self):
+        intervals = clustered_workload(seed=5, count=1200)
+        freq = IntervalFrequency(intervals)
+        rng = random.Random(9)
+        points = [rng.uniform(*freq.domain) for __ in range(800)]
+        err_dp = average_relative_error(ssi_histogram(intervals, 30, method="dp").histogram, freq, points)
+        err_lloyd = average_relative_error(ssi_histogram(intervals, 30, method="lloyd").histogram, freq, points)
+        assert err_lloyd <= max(3.0 * err_dp, err_dp + 0.5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ssi_histogram([Interval(0, 1)], 0)
+        with pytest.raises(ValueError):
+            ssi_histogram([Interval(0, 1)], 5, method="bogus")
+
+    def test_degenerate_point_intervals(self):
+        intervals = [Interval(5.0, 5.0) for __ in range(10)]
+        report = ssi_histogram(intervals, 4)
+        assert report.group_count == 1
+        assert report.histogram(5.0) >= 0.0  # sliver representation, no crash
+
+
+class TestFigure12Ordering:
+    def test_opt_beats_ssi_beats_eqw_on_clustered_workload(self):
+        intervals = clustered_workload(seed=7, count=4000, cluster_count=12)
+        freq = IntervalFrequency(intervals)
+        rng = random.Random(3)
+        lo, hi = freq.domain
+        points = [rng.uniform(lo, hi) for __ in range(1500)]
+        buckets = 24
+        e_opt = average_relative_error(optimal_histogram(freq, buckets), freq, points)
+        e_ssi = average_relative_error(ssi_histogram(intervals, buckets).histogram, freq, points)
+        e_eqw = average_relative_error(equal_width_histogram(freq, buckets), freq, points)
+        assert e_opt <= e_ssi * 1.05 + 1e-9
+        assert e_ssi < e_eqw
+
+
+class TestObjectives:
+    def test_absolute_objective_tracks_peaks(self):
+        # Heavy cluster spanning two decades of counts: the relative
+        # objective hugs the tails, the absolute one tracks the peak.
+        rng = random.Random(31)
+        intervals = [
+            Interval(100 - abs(rng.normalvariate(30, 20)) - 1,
+                     100 + abs(rng.normalvariate(30, 20)) + 1)
+            for __ in range(4000)
+        ]
+        freq = IntervalFrequency(intervals)
+        peak = freq.count(100.0)
+        relative = ssi_histogram(intervals, 6, objective="relative").histogram
+        absolute = ssi_histogram(intervals, 6, objective="absolute").histogram
+        assert abs(absolute(100.0) - peak) < abs(relative(100.0) - peak)
+        assert absolute(100.0) > 0.5 * peak
+
+    def test_relative_objective_wins_on_relative_error(self):
+        rng = random.Random(32)
+        intervals = [
+            Interval(100 - abs(rng.normalvariate(30, 20)) - 1,
+                     100 + abs(rng.normalvariate(30, 20)) + 1)
+            for __ in range(3000)
+        ]
+        freq = IntervalFrequency(intervals)
+        lo, hi = freq.domain
+        points = [rng.uniform(lo, hi) for __ in range(1000)]
+        err_rel = average_relative_error(
+            ssi_histogram(intervals, 6, objective="relative").histogram, freq, points
+        )
+        err_abs = average_relative_error(
+            ssi_histogram(intervals, 6, objective="absolute").histogram, freq, points
+        )
+        assert err_rel <= err_abs + 1e-9
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            ssi_histogram([Interval(0, 1)], 4, objective="bogus")
+
+
+class TestAllocation:
+    def test_proportional_with_minimum(self):
+        alloc = _allocate_buckets([90, 5, 5], 20)
+        assert alloc[0] >= 10
+        assert all(k >= 1 for k in alloc)
+
+    def test_remainders_spent(self):
+        alloc = _allocate_buckets([1, 1, 1], 7)
+        assert sum(alloc) == 7
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            _allocate_buckets([0, 0], 5)

@@ -1,0 +1,163 @@
+"""End-to-end integration tests: generated workloads driven through the
+full stack (tables + queries + every strategy + hotspot processors),
+cross-validated on both arrival directions and under data-table updates."""
+
+import random
+
+import pytest
+
+from repro.engine import TableR, TableS, brute_force_band_join, brute_force_select_join
+from repro.operators import (
+    HotspotBandJoinProcessor,
+    HotspotSelectJoinProcessor,
+    make_band_strategies,
+    make_select_strategies,
+)
+from repro.workload import (
+    WorkloadParams,
+    ZipfSampler,
+    make_band_join_queries,
+    make_select_join_queries,
+    make_tables,
+    r_insert_events,
+    spread_anchors,
+)
+
+PARAMS = WorkloadParams(
+    seed=99,
+    table_size=400,
+    query_count=300,
+    join_key_grid=20,
+    range_c_len_mean=300.0,
+    range_c_len_sigma=80.0,
+    band_len_mean=150.0,
+    band_len_sigma=40.0,
+)
+
+
+def norm(results):
+    return {
+        q.qid: sorted(row.sid if hasattr(row, "sid") else row.rid for row in rows)
+        for q, rows in results.items()
+    }
+
+
+class TestGeneratedSelectJoinWorkload:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        table_r, table_s = make_tables(PARAMS)
+        anchors = spread_anchors(PARAMS, 8)
+        sampler = ZipfSampler(8, 1.0)
+        queries = make_select_join_queries(
+            PARAMS, range_c_anchors=anchors, anchor_sampler=sampler
+        )
+        strategies = make_select_strategies(table_s, table_r)
+        hotspot = HotspotSelectJoinProcessor(table_s, table_r, alpha=0.02)
+        for query in queries:
+            hotspot.add_query(query)
+            for strategy in strategies.values():
+                strategy.add_query(query)
+        return table_r, table_s, queries, strategies, hotspot
+
+    def test_all_processors_agree_with_oracle(self, setup):
+        table_r, table_s, queries, strategies, hotspot = setup
+        rng = random.Random(1)
+        for a, b in r_insert_events(PARAMS, 15, rng):
+            r = table_r.new_row(a, b)
+            want = norm(brute_force_select_join(queries, r, table_s))
+            for name, strategy in strategies.items():
+                assert norm(strategy.process_r(r)) == want, name
+            assert norm(hotspot.process_r(r)) == want
+
+    def test_symmetric_direction_agrees(self, setup):
+        table_r, table_s, queries, strategies, hotspot = setup
+        rng = random.Random(2)
+        for __ in range(8):
+            s = table_s.new_row(float(rng.randrange(20)) * 500.0, rng.uniform(0, 10_000))
+            want = {
+                q.qid: sorted(r.rid for r in table_r if q.matches(r, s))
+                for q in queries
+                if any(q.matches(r, s) for r in table_r)
+            }
+            for name, strategy in strategies.items():
+                assert norm(strategy.process_s(s)) == want, name
+
+    def test_reflects_data_table_updates(self, setup):
+        table_r, table_s, queries, strategies, hotspot = setup
+        rng = random.Random(3)
+        # Insert fresh S rows and delete a few existing ones; processors
+        # must see the new table state immediately (they index S directly).
+        added = [table_s.add(float(rng.randrange(20)) * 500.0, rng.uniform(0, 10_000)) for __ in range(30)]
+        victims = [row for i, row in enumerate(list(table_s)) if i % 37 == 0 and row not in added][:20]
+        for row in victims:
+            table_s.delete(row)
+        r = table_r.new_row(5_000.0, added[0].b)
+        want = norm(brute_force_select_join(queries, r, table_s))
+        for name, strategy in strategies.items():
+            assert norm(strategy.process_r(r)) == want, name
+        assert norm(hotspot.process_r(r)) == want
+
+
+class TestGeneratedBandJoinWorkload:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        table_r, table_s = make_tables(PARAMS)
+        queries = make_band_join_queries(
+            PARAMS, band_anchors=[-2_000.0, 0.0, 2_000.0]
+        )
+        strategies = make_band_strategies(table_s, table_r)
+        hotspot = HotspotBandJoinProcessor(table_s, table_r, alpha=0.02)
+        for query in queries:
+            hotspot.add_query(query)
+            for strategy in strategies.values():
+                strategy.add_query(query)
+        return table_r, table_s, queries, strategies, hotspot
+
+    def test_all_processors_agree_with_oracle(self, setup):
+        table_r, table_s, queries, strategies, hotspot = setup
+        rng = random.Random(4)
+        for a, b in r_insert_events(PARAMS, 15, rng):
+            r = table_r.new_row(a, b)
+            want = norm(brute_force_band_join(queries, r, table_s))
+            for name, strategy in strategies.items():
+                assert norm(strategy.process_r(r)) == want, name
+            assert norm(hotspot.process_r(r)) == want
+
+    def test_query_churn_then_agreement(self, setup):
+        table_r, table_s, queries, strategies, hotspot = setup
+        rng = random.Random(5)
+        live = list(queries)
+        extra = make_band_join_queries(PARAMS, 80, rng=random.Random(6))
+        for query in extra:
+            live.append(query)
+            hotspot.add_query(query)
+            for strategy in strategies.values():
+                strategy.add_query(query)
+        for __ in range(100):
+            victim = live.pop(rng.randrange(len(live)))
+            hotspot.remove_query(victim)
+            for strategy in strategies.values():
+                strategy.remove_query(victim)
+        hotspot.validate()
+        r = table_r.new_row(0.0, rng.uniform(0, 10_000))
+        want = norm(brute_force_band_join(live, r, table_s))
+        for name, strategy in strategies.items():
+            assert norm(strategy.process_r(r)) == want, name
+        assert norm(hotspot.process_r(r)) == want
+
+
+def test_full_pipeline_smoke():
+    """The quickstart path: generate, subscribe, stream, and check counts."""
+    params = WorkloadParams(seed=123, table_size=200, query_count=100, join_key_grid=10)
+    table_r, table_s = make_tables(params)
+    strategies = make_select_strategies(table_s, table_r)
+    queries = make_select_join_queries(params)
+    for strategy in strategies.values():
+        for query in queries:
+            strategy.add_query(query)
+    total = {name: 0 for name in strategies}
+    for a, b in r_insert_events(params, 10):
+        r = table_r.new_row(a, b)
+        for name, strategy in strategies.items():
+            total[name] += sum(len(v) for v in strategy.process_r(r).values())
+    assert len(set(total.values())) == 1, f"result counts diverged: {total}"

@@ -1,0 +1,133 @@
+"""Tests for the interval skip list (Hanson & Johnson): oracle equivalence
+under mixed updates, mark-repair on node removal, degenerate intervals."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.dstruct.interval_skip_list import IntervalSkipList
+
+from conftest import int_interval_strategy
+
+
+class TestBasics:
+    def test_stab_hits_and_misses(self):
+        isl = IntervalSkipList(rng=random.Random(1))
+        isl.insert(Interval(0, 10), "a")
+        isl.insert(Interval(5, 15), "b")
+        isl.insert(Interval(20, 30), "c")
+        assert {p for __, p in isl.stab(7)} == {"a", "b"}
+        assert {p for __, p in isl.stab(0)} == {"a"}
+        assert isl.stab(16) == []
+        assert {p for __, p in isl.stab(30)} == {"c"}
+
+    def test_closed_endpoints(self):
+        isl = IntervalSkipList()
+        isl.insert(Interval(1, 2), "x")
+        assert isl.stab(1) and isl.stab(2)
+        assert not isl.stab(0.999) and not isl.stab(2.001)
+
+    def test_degenerate_point_interval(self):
+        isl = IntervalSkipList()
+        isl.insert(Interval(5, 5), "point")
+        assert [p for __, p in isl.stab(5)] == ["point"]
+        assert isl.stab(5.0001) == []
+        isl.remove(Interval(5, 5), "point")
+        assert isl.stab(5) == []
+
+    def test_len_iter_bool(self):
+        isl = IntervalSkipList()
+        assert not isl
+        isl.insert(Interval(0, 1), 1)
+        isl.insert(Interval(2, 3), 2)
+        assert len(isl) == 2 and isl
+        assert sorted(p for __, p in isl) == [1, 2]
+
+    def test_remove_missing_raises(self):
+        isl = IntervalSkipList()
+        isl.insert(Interval(0, 1), "a")
+        with pytest.raises(KeyError):
+            isl.remove(Interval(0, 1), "zzz")
+        with pytest.raises(KeyError):
+            isl.remove(Interval(5, 6), "a")
+
+    def test_duplicate_intervals_distinct_payloads(self):
+        isl = IntervalSkipList()
+        isl.insert(Interval(0, 10), "a")
+        isl.insert(Interval(0, 10), "b")
+        assert {p for __, p in isl.stab(5)} == {"a", "b"}
+        isl.remove(Interval(0, 10), "a")
+        assert {p for __, p in isl.stab(5)} == {"b"}
+
+    def test_shared_endpoints_survive_removal(self):
+        # Removing one interval must not drop the endpoint node (and the
+        # marks routed through it) that another interval still owns.
+        isl = IntervalSkipList(rng=random.Random(2))
+        isl.insert(Interval(0, 10), "long")
+        isl.insert(Interval(10, 20), "right")
+        isl.insert(Interval(5, 10), "short")
+        isl.remove(Interval(5, 10), "short")
+        assert {p for __, p in isl.stab(10)} == {"long", "right"}
+        assert {p for __, p in isl.stab(7)} == {"long"}
+
+    def test_covers_repaired_after_inner_node_removal(self):
+        # A long interval's mark chain routes through a short interval's
+        # endpoint nodes; removing the short interval must repair the long
+        # one's marks.
+        isl = IntervalSkipList(rng=random.Random(3))
+        isl.insert(Interval(0, 100), "long")
+        isl.insert(Interval(40, 60), "short")
+        isl.remove(Interval(40, 60), "short")
+        for x in (0, 40, 50, 60, 99, 100):
+            assert [p for __, p in isl.stab(x)] == ["long"], x
+
+
+@given(
+    st.lists(int_interval_strategy(-25, 25), min_size=1, max_size=40),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_matches_bruteforce_under_updates(intervals, data):
+    isl = IntervalSkipList(rng=random.Random(9))
+    live = {}
+    for i, interval in enumerate(intervals):
+        isl.insert(interval, i)
+        live[i] = interval
+    deletions = data.draw(st.integers(0, len(intervals)))
+    for __ in range(deletions):
+        i = data.draw(st.sampled_from(sorted(live)))
+        isl.remove(live.pop(i), i)
+    assert len(isl) == len(live)
+    for x in range(-30, 31, 5):
+        got = sorted(p for __, p in isl.stab(float(x)))
+        want = sorted(i for i, interval in live.items() if interval.contains(float(x)))
+        assert got == want, x
+
+
+def test_agrees_with_interval_tree():
+    from repro.dstruct.interval_tree import IntervalTree
+
+    rng = random.Random(4)
+    isl = IntervalSkipList(rng=random.Random(5))
+    tree = IntervalTree(rng=random.Random(6))
+    live = []
+    for step in range(400):
+        if live and rng.random() < 0.45:
+            interval, payload = live.pop(rng.randrange(len(live)))
+            isl.remove(interval, payload)
+            tree.remove(interval, payload)
+        else:
+            lo = rng.uniform(0, 100)
+            interval = Interval(lo, lo + rng.uniform(0, 20))
+            payload = step
+            isl.insert(interval, payload)
+            tree.insert(interval, payload)
+            live.append((interval, payload))
+        if step % 25 == 0:
+            x = rng.uniform(-5, 110)
+            assert sorted(p for __, p in isl.stab(x)) == sorted(
+                p for __, p in tree.stab(x)
+            )

@@ -1,0 +1,114 @@
+"""Tests for the dynamic interval tree (stabbing index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.dstruct.interval_tree import IntervalTree
+
+from conftest import int_interval_strategy
+
+
+class TestBasics:
+    def test_stab_hits_and_misses(self):
+        tree = IntervalTree(rng=random.Random(1))
+        tree.insert(Interval(0, 10), "a")
+        tree.insert(Interval(5, 15), "b")
+        tree.insert(Interval(20, 30), "c")
+        assert {p for __, p in tree.stab(7)} == {"a", "b"}
+        assert {p for __, p in tree.stab(0)} == {"a"}
+        assert tree.stab(16) == []
+        assert {p for __, p in tree.stab(20)} == {"c"}
+
+    def test_closed_endpoints(self):
+        tree = IntervalTree()
+        tree.insert(Interval(1, 2), "x")
+        assert tree.stab(1) and tree.stab(2)
+        assert not tree.stab(0.999) and not tree.stab(2.001)
+
+    def test_len_and_iter(self):
+        tree = IntervalTree()
+        tree.insert(Interval(0, 1), 1)
+        tree.insert(Interval(2, 3), 2)
+        assert len(tree) == 2
+        assert sorted(payload for __, payload in tree) == [1, 2]
+        assert bool(tree)
+
+    def test_empty(self):
+        tree = IntervalTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.stab(0) == []
+
+    def test_stab_count_matches_stab(self):
+        tree = IntervalTree()
+        for i in range(5):
+            tree.insert(Interval(0, 10), i)
+        assert tree.stab_count(5) == 5
+
+
+class TestRemove:
+    def test_remove(self):
+        tree = IntervalTree()
+        tree.insert(Interval(0, 10), "a")
+        tree.insert(Interval(0, 10), "b")
+        tree.remove(Interval(0, 10), "a")
+        assert [p for __, p in tree.stab(5)] == ["b"]
+
+    def test_remove_missing_raises(self):
+        tree = IntervalTree()
+        tree.insert(Interval(0, 1), "a")
+        with pytest.raises(KeyError):
+            tree.remove(Interval(0, 1), "zzz")
+        with pytest.raises(KeyError):
+            tree.remove(Interval(5, 6), "a")
+
+    def test_remove_by_identity(self):
+        tree = IntervalTree()
+        a = ["payload"]
+        b = ["payload"]  # equal but distinct object
+        tree.insert(Interval(0, 1), a)
+        tree.insert(Interval(0, 1), b)
+        tree.remove(Interval(0, 1), b)
+        assert tree.stab(0.5)[0][1] is a
+
+
+@given(
+    st.lists(int_interval_strategy(), min_size=1, max_size=50),
+    st.lists(st.integers(-60, 60), min_size=1, max_size=20),
+)
+@settings(max_examples=80)
+def test_stab_matches_bruteforce(intervals, probes):
+    tree = IntervalTree(rng=random.Random(3))
+    for i, interval in enumerate(intervals):
+        tree.insert(interval, i)
+    for x in probes:
+        got = sorted(payload for __, payload in tree.stab(x))
+        want = sorted(i for i, interval in enumerate(intervals) if interval.contains(x))
+        assert got == want
+        assert sorted(p for __, p in tree.iter_stab(x)) == want
+
+
+@given(
+    st.lists(int_interval_strategy(), min_size=1, max_size=40),
+    st.data(),
+)
+@settings(max_examples=60)
+def test_stab_after_random_deletions(intervals, data):
+    tree = IntervalTree(rng=random.Random(4))
+    live = {}
+    for i, interval in enumerate(intervals):
+        tree.insert(interval, i)
+        live[i] = interval
+    delete_count = data.draw(st.integers(0, len(intervals)))
+    for __ in range(delete_count):
+        i = data.draw(st.sampled_from(sorted(live)))
+        tree.remove(live.pop(i), i)
+    assert len(tree) == len(live)
+    for x in (-60, -10, 0, 10, 60):
+        got = sorted(payload for __, payload in tree.stab(x))
+        want = sorted(i for i, interval in live.items() if interval.contains(x))
+        assert got == want

@@ -1,0 +1,145 @@
+"""Unit and property tests for the Interval value type."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, common_intersection, is_stabbed_by
+
+from conftest import int_interval_strategy, interval_strategy
+
+
+class TestConstruction:
+    def test_valid(self):
+        interval = Interval(1.0, 2.5)
+        assert interval.lo == 1.0
+        assert interval.hi == 2.5
+
+    def test_degenerate_point_interval_allowed(self):
+        interval = Interval(3.0, 3.0)
+        assert interval.contains(3.0)
+        assert interval.length == 0.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(math.nan, 1.0)
+        with pytest.raises(ValueError):
+            Interval(0.0, math.nan)
+
+    def test_frozen_and_hashable(self):
+        interval = Interval(0.0, 1.0)
+        with pytest.raises(Exception):
+            interval.lo = 5.0  # type: ignore[misc]
+        assert hash(Interval(0.0, 1.0)) == hash(interval)
+
+    def test_equality_by_value(self):
+        assert Interval(0.0, 1.0) == Interval(0.0, 1.0)
+        assert Interval(0.0, 1.0) != Interval(0.0, 2.0)
+
+
+class TestContainsOverlap:
+    def test_contains_endpoints(self):
+        interval = Interval(1.0, 4.0)
+        assert interval.contains(1.0)
+        assert interval.contains(4.0)
+        assert not interval.contains(0.999)
+        assert not interval.contains(4.001)
+
+    def test_overlaps_touching(self):
+        # Closed intervals sharing one endpoint overlap.
+        assert Interval(0, 1).overlaps(Interval(1, 2))
+        assert Interval(1, 2).overlaps(Interval(0, 1))
+
+    def test_overlaps_disjoint(self):
+        assert not Interval(0, 1).overlaps(Interval(1.5, 2))
+
+    def test_overlaps_nested(self):
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+        assert Interval(3, 4).overlaps(Interval(0, 10))
+
+    @given(interval_strategy(), interval_strategy())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(interval_strategy(), interval_strategy())
+    def test_overlap_iff_intersection(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+
+class TestIntersect:
+    def test_basic(self):
+        assert Interval(0, 5).intersect(Interval(3, 8)) == Interval(3, 5)
+
+    def test_disjoint_returns_none(self):
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+
+    def test_touching_returns_point(self):
+        assert Interval(0, 1).intersect(Interval(1, 2)) == Interval(1, 1)
+
+    @given(interval_strategy(), interval_strategy())
+    def test_intersection_contained_in_both(self, a, b):
+        result = a.intersect(b)
+        if result is not None:
+            assert a.lo <= result.lo and result.hi <= a.hi
+            assert b.lo <= result.lo and result.hi <= b.hi
+
+    @given(interval_strategy(), interval_strategy(), st.floats(-100, 100))
+    def test_intersection_point_membership(self, a, b, x):
+        result = a.intersect(b)
+        in_both = a.contains(x) and b.contains(x)
+        if in_both:
+            assert result is not None and result.contains(x)
+        elif result is not None:
+            assert not result.contains(x)
+
+
+class TestShift:
+    def test_shift_positive(self):
+        assert Interval(1, 2).shift(10) == Interval(11, 12)
+
+    def test_shift_negative(self):
+        assert Interval(1, 2).shift(-3) == Interval(-2, -1)
+
+    @given(int_interval_strategy(), st.integers(-100, 100), st.integers(-100, 100))
+    def test_shift_preserves_membership(self, interval, delta, x):
+        assert interval.contains(x) == interval.shift(delta).contains(x + delta)
+
+
+class TestAggregates:
+    def test_common_intersection_basic(self):
+        result = common_intersection([Interval(0, 10), Interval(2, 8), Interval(4, 12)])
+        assert result == Interval(4, 8)
+
+    def test_common_intersection_empty_result(self):
+        assert common_intersection([Interval(0, 1), Interval(2, 3)]) is None
+
+    def test_common_intersection_single(self):
+        assert common_intersection([Interval(1, 2)]) == Interval(1, 2)
+
+    def test_common_intersection_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            common_intersection([])
+
+    def test_is_stabbed_by(self):
+        intervals = [Interval(0, 5), Interval(3, 9)]
+        assert is_stabbed_by(intervals, 4)
+        assert not is_stabbed_by(intervals, 1)
+
+    @given(st.lists(int_interval_strategy(), min_size=1, max_size=20))
+    def test_common_intersection_is_stabbing_witness(self, intervals):
+        result = common_intersection(intervals)
+        if result is not None:
+            assert is_stabbed_by(intervals, result.lo)
+            assert is_stabbed_by(intervals, result.hi)
+
+    def test_midpoint_and_str(self):
+        interval = Interval(2.0, 4.0)
+        assert interval.midpoint == 3.0
+        assert str(interval) == "[2, 4]"
+        assert list(interval) == [2.0, 4.0]

@@ -1,0 +1,94 @@
+"""Extra algebraic property tests across the interval/box/step primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, common_intersection
+from repro.core.multidim import Box
+from repro.histogram.step import StepFunction
+
+from conftest import int_interval_strategy
+
+
+@given(int_interval_strategy(), int_interval_strategy(), int_interval_strategy())
+@settings(max_examples=100)
+def test_intersection_associative(a, b, c):
+    def inter(x, y):
+        return None if x is None or y is None else x.intersect(y)
+
+    assert inter(inter(a, b), c) == inter(a, inter(b, c))
+
+
+@given(int_interval_strategy(), int_interval_strategy())
+@settings(max_examples=100)
+def test_intersection_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(st.lists(int_interval_strategy(), min_size=1, max_size=15))
+@settings(max_examples=80)
+def test_common_intersection_order_independent(intervals):
+    forward = common_intersection(intervals)
+    backward = common_intersection(list(reversed(intervals)))
+    assert forward == backward
+
+
+def box_strategy():
+    coord = st.integers(-15, 15)
+    side = st.integers(0, 10)
+    return st.builds(
+        lambda x, y, w, h: Box((float(x), float(y)), (float(x + w), float(y + h))),
+        coord, coord, side, side,
+    )
+
+
+@given(box_strategy(), box_strategy())
+@settings(max_examples=100)
+def test_box_intersection_commutative_and_contained(a, b):
+    ab = a.intersect(b)
+    assert ab == b.intersect(a)
+    if ab is not None:
+        assert a.contains(ab.center) and b.contains(ab.center)
+        assert a.overlaps(b)
+    else:
+        assert not a.overlaps(b)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(-20, 20), st.integers(1, 8), st.integers(0, 9)),
+        min_size=1,
+        max_size=5,
+    ),
+    st.lists(
+        st.tuples(st.integers(-20, 20), st.integers(1, 8), st.integers(0, 9)),
+        min_size=1,
+        max_size=5,
+    ),
+)
+@settings(max_examples=80)
+def test_step_sum_commutative(specs_a, specs_b):
+    def build(specs):
+        return [
+            StepFunction((float(lo), float(lo + w)), (float(v),))
+            for lo, w, v in specs
+        ]
+
+    fa, fb = build(specs_a), build(specs_b)
+    left = StepFunction.sum_of(fa + fb)
+    right = StepFunction.sum_of(fb + fa)
+    assert left == right
+
+
+@given(st.lists(st.tuples(st.integers(-20, 20), st.integers(1, 8)), min_size=1, max_size=6))
+@settings(max_examples=80)
+def test_simplified_preserves_values(specs):
+    functions = [
+        StepFunction((float(lo), float(lo + w)), (1.0,)) for lo, w in specs
+    ]
+    total = StepFunction.sum_of(functions)
+    simple = total.simplified()
+    lo, hi = total.support
+    for i in range(20):
+        x = lo + (hi - lo) * (i + 0.5) / 20
+        assert total(x) == simple(x)

@@ -1,0 +1,163 @@
+"""Tests for weighted 1-D k-means: DP optimality (vs brute force),
+Lloyd quality, and the agglomerative segment coarsening."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histogram.kmeans import (
+    agglomerate_segments,
+    contiguous_partition_dp,
+    kmeans_1d_dp,
+    kmeans_1d_lloyd,
+)
+
+
+def brute_force_cost(values, weights, k):
+    """Best contiguous-partition cost by trying every cut placement."""
+    m = len(values)
+    k = min(k, m)
+    best = float("inf")
+    for cuts in itertools.combinations(range(1, m), k - 1):
+        cuts = (0,) + cuts + (m,)
+        total = 0.0
+        for a, b in zip(cuts, cuts[1:]):
+            w = sum(weights[a:b])
+            if w == 0:
+                continue
+            c = sum(weights[i] * values[i] for i in range(a, b)) / w
+            total += sum(weights[i] * (values[i] - c) ** 2 for i in range(a, b))
+        best = min(best, total)
+    return best
+
+
+class TestDP:
+    def test_k_equals_m_zero_cost(self):
+        result = kmeans_1d_dp([1.0, 5.0, 9.0], [1.0, 1.0, 1.0], 3)
+        assert result.cost == pytest.approx(0.0)
+        assert result.centers == (1.0, 5.0, 9.0)
+
+    def test_obvious_two_clusters(self):
+        values = [0.0, 0.1, 0.2, 10.0, 10.1]
+        result = kmeans_1d_dp(values, [1.0] * 5, 2)
+        assert result.cuts == (0, 3, 5)
+
+    def test_weights_shift_centers(self):
+        result = kmeans_1d_dp([0.0, 10.0], [9.0, 1.0], 1)
+        assert result.centers[0] == pytest.approx(1.0)
+
+    def test_k_larger_than_m_clipped(self):
+        result = kmeans_1d_dp([1.0, 2.0], [1.0, 1.0], 10)
+        assert result.k == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kmeans_1d_dp([], [], 1)
+        with pytest.raises(ValueError):
+            kmeans_1d_dp([1.0], [1.0, 2.0], 1)
+        with pytest.raises(ValueError):
+            kmeans_1d_dp([2.0, 1.0], [1.0, 1.0], 1)  # unsorted
+        with pytest.raises(ValueError):
+            kmeans_1d_dp([1.0], [-1.0], 1)
+        with pytest.raises(ValueError):
+            kmeans_1d_dp([1.0], [1.0], 0)
+
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=9),
+        st.lists(st.integers(0, 5), min_size=9, max_size=9),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dp_matches_bruteforce(self, raw_values, raw_weights, k):
+        values = sorted(float(v) for v in raw_values)
+        weights = [float(w) for w in raw_weights[: len(values)]]
+        result = kmeans_1d_dp(values, weights, k)
+        assert result.cost == pytest.approx(
+            brute_force_cost(values, weights, k), abs=1e-7
+        )
+
+    def test_contiguous_dp_on_unsorted_values(self):
+        # Histogram use case: x-ordered, non-monotone values.
+        values = [5.0, 5.1, 0.0, 0.2, 5.0]
+        result = contiguous_partition_dp(values, [1.0] * 5, 3)
+        assert result.cuts == (0, 2, 4, 5)
+
+
+class TestLloyd:
+    def test_never_beats_dp(self):
+        values = sorted([0.0, 0.5, 3.0, 3.5, 9.0, 9.5, 20.0])
+        weights = [1.0, 2.0, 1.0, 0.5, 3.0, 1.0, 1.0]
+        for k in (1, 2, 3, 4):
+            dp = kmeans_1d_dp(values, weights, k)
+            lloyd = kmeans_1d_lloyd(values, weights, k)
+            assert lloyd.cost >= dp.cost - 1e-9
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=30),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_lloyd_contiguous_and_sane(self, raw, k):
+        values = sorted(float(v) for v in raw)
+        weights = [1.0] * len(values)
+        result = kmeans_1d_lloyd(values, weights, k)
+        assert result.cuts[0] == 0 and result.cuts[-1] == len(values)
+        assert all(a <= b for a, b in zip(result.cuts, result.cuts[1:]))
+        dp = kmeans_1d_dp(values, weights, k)
+        assert result.cost >= dp.cost - 1e-9
+        # Lloyd is a local-optimum heuristic; it must still never exceed the
+        # trivial single-cluster cost.
+        single = kmeans_1d_dp(values, weights, 1)
+        assert result.cost <= single.cost + 1e-9
+
+    def test_all_zero_weights(self):
+        result = kmeans_1d_lloyd([1.0, 2.0, 3.0], [0.0, 0.0, 0.0], 2)
+        assert result.cost == 0.0
+
+
+class TestAgglomerate:
+    def test_noop_below_target(self):
+        values, weights, cuts = agglomerate_segments([1.0, 2.0], [1.0, 1.0], 5)
+        assert values == [1.0, 2.0]
+        assert cuts == [0, 1, 2]
+
+    def test_merges_equal_neighbours_first(self):
+        values = [1.0, 1.0, 50.0, 1.0, 1.0]
+        weights = [1.0] * 5
+        merged, __, cuts = agglomerate_segments(values, weights, 3)
+        assert len(merged) == 3
+        assert 50.0 in merged  # the spike survives
+
+    def test_weighted_means_preserved(self):
+        values = [2.0, 4.0]
+        weights = [1.0, 3.0]
+        merged, merged_w, cuts = agglomerate_segments(values, weights, 1)
+        assert merged == [pytest.approx(3.5)]
+        assert merged_w == [4.0]
+        assert cuts == [0, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            agglomerate_segments([1.0], [1.0, 2.0], 1)
+        with pytest.raises(ValueError):
+            agglomerate_segments([1.0], [1.0], 0)
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=40),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=60)
+    def test_structure_preserved(self, raw, target):
+        values = [float(v) for v in raw]
+        weights = [1.0] * len(values)
+        merged, merged_w, cuts = agglomerate_segments(values, weights, target)
+        assert len(merged) == min(target, len(values))
+        assert cuts[0] == 0 and cuts[-1] == len(values)
+        assert all(a < b for a, b in zip(cuts, cuts[1:]))
+        assert sum(merged_w) == pytest.approx(sum(weights))
+        # Total weighted mass of values is preserved.
+        assert sum(v * w for v, w in zip(merged, merged_w)) == pytest.approx(
+            sum(v * w for v, w in zip(values, weights))
+        )

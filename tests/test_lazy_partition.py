@@ -1,0 +1,193 @@
+"""Tests for the lazy maintenance strategy (Lemma 3): validity, the
+(1 + eps) size bound, both reconstruction triggers, listener plumbing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.stabbing import stabbing_number
+
+from conftest import fresh_intervals, int_interval_strategy
+
+
+class RecordingListener:
+    def __init__(self):
+        self.events = []
+
+    def on_group_created(self, group):
+        self.events.append(("created", group))
+
+    def on_group_destroyed(self, group):
+        self.events.append(("destroyed", group))
+
+    def on_item_added(self, group, item):
+        self.events.append(("added", group, item))
+
+    def on_item_removed(self, group, item):
+        self.events.append(("removed", group, item))
+
+    def on_rebuilt(self, partition):
+        self.events.append(("rebuilt",))
+
+
+class TestBasics:
+    def test_empty(self):
+        partition = LazyStabbingPartition()
+        assert len(partition) == 0
+        assert partition.total_items() == 0
+
+    def test_initial_items_get_canonical_partition(self):
+        intervals = [Interval(0, 10), Interval(2, 8), Interval(20, 30)]
+        partition = LazyStabbingPartition(intervals)
+        assert len(partition) == 2
+        assert partition.reconstruction_count == 0
+        partition.validate()
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            LazyStabbingPartition(epsilon=0)
+
+    def test_invalid_trigger(self):
+        with pytest.raises(ValueError):
+            LazyStabbingPartition(trigger="bogus")
+
+    def test_duplicate_insert_rejected(self):
+        interval = Interval(0, 1)
+        partition = LazyStabbingPartition()
+        partition.insert(interval)
+        with pytest.raises(ValueError):
+            partition.insert(interval)
+
+    def test_group_of_and_contains(self):
+        a, b = Interval(0, 10), Interval(2, 8)
+        partition = LazyStabbingPartition()
+        partition.insert(a)
+        partition.insert(b)
+        assert a in partition
+        assert partition.group_of(a) is partition.group_of(b)  # reuse refinement
+        partition.delete(a)
+        assert a not in partition
+
+    def test_reuse_refinement_off_makes_singletons(self):
+        partition = LazyStabbingPartition(
+            epsilon=100.0, reuse_overlapping_group=False
+        )
+        partition.insert(Interval(0, 10))
+        partition.insert(Interval(2, 8))
+        assert len(partition) == 2  # no reuse, no reconstruction yet (eps huge)
+
+    def test_delete_empties_group(self):
+        interval = Interval(0, 1)
+        partition = LazyStabbingPartition()
+        partition.insert(interval)
+        partition.delete(interval)
+        assert len(partition) == 0
+
+
+class TestSizeBound:
+    @given(
+        st.lists(int_interval_strategy(), min_size=1, max_size=80),
+        st.lists(st.integers(0, 10_000), max_size=60),
+        st.sampled_from([0.5, 1.0, 3.0]),
+        st.sampled_from(["simple", "relaxed"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_size_bound_under_random_updates(self, intervals, picks, epsilon, trigger):
+        intervals = fresh_intervals(intervals)
+        partition = LazyStabbingPartition(epsilon=epsilon, trigger=trigger)
+        live = []
+        rng_ops = iter(picks)
+        for interval in intervals:
+            partition.insert(interval)
+            live.append(interval)
+            pick = next(rng_ops, None)
+            if pick is not None and live and pick % 3 == 0:
+                victim = live.pop(pick % len(live))
+                partition.delete(victim)
+            partition.validate()
+            tau = stabbing_number(live)
+            assert len(partition) <= (1.0 + epsilon) * tau + 1e-9, (
+                f"{len(partition)} groups vs tau={tau}, eps={epsilon}"
+            )
+
+    def test_items_preserved_across_reconstructions(self):
+        rng = random.Random(1)
+        partition = LazyStabbingPartition(epsilon=0.5)
+        live = []
+        for __ in range(300):
+            lo = rng.uniform(0, 100)
+            interval = Interval(lo, lo + rng.uniform(0, 5))
+            partition.insert(interval)
+            live.append(interval)
+            if rng.random() < 0.4 and live:
+                victim = live.pop(rng.randrange(len(live)))
+                partition.delete(victim)
+        assert partition.total_items() == len(live)
+        got = sorted((g.size for g in partition.groups), reverse=True)
+        assert sum(got) == len(live)
+
+
+class TestTriggers:
+    def test_relaxed_reconstructs_less_often_than_simple(self):
+        rng = random.Random(2)
+        intervals = [Interval(x, x + 3) for x in (rng.uniform(0, 50) for __ in range(200))]
+
+        def run(trigger):
+            partition = LazyStabbingPartition(epsilon=1.0, trigger=trigger)
+            for interval in fresh_intervals(intervals):
+                partition.insert(interval)
+            return partition.reconstruction_count
+
+        assert run("relaxed") <= run("simple")
+
+    def test_simple_trigger_counts_updates(self):
+        # tau0 = 1 group; budget = eps*tau0/(eps+2) < 1 -> reconstruct every update.
+        partition = LazyStabbingPartition([Interval(0, 10)], epsilon=1.0, trigger="simple")
+        partition.insert(Interval(1, 9))
+        assert partition.reconstruction_count == 1
+
+    def test_size_bound_accessor(self):
+        partition = LazyStabbingPartition(
+            [Interval(0, 1), Interval(5, 6)], epsilon=1.0
+        )
+        assert partition.size_bound() == pytest.approx(4.0)
+
+
+class TestListeners:
+    def test_events_fired_in_order(self):
+        listener = RecordingListener()
+        # Seed with an item so tau0 > 0 and the huge epsilon keeps the
+        # relaxed trigger from reconstructing during the test.
+        seed_item = Interval(500, 501)
+        partition = LazyStabbingPartition([seed_item], epsilon=100.0)
+        partition.add_listener(listener)
+        a = Interval(0, 10)
+        partition.insert(a)
+        assert [e[0] for e in listener.events] == ["created", "added"]
+        b = Interval(2, 8)
+        partition.insert(b)
+        assert listener.events[-1][0] == "added"
+        partition.delete(a)
+        assert listener.events[-1][0] == "removed"
+        partition.delete(b)
+        assert listener.events[-1][0] == "destroyed"
+
+    def test_rebuild_notification(self):
+        listener = RecordingListener()
+        partition = LazyStabbingPartition(epsilon=0.5, trigger="simple")
+        partition.add_listener(listener)
+        for i in range(10):
+            partition.insert(Interval(i * 100.0, i * 100.0 + 1))
+        assert ("rebuilt",) in listener.events
+
+    def test_remove_listener(self):
+        listener = RecordingListener()
+        partition = LazyStabbingPartition()
+        partition.add_listener(listener)
+        partition.remove_listener(listener)
+        partition.insert(Interval(0, 1))
+        assert listener.events == []

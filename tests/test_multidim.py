@@ -1,0 +1,222 @@
+"""Tests for multi-dimensional stabbing partitions and the box
+subscription indexes (Section 6 extension)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multidim import Box, BoxGroup, DynamicBoxPartition, sweep_box_partition
+from repro.core.stabbing import canonical_stabbing_partition
+from repro.core.intervals import Interval
+from repro.operators.multi_attribute import (
+    BoxSubscription,
+    RTreeBoxIndex,
+    ScanBoxIndex,
+    SSIBoxIndex,
+)
+
+
+def box2(xlo, ylo, xhi, yhi):
+    return Box((float(xlo), float(ylo)), (float(xhi), float(yhi)))
+
+
+def box_strategy(limit=20, max_side=12):
+    coord = st.integers(-limit, limit)
+    side = st.integers(0, max_side)
+    return st.builds(
+        lambda x, y, w, h: box2(x, y, x + w, y + h), coord, coord, side, side
+    )
+
+
+class TestBox:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Box((1.0,), (0.0,))
+        with pytest.raises(ValueError):
+            Box((0.0,), (1.0, 2.0))
+        with pytest.raises(ValueError):
+            Box((), ())
+
+    def test_contains_closed(self):
+        box = box2(0, 0, 2, 3)
+        assert box.contains((0, 0)) and box.contains((2, 3))
+        assert not box.contains((2.001, 1))
+        with pytest.raises(ValueError):
+            box.contains((1,))
+
+    def test_intersect_and_overlaps(self):
+        a = box2(0, 0, 4, 4)
+        b = box2(2, 2, 6, 6)
+        assert a.intersect(b) == box2(2, 2, 4, 4)
+        assert a.overlaps(b)
+        c = box2(5, 5, 6, 6)
+        assert a.intersect(c) is None
+        assert not a.overlaps(c)
+
+    def test_from_intervals(self):
+        box = Box.from_intervals(Interval(0, 1), Interval(2, 3), Interval(4, 5))
+        assert box.dimensions == 3
+        assert box.contains((0.5, 2.5, 4.5))
+
+    def test_center(self):
+        assert box2(0, 0, 4, 2).center == (2.0, 1.0)
+
+
+class TestSweepPartition:
+    def test_valid_partition(self):
+        rng = random.Random(1)
+        boxes = [
+            box2(x, y, x + rng.randrange(1, 8), y + rng.randrange(1, 8))
+            for x, y in ((rng.randrange(30), rng.randrange(30)) for __ in range(60))
+        ]
+        groups = sweep_box_partition(boxes)
+        assert sum(len(g) for g in groups) == len(boxes)
+        for members in groups:
+            common = members[0]
+            for box in members[1:]:
+                common = common.intersect(box)
+                assert common is not None
+
+    def test_matches_canonical_in_one_dimension(self):
+        rng = random.Random(2)
+        intervals = [Interval(lo, lo + rng.uniform(0, 5)) for lo in (rng.uniform(0, 50) for __ in range(80))]
+        boxes = [Box((iv.lo,), (iv.hi,)) for iv in intervals]
+        groups_1d = sweep_box_partition(boxes)
+        canonical = canonical_stabbing_partition(intervals)
+        assert len(groups_1d) == canonical.size
+
+    @given(st.lists(box_strategy(), min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_every_group_has_a_stabbing_point(self, boxes):
+        for members in sweep_box_partition(boxes):
+            common = members[0]
+            for box in members[1:]:
+                common = common.intersect(box)
+            assert common is not None
+            assert all(box.contains(common.center) for box in members)
+
+
+class TestBoxGroup:
+    def test_common_and_removal_recompute(self):
+        group = BoxGroup(lambda b: b)
+        a, b = box2(0, 0, 10, 10), box2(4, 4, 20, 20)
+        group.add(a)
+        group.add(b)
+        assert group.common == box2(4, 4, 10, 10)
+        group.remove(b)
+        assert group.common == box2(0, 0, 10, 10)
+        assert a in group and b not in group
+
+    def test_would_remain_stabbed(self):
+        group = BoxGroup(lambda b: b)
+        group.add(box2(0, 0, 10, 10))
+        assert group.would_remain_stabbed(box2(5, 5, 30, 30))
+        assert not group.would_remain_stabbed(box2(11, 0, 30, 30))
+
+
+class TestDynamicBoxPartition:
+    @given(st.lists(box_strategy(), min_size=1, max_size=50), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_valid_under_updates(self, boxes, data):
+        partition = DynamicBoxPartition(epsilon=1.0)
+        live = []
+        for box in boxes:
+            fresh = Box(box.lo, box.hi)
+            partition.insert(fresh)
+            live.append(fresh)
+            if live and data.draw(st.integers(0, 3)) == 0:
+                victim = live.pop(data.draw(st.integers(0, len(live) - 1)))
+                partition.delete(victim)
+            partition.validate()
+        assert partition.total_items() == len(live)
+        # Budget vs the sweep heuristic on the live set.
+        heuristic = len(sweep_box_partition(live)) if live else 0
+        assert len(partition) <= 2 * heuristic + 1e-9
+
+    def test_duplicate_rejected(self):
+        partition = DynamicBoxPartition()
+        box = box2(0, 0, 1, 1)
+        partition.insert(box)
+        with pytest.raises(ValueError):
+            partition.insert(box)
+
+
+INDEXES = [ScanBoxIndex, RTreeBoxIndex, SSIBoxIndex]
+
+
+@pytest.mark.parametrize("cls", INDEXES)
+class TestBoxIndexes:
+    def test_basic(self, cls):
+        index = cls(2)
+        a = BoxSubscription(box2(0, 0, 10, 10))
+        b = BoxSubscription(box2(5, 5, 15, 15))
+        index.add(a)
+        index.add(b)
+        assert sorted(s.qid for s in index.match((7, 7))) == sorted([a.qid, b.qid])
+        assert [s.qid for s in index.match((1, 1))] == [a.qid]
+        assert index.match((20, 20)) == []
+
+    def test_removal(self, cls):
+        index = cls(2)
+        subs = [BoxSubscription(box2(0, 0, 10, 10)) for __ in range(6)]
+        for s in subs:
+            index.add(s)
+        for s in subs[:3]:
+            index.remove(s)
+        assert sorted(s.qid for s in index.match((5, 5))) == sorted(s.qid for s in subs[3:])
+
+    def test_dimension_mismatch(self, cls):
+        index = cls(2)
+        with pytest.raises(ValueError):
+            index.add(BoxSubscription(Box((0.0,), (1.0,))))
+
+
+def test_all_box_indexes_agree_randomized():
+    rng = random.Random(7)
+    indexes = [ScanBoxIndex(2), RTreeBoxIndex(2), SSIBoxIndex(2)]
+    live = []
+    for step in range(400):
+        if live and rng.random() < 0.4:
+            victim = live.pop(rng.randrange(len(live)))
+            for index in indexes:
+                index.remove(victim)
+        else:
+            if rng.random() < 0.7:  # clustered
+                cx, cy = rng.choice([(10, 10), (50, 50), (80, 20)])
+                box = box2(
+                    cx - rng.uniform(0, 5), cy - rng.uniform(0, 5),
+                    cx + rng.uniform(0, 5), cy + rng.uniform(0, 5),
+                )
+            else:
+                x, y = rng.uniform(0, 90), rng.uniform(0, 90)
+                box = box2(x, y, x + rng.uniform(0, 10), y + rng.uniform(0, 10))
+            subscription = BoxSubscription(box)
+            live.append(subscription)
+            for index in indexes:
+                index.add(subscription)
+        if step % 20 == 0:
+            point = (rng.uniform(0, 100), rng.uniform(0, 100))
+            want = sorted(s.qid for s in live if s.matches(point))
+            for index in indexes:
+                assert sorted(s.qid for s in index.match(point)) == want, index.name
+
+
+def test_ssi_box_index_three_dimensions():
+    rng = random.Random(8)
+    scan = ScanBoxIndex(3)
+    ssi = SSIBoxIndex(3)
+    live = []
+    for __ in range(150):
+        lo = tuple(rng.uniform(0, 50) for __ in range(3))
+        hi = tuple(v + rng.uniform(0, 10) for v in lo)
+        subscription = BoxSubscription(Box(lo, hi))
+        live.append(subscription)
+        scan.add(subscription)
+        ssi.add(subscription)
+    for __ in range(20):
+        point = tuple(rng.uniform(0, 60) for __ in range(3))
+        assert sorted(s.qid for s in ssi.match(point)) == sorted(
+            s.qid for s in scan.match(point)
+        )

@@ -1,0 +1,84 @@
+"""Stress tests: join probes stay correct while the underlying partition
+reconstructs aggressively (tiny epsilon, heavy churn, refined backend)."""
+
+import random
+
+from repro.core.intervals import Interval
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.refined_partition import RefinedStabbingPartition
+from repro.engine.queries import (
+    BandJoinQuery,
+    SelectJoinQuery,
+    band_interval,
+    brute_force_band_join,
+    brute_force_select_join,
+    range_c_interval,
+)
+from repro.engine.table import TableR, TableS
+from repro.operators.band_join import BJSSI
+from repro.operators.select_join import SJSSI
+
+
+def norm(results):
+    return {q.qid: sorted(s.sid for s in v) for q, v in results.items()}
+
+
+def test_band_join_correct_across_aggressive_reconstruction():
+    rng = random.Random(1)
+    table_s = TableS(order=4)
+    for __ in range(150):
+        table_s.add(rng.uniform(0, 80), 0.0)
+    table_r = TableR(order=4)
+    for backend in (
+        LazyStabbingPartition(epsilon=0.25, interval_of=band_interval, trigger="simple"),
+        RefinedStabbingPartition(epsilon=0.25, interval_of=band_interval, seed=2),
+    ):
+        strategy = BJSSI(table_s, table_r, partition=backend)
+        live = []
+        for step in range(250):
+            if live and rng.random() < 0.45:
+                query = live.pop(rng.randrange(len(live)))
+                strategy.remove_query(query)
+            else:
+                lo = rng.uniform(-8, 8)
+                query = BandJoinQuery(Interval(lo, lo + rng.uniform(0, 3)))
+                live.append(query)
+                strategy.add_query(query)
+            if step % 20 == 19:
+                r = table_r.new_row(0.0, rng.uniform(0, 80))
+                assert norm(strategy.process_r(r)) == norm(
+                    brute_force_band_join(live, r, table_s)
+                )
+        assert backend.reconstruction_count > 0, "stress test never reconstructed"
+
+
+def test_select_join_correct_across_aggressive_reconstruction():
+    rng = random.Random(3)
+    table_s = TableS(order=4)
+    for __ in range(200):
+        table_s.add(float(rng.randrange(8)), rng.uniform(0, 60))
+    table_r = TableR(order=4)
+    backend = LazyStabbingPartition(
+        epsilon=0.25, interval_of=range_c_interval, trigger="simple"
+    )
+    strategy = SJSSI(table_s, table_r, partition_c=backend, symmetric=False)
+    live = []
+    for step in range(250):
+        if live and rng.random() < 0.45:
+            query = live.pop(rng.randrange(len(live)))
+            strategy.remove_query(query)
+        else:
+            a_lo = rng.uniform(0, 50)
+            c_lo = rng.uniform(0, 50)
+            query = SelectJoinQuery(
+                Interval(a_lo, a_lo + rng.uniform(0, 15)),
+                Interval(c_lo, c_lo + rng.uniform(0, 15)),
+            )
+            live.append(query)
+            strategy.add_query(query)
+        if step % 20 == 19:
+            r = table_r.new_row(rng.uniform(0, 60), float(rng.randrange(8)))
+            assert norm(strategy.process_r(r)) == norm(
+                brute_force_select_join(live, r, table_s)
+            )
+    assert backend.reconstruction_count > 0

@@ -1,0 +1,97 @@
+"""Tests for the continuous-query model (band joins, select-joins)."""
+
+from repro.core.intervals import Interval
+from repro.dstruct.rtree import Rect
+from repro.engine.queries import (
+    BandJoinQuery,
+    SelectJoinQuery,
+    band_interval,
+    brute_force_band_join,
+    brute_force_select_join,
+    range_a_interval,
+    range_c_interval,
+)
+from repro.engine.table import RTuple, STuple, TableS
+
+
+class TestBandJoinQuery:
+    def test_matches(self):
+        query = BandJoinQuery(Interval(-1.0, 2.0))
+        r = RTuple(0, a=0.0, b=10.0)
+        assert query.matches(r, STuple(0, b=9.0, c=0.0))   # 9-10 = -1
+        assert query.matches(r, STuple(1, b=12.0, c=0.0))  # 12-10 = 2
+        assert not query.matches(r, STuple(2, b=13.0, c=0.0))
+
+    def test_s_window(self):
+        query = BandJoinQuery(Interval(-1.0, 2.0))
+        assert query.s_window(RTuple(0, 0.0, 10.0)) == Interval(9.0, 12.0)
+
+    def test_r_window_mirrors_s_window(self):
+        query = BandJoinQuery(Interval(-1.0, 2.0))
+        s = STuple(0, b=10.0, c=0.0)
+        window = query.r_window(s)
+        assert window == Interval(8.0, 11.0)
+        # A tuple with r.b in the window matches.
+        assert query.matches(RTuple(0, 0.0, 8.0), s)
+        assert query.matches(RTuple(1, 0.0, 11.0), s)
+        assert not query.matches(RTuple(2, 0.0, 11.5), s)
+
+    def test_unique_qids(self):
+        a = BandJoinQuery(Interval(0, 1))
+        b = BandJoinQuery(Interval(0, 1))
+        assert a.qid != b.qid
+
+    def test_explicit_qid(self):
+        assert BandJoinQuery(Interval(0, 1), qid=42).qid == 42
+
+    def test_band_interval_accessor(self):
+        query = BandJoinQuery(Interval(3, 4))
+        assert band_interval(query) == Interval(3, 4)
+
+
+class TestSelectJoinQuery:
+    def test_matches_requires_equality_and_both_ranges(self):
+        query = SelectJoinQuery(Interval(0, 10), Interval(20, 30))
+        r = RTuple(0, a=5.0, b=7.0)
+        assert query.matches(r, STuple(0, b=7.0, c=25.0))
+        assert not query.matches(r, STuple(1, b=8.0, c=25.0))  # join key differs
+        assert not query.matches(r, STuple(2, b=7.0, c=35.0))  # C selection fails
+        assert not query.matches(RTuple(1, a=15.0, b=7.0), STuple(3, b=7.0, c=25.0))
+
+    def test_rect_is_c_by_a(self):
+        query = SelectJoinQuery(Interval(1, 2), Interval(3, 4))
+        assert query.rect == Rect(3, 1, 4, 2)
+
+    def test_interval_accessors(self):
+        query = SelectJoinQuery(Interval(1, 2), Interval(3, 4))
+        assert range_a_interval(query) == Interval(1, 2)
+        assert range_c_interval(query) == Interval(3, 4)
+
+    def test_repr_contains_ranges(self):
+        query = SelectJoinQuery(Interval(1, 2), Interval(3, 4))
+        assert "rangeA" in repr(query) and "rangeC" in repr(query)
+
+
+class TestBruteForce:
+    def test_band_join_oracle(self):
+        table = TableS()
+        near = table.add(10.0, 0.0)
+        far = table.add(50.0, 0.0)
+        query = BandJoinQuery(Interval(-1.0, 1.0))
+        r = RTuple(0, 0.0, 10.5)
+        results = brute_force_band_join([query], r, table)
+        assert results == {query: [near]}
+
+    def test_band_join_oracle_empty(self):
+        table = TableS()
+        table.add(50.0, 0.0)
+        query = BandJoinQuery(Interval(-1.0, 1.0))
+        assert brute_force_band_join([query], RTuple(0, 0.0, 10.0), table) == {}
+
+    def test_select_join_oracle(self):
+        table = TableS()
+        hit = table.add(7.0, 25.0)
+        table.add(7.0, 99.0)
+        query = SelectJoinQuery(Interval(0, 10), Interval(20, 30))
+        results = brute_force_select_join([query], RTuple(0, 5.0, 7.0), table)
+        assert results == {query: [hit]}

@@ -1,0 +1,84 @@
+"""Complexity-shaped tests for the refined (Appendix B) reconstruction.
+
+Theorem 2's reconstruction stage examines groups, not intervals: the
+number of SPLIT and JOIN tree operations per reconstruction is O(tau0),
+independent of n.  These tests verify that with operation counters, which
+is the property that makes the refined maintainer suitable for real-time
+use.
+"""
+
+import random
+
+from repro.core.intervals import Interval
+from repro.core.refined_partition import RefinedStabbingPartition
+
+
+def clustered_intervals(rng, count, anchors, spread=3.0):
+    out = []
+    for __ in range(count):
+        anchor = rng.choice(anchors)
+        out.append(
+            Interval(
+                anchor - abs(rng.normalvariate(spread, 1)) - 0.1,
+                anchor + abs(rng.normalvariate(spread, 1)) + 0.1,
+            )
+        )
+    return out
+
+
+def test_reconstruction_ops_scale_with_groups_not_items():
+    rng = random.Random(5)
+    anchors = [100.0 * i for i in range(1, 13)]  # tau ~ 12
+
+    ops_per_recon = {}
+    for n in (500, 2_000, 8_000):
+        partition = RefinedStabbingPartition(
+            clustered_intervals(rng, n, anchors), epsilon=1.0, seed=6
+        )
+        partition.split_count = partition.join_count = 0
+        recons_before = partition.reconstruction_count
+        # Drive enough updates to force several reconstructions.
+        extra = clustered_intervals(rng, 200, anchors)
+        for interval in extra:
+            partition.insert(interval)
+        recons = partition.reconstruction_count - recons_before
+        assert recons > 0
+        ops_per_recon[n] = (partition.split_count + partition.join_count) / recons
+
+    # 16x more items must not mean 16x more tree ops per reconstruction;
+    # the op count tracks the group count (~12 + fresh singletons).
+    assert ops_per_recon[8_000] < 4 * ops_per_recon[500]
+    assert all(ops <= 400 for ops in ops_per_recon.values())
+
+
+def test_fresh_singletons_absorbed_by_reconstruction():
+    rng = random.Random(7)
+    anchors = [50.0, 500.0]
+    partition = RefinedStabbingPartition(
+        clustered_intervals(rng, 300, anchors), epsilon=0.5, seed=8
+    )
+    assert len(partition) <= 3  # (1 + eps) * 2
+    # A burst of inserts creates fresh singleton groups, then the update
+    # budget forces a reconstruction that folds them back in.
+    for interval in clustered_intervals(rng, 100, anchors):
+        partition.insert(interval)
+    assert len(partition) <= 3
+    assert all(not group.fresh for group in partition.groups) or any(
+        group.size > 1 for group in partition.groups
+    )
+
+
+def test_epsilon_controls_reconstruction_frequency():
+    rng = random.Random(9)
+    anchors = [100.0 * i for i in range(1, 9)]
+
+    def recons_for(eps):
+        partition = RefinedStabbingPartition(
+            clustered_intervals(rng, 1_000, anchors), epsilon=eps, seed=10
+        )
+        before = partition.reconstruction_count
+        for interval in clustered_intervals(random.Random(11), 300, anchors):
+            partition.insert(interval)
+        return partition.reconstruction_count - before
+
+    assert recons_for(0.25) >= recons_for(4.0)

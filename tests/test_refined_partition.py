@@ -1,0 +1,162 @@
+"""Tests for the refined Appendix B algorithm: size bound, single-group
+update locality, and reconstruction equivalence with the greedy sweep."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.refined_partition import RefinedStabbingPartition
+from repro.core.stabbing import canonical_stabbing_partition, stabbing_number
+
+from conftest import fresh_intervals, int_interval_strategy
+
+
+def composition(groups):
+    """Multiset-of-multisets view of a partition, independent of order."""
+    return sorted(sorted((iv.lo, iv.hi) for iv in group) for group in groups)
+
+
+class TestBasics:
+    def test_empty(self):
+        partition = RefinedStabbingPartition(seed=1)
+        assert len(partition) == 0
+
+    def test_initial_build_is_canonical(self):
+        intervals = [Interval(0, 10), Interval(2, 8), Interval(20, 30)]
+        partition = RefinedStabbingPartition(intervals, seed=1)
+        canon = canonical_stabbing_partition(intervals)
+        assert composition(partition.groups) == composition(
+            g.items for g in canon.groups
+        )
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            RefinedStabbingPartition(epsilon=-1)
+
+    def test_duplicate_insert_rejected(self):
+        partition = RefinedStabbingPartition(seed=1)
+        interval = Interval(0, 1)
+        partition.insert(interval)
+        with pytest.raises(ValueError):
+            partition.insert(interval)
+
+    def test_group_of(self):
+        intervals = [Interval(0, 10), Interval(2, 8)]
+        partition = RefinedStabbingPartition(intervals, seed=1)
+        assert partition.group_of(intervals[0]) is partition.group_of(intervals[1])
+        assert intervals[0] in partition
+
+
+class TestReconstruction:
+    @given(st.lists(int_interval_strategy(), min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_reconstruction_equals_greedy(self, intervals):
+        intervals = fresh_intervals(intervals)
+        partition = RefinedStabbingPartition(intervals, epsilon=1.0, seed=3)
+        partition._reconstruct()
+        canon = canonical_stabbing_partition(intervals)
+        assert composition(partition.groups) == composition(
+            g.items for g in canon.groups
+        )
+
+    @given(
+        st.lists(int_interval_strategy(), min_size=1, max_size=50),
+        st.lists(int_interval_strategy(), min_size=0, max_size=30),
+        st.lists(st.integers(0, 10_000), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_reconstruction_after_mixed_updates(self, initial, inserts, deletes):
+        initial = fresh_intervals(initial)
+        inserts = fresh_intervals(inserts)
+        # Large epsilon so no automatic reconstruction interferes; we then
+        # force one and compare with greedy on the exact live multiset.
+        partition = RefinedStabbingPartition(initial, epsilon=1000.0, seed=5)
+        live = list(initial)
+        for interval in inserts:
+            partition.insert(interval)
+            live.append(interval)
+        for pick in deletes:
+            if not live:
+                break
+            victim = live.pop(pick % len(live))
+            partition.delete(victim)
+        partition._reconstruct()
+        canon = canonical_stabbing_partition(live)
+        assert composition(partition.groups) == composition(
+            g.items for g in canon.groups
+        )
+
+    def test_reconstruction_counters(self):
+        rng = random.Random(4)
+        intervals = [
+            Interval(x, x + 2) for x in (rng.uniform(0, 30) for __ in range(100))
+        ]
+        partition = RefinedStabbingPartition(intervals, epsilon=1.0, seed=6)
+        before = partition.reconstruction_count
+        for i in range(50):
+            partition.insert(Interval(rng.uniform(0, 30), rng.uniform(30, 60)))
+        assert partition.reconstruction_count > before
+        assert partition.split_count + partition.join_count > 0
+
+
+class TestSizeBound:
+    @given(
+        st.lists(int_interval_strategy(), min_size=1, max_size=60),
+        st.lists(st.integers(0, 10_000), max_size=50),
+        st.sampled_from([0.5, 1.0, 3.0]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_size_bound_under_random_updates(self, intervals, picks, epsilon):
+        intervals = fresh_intervals(intervals)
+        partition = RefinedStabbingPartition(epsilon=epsilon, seed=7)
+        live = []
+        rng_ops = iter(picks)
+        for interval in intervals:
+            partition.insert(interval)
+            live.append(interval)
+            pick = next(rng_ops, None)
+            if pick is not None and live and pick % 3 == 0:
+                victim = live.pop(pick % len(live))
+                partition.delete(victim)
+            partition.validate()
+            tau = stabbing_number(live)
+            assert len(partition) <= (1.0 + epsilon) * tau + 1e-9
+
+    def test_total_items_preserved(self):
+        rng = random.Random(8)
+        partition = RefinedStabbingPartition(epsilon=1.0, seed=9)
+        live = []
+        for __ in range(400):
+            lo = rng.uniform(0, 100)
+            interval = Interval(lo, lo + rng.uniform(0, 8))
+            partition.insert(interval)
+            live.append(interval)
+            if rng.random() < 0.45:
+                victim = live.pop(rng.randrange(len(live)))
+                partition.delete(victim)
+        assert partition.total_items() == len(live)
+        partition.validate()
+
+
+class TestUpdateLocality:
+    def test_insert_touches_one_new_group(self):
+        intervals = [Interval(0, 10), Interval(20, 30)]
+        # Huge epsilon: no reconstruction, pure singleton insertion.
+        partition = RefinedStabbingPartition(intervals, epsilon=1000.0, seed=10)
+        groups_before = set(id(g) for g in partition.groups)
+        partition.insert(Interval(5, 25))
+        groups_after = set(id(g) for g in partition.groups)
+        assert len(groups_after - groups_before) == 1
+        assert groups_before <= groups_after
+
+    def test_delete_touches_only_its_group(self):
+        a, b, c = Interval(0, 10), Interval(2, 8), Interval(20, 30)
+        partition = RefinedStabbingPartition([a, b, c], epsilon=1000.0, seed=11)
+        target = partition.group_of(a)
+        others = [g for g in partition.groups if g is not target]
+        sizes = [g.size for g in others]
+        partition.delete(a)
+        assert [g.size for g in others] == sizes

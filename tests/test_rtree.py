@@ -1,0 +1,145 @@
+"""Tests for the Guttman R-tree: rectangle algebra, stabbing, deletion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dstruct.rtree import Rect, RTree
+
+
+def rect_strategy(limit=50, max_side=20):
+    def build(x, y, w, h):
+        return Rect(x, y, x + w, y + h)
+
+    coord = st.integers(-limit, limit).map(float)
+    side = st.integers(0, max_side).map(float)
+    return st.builds(build, coord, coord, side, side)
+
+
+class TestRect:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_contains_point_closed(self):
+        rect = Rect(0, 0, 2, 3)
+        assert rect.contains_point(0, 0)
+        assert rect.contains_point(2, 3)
+        assert not rect.contains_point(2.001, 1)
+
+    def test_intersects(self):
+        assert Rect(0, 0, 2, 2).intersects(Rect(2, 2, 3, 3))  # touching corners
+        assert not Rect(0, 0, 1, 1).intersects(Rect(2, 2, 3, 3))
+
+    def test_union_and_area(self):
+        u = Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3))
+        assert u == Rect(0, 0, 3, 3)
+        assert u.area == 9.0
+
+    def test_enlargement(self):
+        assert Rect(0, 0, 1, 1).enlargement(Rect(0, 0, 1, 2)) == 1.0
+        assert Rect(0, 0, 2, 2).enlargement(Rect(1, 1, 2, 2)) == 0.0
+
+
+class TestRTreeBasics:
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            RTree(3)
+
+    def test_stab(self):
+        tree = RTree(4)
+        tree.insert(Rect(0, 0, 10, 10), "big")
+        tree.insert(Rect(2, 2, 4, 4), "small")
+        tree.insert(Rect(20, 20, 30, 30), "far")
+        assert {p for __, p in tree.stab(3, 3)} == {"big", "small"}
+        assert {p for __, p in tree.stab(15, 15)} == set()
+
+    def test_search_window(self):
+        tree = RTree(4)
+        for i in range(10):
+            tree.insert(Rect(i, i, i + 1, i + 1), i)
+        hits = {p for __, p in tree.search(Rect(2.5, 2.5, 5.5, 5.5))}
+        assert hits == {2, 3, 4, 5}
+
+    def test_growth_keeps_invariants(self):
+        tree = RTree(4)
+        rng = random.Random(1)
+        for i in range(300):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            tree.insert(Rect(x, y, x + rng.uniform(0, 5), y + rng.uniform(0, 5)), i)
+        tree.check_invariants()
+        assert len(tree) == 300
+
+    def test_remove(self):
+        tree = RTree(4)
+        tree.insert(Rect(0, 0, 1, 1), "a")
+        tree.insert(Rect(0, 0, 1, 1), "b")
+        tree.remove(Rect(0, 0, 1, 1), "a")
+        assert [p for __, p in tree.stab(0.5, 0.5)] == ["b"]
+
+    def test_remove_missing_raises(self):
+        tree = RTree(4)
+        tree.insert(Rect(0, 0, 1, 1), "a")
+        with pytest.raises(KeyError):
+            tree.remove(Rect(0, 0, 1, 1), "zzz")
+        with pytest.raises(KeyError):
+            tree.remove(Rect(5, 5, 6, 6), "a")
+
+    def test_node_visit_counter(self):
+        tree = RTree(4)
+        for i in range(50):
+            tree.insert(Rect(i, 0, i + 1, 1), i)
+        tree.reset_counters()
+        tree.stab(25.5, 0.5)
+        assert tree.node_visits > 0
+
+
+@given(
+    st.lists(rect_strategy(), min_size=1, max_size=60),
+    st.lists(st.tuples(st.integers(-55, 55), st.integers(-55, 55)), min_size=1, max_size=15),
+)
+@settings(max_examples=60, deadline=None)
+def test_stab_matches_bruteforce(rects, probes):
+    tree = RTree(4)
+    for i, rect in enumerate(rects):
+        tree.insert(rect, i)
+    tree.check_invariants()
+    for x, y in probes:
+        got = sorted(p for __, p in tree.stab(x, y))
+        want = sorted(i for i, rect in enumerate(rects) if rect.contains_point(x, y))
+        assert got == want
+
+
+@given(st.lists(rect_strategy(), min_size=1, max_size=50), st.data())
+@settings(max_examples=50, deadline=None)
+def test_deletions_keep_correctness(rects, data):
+    tree = RTree(4)
+    live = {}
+    for i, rect in enumerate(rects):
+        tree.insert(rect, i)
+        live[i] = rect
+    deletions = data.draw(st.integers(0, len(rects)))
+    for __ in range(deletions):
+        i = data.draw(st.sampled_from(sorted(live)))
+        tree.remove(live.pop(i), i)
+    tree.check_invariants()
+    assert len(tree) == len(live)
+    for x, y in [(-30, -30), (0, 0), (10, 5), (30, 30)]:
+        got = sorted(p for __, p in tree.stab(x, y))
+        want = sorted(i for i, rect in live.items() if rect.contains_point(x, y))
+        assert got == want
+
+
+@given(st.lists(rect_strategy(), min_size=1, max_size=40), rect_strategy())
+@settings(max_examples=50, deadline=None)
+def test_window_search_matches_bruteforce(rects, window):
+    tree = RTree(5)
+    for i, rect in enumerate(rects):
+        tree.insert(rect, i)
+    got = sorted(p for __, p in tree.search(window))
+    want = sorted(i for i, rect in enumerate(rects) if rect.intersects(window))
+    assert got == want

@@ -1,0 +1,221 @@
+"""Tests for the four select-join strategies against the brute-force oracle,
+plus SJ-SSI probe specifics (coincident join points, duplicate keys)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval
+from repro.core.refined_partition import RefinedStabbingPartition
+from repro.engine.queries import (
+    SelectJoinQuery,
+    brute_force_select_join,
+    range_c_interval,
+)
+from repro.engine.table import TableR, TableS
+from repro.operators.select_join import (
+    SJJoinFirst,
+    SJNaive,
+    SJSelectFirst,
+    SJSSI,
+    make_select_strategies,
+)
+
+STRATEGY_CLASSES = [SJNaive, SJJoinFirst, SJSelectFirst, SJSSI]
+
+
+def norm(results):
+    return {
+        query.qid: sorted(row.sid if hasattr(row, "sid") else row.rid for row in rows)
+        for query, rows in results.items()
+    }
+
+
+def make_workload(seed, n_s=150, n_r=50, n_q=70, b_values=25, domain=100.0):
+    """Integer join keys so equality joins actually occur."""
+    rng = random.Random(seed)
+    table_s = TableS(order=4)
+    table_r = TableR(order=4)
+    for __ in range(n_s):
+        table_s.add(float(rng.randrange(b_values)), rng.uniform(0, domain))
+    for __ in range(n_r):
+        table_r.add(rng.uniform(0, domain), float(rng.randrange(b_values)))
+    queries = []
+    for __ in range(n_q):
+        a_lo = rng.uniform(0, domain * 0.9)
+        c_lo = rng.uniform(0, domain * 0.9)
+        queries.append(
+            SelectJoinQuery(
+                Interval(a_lo, a_lo + rng.uniform(0, domain * 0.3)),
+                Interval(c_lo, c_lo + rng.uniform(0, domain * 0.3)),
+            )
+        )
+    return rng, table_s, table_r, queries
+
+
+@pytest.mark.parametrize("cls", STRATEGY_CLASSES)
+class TestAgainstOracle:
+    def test_process_r_matches_bruteforce(self, cls):
+        rng, table_s, table_r, queries = make_workload(seed=201)
+        strategy = cls(table_s, table_r)
+        for query in queries:
+            strategy.add_query(query)
+        for __ in range(30):
+            r = table_r.new_row(rng.uniform(0, 100), float(rng.randrange(25)))
+            assert norm(strategy.process_r(r)) == norm(
+                brute_force_select_join(queries, r, table_s)
+            )
+
+    def test_process_s_matches_bruteforce(self, cls):
+        rng, table_s, table_r, queries = make_workload(seed=202)
+        strategy = cls(table_s, table_r)
+        for query in queries:
+            strategy.add_query(query)
+        for __ in range(20):
+            s = table_s.new_row(float(rng.randrange(25)), rng.uniform(0, 100))
+            want = {
+                q.qid: sorted(r.rid for r in table_r if q.matches(r, s))
+                for q in queries
+                if any(q.matches(r, s) for r in table_r)
+            }
+            assert norm(strategy.process_s(s)) == want
+
+    def test_query_removal_respected(self, cls):
+        rng, table_s, table_r, queries = make_workload(seed=203)
+        strategy = cls(table_s, table_r)
+        for query in queries:
+            strategy.add_query(query)
+        for query in queries[::3]:
+            strategy.remove_query(query)
+        kept = [q for i, q in enumerate(queries) if i % 3 != 0]
+        r = table_r.new_row(50.0, 5.0)
+        assert norm(strategy.process_r(r)) == norm(
+            brute_force_select_join(kept, r, table_s)
+        )
+
+    def test_no_joining_tuples(self, cls):
+        table_s = TableS()
+        table_s.add(1.0, 50.0)
+        strategy = cls(table_s)
+        strategy.add_query(SelectJoinQuery(Interval(0, 100), Interval(0, 100)))
+        r = strategy.table_r.new_row(50.0, 99.0)  # no s with b == 99
+        assert strategy.process_r(r) == {}
+
+    def test_duplicate_query_id_rejected(self, cls):
+        strategy = cls(TableS())
+        query = SelectJoinQuery(Interval(0, 1), Interval(0, 1))
+        strategy.add_query(query)
+        with pytest.raises(ValueError):
+            strategy.add_query(query)
+
+
+class TestSJSSISpecifics:
+    def test_stabbing_point_coincides_with_join_tuple(self):
+        table_s = TableS(order=4)
+        # One C value exactly at what will be the group's stabbing point.
+        query = SelectJoinQuery(Interval(0, 100), Interval(10.0, 20.0))
+        strategy = SJSSI(table_s)
+        strategy.add_query(query)
+        point = next(iter(strategy.ssi.groups()))[0]
+        s = table_s.add(5.0, point)
+        got = norm(strategy.process_r(strategy.table_r.new_row(50.0, 5.0)))
+        assert got == {query.qid: [s.sid]}
+
+    def test_duplicate_c_values_counted_once_each(self):
+        table_s = TableS(order=4)
+        rows = [table_s.add(5.0, 15.0) for __ in range(6)]
+        strategy = SJSSI(table_s)
+        query = SelectJoinQuery(Interval(0, 100), Interval(10.0, 20.0))
+        strategy.add_query(query)
+        got = norm(strategy.process_r(strategy.table_r.new_row(50.0, 5.0)))
+        assert got == {query.qid: sorted(r.sid for r in rows)}
+
+    def test_rectangle_in_gap_not_reported(self):
+        # Query whose rangeC falls strictly between two S.C values: affected
+        # by neither join result point, must not be reported (Figure 5 gap).
+        table_s = TableS(order=4)
+        table_s.add(5.0, 10.0)
+        table_s.add(5.0, 30.0)
+        strategy = SJSSI(table_s)
+        gap_query = SelectJoinQuery(Interval(0, 100), Interval(15.0, 25.0))
+        strategy.add_query(gap_query)
+        assert strategy.process_r(strategy.table_r.new_row(50.0, 5.0)) == {}
+
+    def test_asymmetric_constructor_rejects_process_s(self):
+        strategy = SJSSI(TableS(), symmetric=False)
+        strategy.add_query(SelectJoinQuery(Interval(0, 1), Interval(0, 1)))
+        with pytest.raises(RuntimeError):
+            strategy.process_s(strategy.table_s.new_row(0.0, 0.0))
+
+    def test_refined_partition_backend(self):
+        rng, table_s, table_r, queries = make_workload(seed=204)
+        partition = RefinedStabbingPartition(
+            epsilon=1.0, interval_of=range_c_interval, seed=5
+        )
+        strategy = SJSSI(table_s, table_r, partition_c=partition, symmetric=False)
+        for query in queries:
+            strategy.add_query(query)
+        r = table_r.new_row(rng.uniform(0, 100), float(rng.randrange(25)))
+        assert norm(strategy.process_r(r)) == norm(
+            brute_force_select_join(queries, r, table_s)
+        )
+
+
+@given(st.integers(0, 10_000), st.integers(1, 40), st.integers(0, 60))
+@settings(max_examples=25, deadline=None)
+def test_all_strategies_agree_randomized(seed, n_q, n_s):
+    rng = random.Random(seed)
+    table_s = TableS(order=4)
+    table_r = TableR(order=4)
+    for __ in range(n_s):
+        table_s.add(float(rng.randrange(8)), float(rng.randrange(0, 40)))
+    queries = []
+    for __ in range(n_q):
+        a_lo = float(rng.randrange(0, 35))
+        c_lo = float(rng.randrange(0, 35))
+        queries.append(
+            SelectJoinQuery(
+                Interval(a_lo, a_lo + rng.randrange(0, 15)),
+                Interval(c_lo, c_lo + rng.randrange(0, 15)),
+            )
+        )
+    strategies = make_select_strategies(table_s, table_r)
+    for strategy in strategies.values():
+        for query in queries:
+            strategy.add_query(query)
+    for __ in range(5):
+        r = table_r.new_row(float(rng.randrange(0, 40)), float(rng.randrange(8)))
+        want = norm(brute_force_select_join(queries, r, table_s))
+        for name, strategy in strategies.items():
+            assert norm(strategy.process_r(r)) == want, name
+
+
+def test_maintenance_under_mixed_stream():
+    rng = random.Random(17)
+    table_s = TableS(order=4)
+    for __ in range(120):
+        table_s.add(float(rng.randrange(10)), rng.uniform(0, 60))
+    strategies = make_select_strategies(table_s)
+    live = []
+    for step in range(250):
+        if live and rng.random() < 0.45:
+            query = live.pop(rng.randrange(len(live)))
+            for strategy in strategies.values():
+                strategy.remove_query(query)
+        else:
+            a_lo = rng.uniform(0, 50)
+            c_lo = rng.uniform(0, 50)
+            query = SelectJoinQuery(
+                Interval(a_lo, a_lo + rng.uniform(0, 15)),
+                Interval(c_lo, c_lo + rng.uniform(0, 15)),
+            )
+            live.append(query)
+            for strategy in strategies.values():
+                strategy.add_query(query)
+        if step % 50 == 49:
+            r = TableR().new_row(rng.uniform(0, 60), float(rng.randrange(10)))
+            want = norm(brute_force_select_join(live, r, table_s))
+            for name, strategy in strategies.items():
+                assert norm(strategy.process_r(r)) == want, name

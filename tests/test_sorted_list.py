@@ -1,0 +1,113 @@
+"""Tests for the bisect-backed SortedKeyList."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dstruct.sorted_list import SortedKeyList
+
+
+class TestBasics:
+    def test_initial_items_sorted(self):
+        sl = SortedKeyList([3, 1, 2])
+        assert list(sl) == [1, 2, 3]
+
+    def test_add_returns_index(self):
+        sl = SortedKeyList([1, 3])
+        assert sl.add(2) == 1
+        assert list(sl) == [1, 2, 3]
+
+    def test_key_function(self):
+        sl = SortedKeyList(["bbb", "a", "cc"], key=len)
+        assert list(sl) == ["a", "cc", "bbb"]
+
+    def test_duplicates_keep_insertion_order(self):
+        sl = SortedKeyList(key=lambda pair: pair[0])
+        sl.add((1, "first"))
+        sl.add((1, "second"))
+        sl.add((0, "zero"))
+        assert list(sl) == [(0, "zero"), (1, "first"), (1, "second")]
+
+    def test_len_and_contains(self):
+        sl = SortedKeyList([5, 5, 7])
+        assert len(sl) == 3
+        assert 5 in sl
+        assert 6 not in sl
+
+    def test_getitem(self):
+        sl = SortedKeyList([4, 2, 9])
+        assert sl[0] == 2
+        assert sl[2] == 9
+
+
+class TestRemove:
+    def test_remove_one_duplicate(self):
+        sl = SortedKeyList([2, 2, 3])
+        sl.remove(2)
+        assert list(sl) == [2, 3]
+
+    def test_remove_missing_raises(self):
+        sl = SortedKeyList([1])
+        with pytest.raises(ValueError):
+            sl.remove(9)
+
+    def test_remove_by_identity_prefers_same_object(self):
+        a = [1]
+        b = [1]  # equal but distinct
+        sl = SortedKeyList(key=lambda item: item[0])
+        sl.add(a)
+        sl.add(b)
+        sl.remove(b)
+        assert sl[0] is a
+
+    def test_remove_equal_when_identity_absent(self):
+        sl = SortedKeyList([(1, "x")], key=lambda pair: pair[0])
+        sl.remove((1, "x"))
+        assert len(sl) == 0
+
+
+class TestSearch:
+    def test_bisect_bounds(self):
+        sl = SortedKeyList([1, 3, 3, 5])
+        assert sl.bisect_left(3) == 1
+        assert sl.bisect_right(3) == 3
+        assert sl.bisect_left(0) == 0
+        assert sl.bisect_right(9) == 4
+
+    def test_irange(self):
+        sl = SortedKeyList(range(10))
+        assert list(sl.irange(3, 6)) == [3, 4, 5, 6]
+        assert list(sl.irange(None, 2)) == [0, 1, 2]
+        assert list(sl.irange(8, None)) == [8, 9]
+
+    def test_count_in_range(self):
+        sl = SortedKeyList([1, 2, 2, 2, 5])
+        assert sl.count_in_range(2, 2) == 3
+        assert sl.count_in_range(0, 10) == 5
+        assert sl.count_in_range(3, 4) == 0
+
+
+@given(st.lists(st.integers(-50, 50)), st.lists(st.integers(0, 100)))
+def test_matches_sorted_list_oracle(additions, removal_picks):
+    sl = SortedKeyList()
+    oracle = []
+    for value in additions:
+        sl.add(value)
+        oracle.append(value)
+        oracle.sort()
+        assert list(sl) == oracle
+    for pick in removal_picks:
+        if not oracle:
+            break
+        value = oracle[pick % len(oracle)]
+        sl.remove(value)
+        oracle.remove(value)
+        assert list(sl) == oracle
+
+
+@given(st.lists(st.integers(-20, 20), min_size=1), st.integers(-25, 25), st.integers(-25, 25))
+def test_irange_matches_filter(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    sl = SortedKeyList(values)
+    assert list(sl.irange(lo, hi)) == sorted(v for v in values if lo <= v <= hi)
+    assert sl.count_in_range(lo, hi) == len([v for v in values if lo <= v <= hi])

@@ -1,0 +1,88 @@
+"""Tests for the generic stabbing set index framework: per-group structures
+stay synchronized with the partition through updates and reconstructions."""
+
+import random
+
+from repro.core.intervals import Interval
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.refined_partition import RefinedStabbingPartition
+from repro.core.ssi import StabbingSetIndex
+
+
+def make_ssi(partition):
+    """SSI whose per-group structure is a plain set of items."""
+    return StabbingSetIndex(
+        partition,
+        make_structure=set,
+        add_item=lambda s, item: s.add(item),
+        remove_item=lambda s, item: s.discard(item),
+    )
+
+
+def assert_synchronized(ssi):
+    partition = ssi.partition
+    assert ssi.group_count() == len(partition.groups)
+    for group in partition.groups:
+        structure = ssi.structure_of(group)
+        assert structure == set(group.items), "per-group structure out of sync"
+
+
+class TestWithLazyPartition:
+    def test_bootstrap_from_existing_items(self):
+        intervals = [Interval(0, 10), Interval(2, 8), Interval(50, 60)]
+        partition = LazyStabbingPartition(intervals)
+        ssi = make_ssi(partition)
+        assert_synchronized(ssi)
+        assert len(ssi) == 3
+
+    def test_insert_delete_via_ssi(self):
+        partition = LazyStabbingPartition(epsilon=100.0)
+        ssi = make_ssi(partition)
+        a, b = Interval(0, 10), Interval(5, 15)
+        ssi.insert(a)
+        ssi.insert(b)
+        assert_synchronized(ssi)
+        ssi.delete(a)
+        assert_synchronized(ssi)
+        assert len(ssi) == 1
+
+    def test_groups_iteration_yields_stabbing_points(self):
+        partition = LazyStabbingPartition([Interval(0, 10), Interval(20, 30)])
+        ssi = make_ssi(partition)
+        points = sorted(point for point, __ in ssi.groups())
+        assert points == [10.0, 30.0]
+
+    def test_survives_reconstruction(self):
+        rng = random.Random(1)
+        partition = LazyStabbingPartition(epsilon=0.5, trigger="simple")
+        ssi = make_ssi(partition)
+        live = []
+        for __ in range(200):
+            lo = rng.uniform(0, 100)
+            interval = Interval(lo, lo + rng.uniform(0, 10))
+            ssi.insert(interval)
+            live.append(interval)
+            if rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                ssi.delete(victim)
+            assert_synchronized(ssi)
+        assert ssi.rebuild_count == partition.reconstruction_count
+        assert ssi.rebuild_count > 0
+
+
+class TestWithRefinedPartition:
+    def test_survives_reconstruction(self):
+        rng = random.Random(2)
+        partition = RefinedStabbingPartition(epsilon=1.0, seed=3)
+        ssi = make_ssi(partition)
+        live = []
+        for __ in range(200):
+            lo = rng.uniform(0, 100)
+            interval = Interval(lo, lo + rng.uniform(0, 10))
+            ssi.insert(interval)
+            live.append(interval)
+            if rng.random() < 0.4:
+                victim = live.pop(rng.randrange(len(live)))
+                ssi.delete(victim)
+            assert_synchronized(ssi)
+        assert ssi.rebuild_count > 0

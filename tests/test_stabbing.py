@@ -1,0 +1,130 @@
+"""Tests for the canonical stabbing partition (Lemma 1)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, common_intersection
+from repro.core.stabbing import (
+    canonical_stabbing_partition,
+    minimum_stabbing_set,
+    stabbing_number,
+)
+
+from conftest import int_interval_strategy
+
+
+def brute_force_tau(intervals) -> int:
+    """Smallest stabbing-partition size by exhaustive search over endpoint
+    stabbing sets (exponential; only for tiny inputs)."""
+    if not intervals:
+        return 0
+    candidates = sorted({iv.lo for iv in intervals} | {iv.hi for iv in intervals})
+    for k in range(1, len(intervals) + 1):
+        for points in itertools.combinations(candidates, k):
+            if all(any(iv.contains(p) for p in points) for iv in intervals):
+                return k
+    return len(intervals)
+
+
+class TestCanonical:
+    def test_empty(self):
+        partition = canonical_stabbing_partition([])
+        assert partition.size == 0
+        assert partition.total_items() == 0
+
+    def test_single_interval(self):
+        partition = canonical_stabbing_partition([Interval(1, 2)])
+        assert partition.size == 1
+        partition.validate()
+
+    def test_disjoint_intervals_each_get_a_group(self):
+        intervals = [Interval(i * 10, i * 10 + 1) for i in range(5)]
+        partition = canonical_stabbing_partition(intervals)
+        assert partition.size == 5
+
+    def test_nested_intervals_one_group(self):
+        intervals = [Interval(0, 100), Interval(10, 90), Interval(40, 60)]
+        partition = canonical_stabbing_partition(intervals)
+        assert partition.size == 1
+        assert partition.groups[0].common == Interval(40, 60)
+
+    def test_figure_1_style_example(self):
+        # Two clusters plus stragglers, as in the paper's Figure 1.
+        cluster1 = [Interval(0, 10), Interval(2, 9), Interval(4, 8), Interval(5, 12)]
+        cluster2 = [Interval(20, 30), Interval(22, 28), Interval(25, 33)]
+        stragglers = [Interval(14, 15)]
+        partition = canonical_stabbing_partition(cluster1 + cluster2 + stragglers)
+        assert partition.size == 3
+        partition.validate()
+
+    def test_stabbing_point_is_common_right_endpoint(self):
+        partition = canonical_stabbing_partition([Interval(0, 5), Interval(3, 9)])
+        group = partition.groups[0]
+        assert group.stabbing_point == 5.0
+
+    @given(st.lists(int_interval_strategy(), max_size=60))
+    @settings(max_examples=100)
+    def test_partition_is_valid(self, intervals):
+        partition = canonical_stabbing_partition(intervals)
+        partition.validate()
+        assert partition.total_items() == len(intervals)
+
+    @given(st.lists(int_interval_strategy(-10, 10), min_size=1, max_size=7))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_is_optimal(self, intervals):
+        assert stabbing_number(intervals) == brute_force_tau(intervals)
+
+    @given(st.lists(int_interval_strategy(), min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_stabbing_set_stabs_everything(self, intervals):
+        points = minimum_stabbing_set(intervals)
+        for interval in intervals:
+            assert any(interval.contains(p) for p in points)
+
+    @given(st.lists(int_interval_strategy(), min_size=2, max_size=40))
+    @settings(max_examples=60)
+    def test_monotone_under_subsets(self, intervals):
+        # tau of a subset never exceeds tau of the whole set.
+        assert stabbing_number(intervals[: len(intervals) // 2]) <= stabbing_number(intervals)
+
+
+class TestPartitionQueries:
+    def make(self):
+        intervals = (
+            [Interval(0, 10)] * 0
+            + [Interval(float(i), float(i + 2)) for i in [0, 1, 1, 1, 20, 21, 40]]
+        )
+        return canonical_stabbing_partition(intervals)
+
+    def test_coverage_of_top(self):
+        partition = self.make()
+        assert partition.coverage_of_top(0) == 0.0
+        assert partition.coverage_of_top(1) == pytest.approx(4 / 7)
+        assert partition.coverage_of_top(99) == 1.0
+
+    def test_hotspots_threshold(self):
+        partition = self.make()
+        hotspots = partition.hotspots(alpha=0.5)
+        assert len(hotspots) == 1
+        assert hotspots[0].size == 4
+        assert partition.hotspots(alpha=0.01) == partition.groups
+
+    def test_hotspots_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            self.make().hotspots(0.0)
+
+    def test_interval_of_indirection(self):
+        class Query:
+            def __init__(self, interval):
+                self.interval = interval
+
+        queries = [Query(Interval(0, 5)), Query(Interval(3, 8))]
+        partition = canonical_stabbing_partition(queries, lambda q: q.interval)
+        assert partition.size == 1
+        partition.validate()
+
+    def test_coverage_zero_items(self):
+        assert canonical_stabbing_partition([]).coverage_of_top(5) == 0.0

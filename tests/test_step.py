@@ -1,0 +1,92 @@
+"""Tests for the StepFunction value type."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histogram.step import StepFunction
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepFunction((0.0,), ())  # empty
+        with pytest.raises(ValueError):
+            StepFunction((0.0, 1.0), (1.0, 2.0))  # boundary/value mismatch
+        with pytest.raises(ValueError):
+            StepFunction((1.0, 1.0), (5.0,))  # non-increasing boundaries
+
+    def test_evaluation_right_open(self):
+        f = StepFunction((0.0, 1.0, 2.0), (10.0, 20.0))
+        assert f(0.0) == 10.0
+        assert f(0.999) == 10.0
+        assert f(1.0) == 20.0
+        assert f(2.0) == 0.0  # outside: right-open support
+        assert f(-0.1) == 0.0
+
+    def test_support_and_piece_count(self):
+        f = StepFunction((0.0, 1.0, 3.0), (1.0, 2.0))
+        assert f.support == (0.0, 3.0)
+        assert f.piece_count == 2
+
+
+class TestSimplify:
+    def test_merges_equal_adjacent(self):
+        f = StepFunction((0.0, 1.0, 2.0, 3.0), (5.0, 5.0, 7.0)).simplified()
+        assert f.boundaries == (0.0, 2.0, 3.0)
+        assert f.values == (5.0, 7.0)
+
+    def test_noop_when_distinct(self):
+        f = StepFunction((0.0, 1.0, 2.0), (1.0, 2.0))
+        assert f.simplified() == f
+
+
+class TestSum:
+    def test_sum_of_overlapping(self):
+        a = StepFunction((0.0, 2.0), (1.0,))
+        b = StepFunction((1.0, 3.0), (10.0,))
+        total = StepFunction.sum_of([a, b])
+        assert total(0.5) == 1.0
+        assert total(1.5) == 11.0
+        assert total(2.5) == 10.0
+
+    def test_sum_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StepFunction.sum_of([])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-20, 20), st.integers(1, 10), st.integers(-5, 5)
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.integers(-30, 30),
+    )
+    @settings(max_examples=80)
+    def test_sum_pointwise(self, specs, x):
+        functions = [
+            StepFunction((float(lo), float(lo + width)), (float(value),))
+            for lo, width, value in specs
+        ]
+        total = StepFunction.sum_of(functions)
+        # Probe off the boundary set (conventions at edges may differ).
+        probe = x + 0.25
+        assert total(probe) == pytest.approx(sum(f(probe) for f in functions))
+
+
+class TestIntegrate:
+    def test_integrate_full(self):
+        f = StepFunction((0.0, 1.0, 3.0), (2.0, 5.0))
+        area = f.integrate(lambda a, b, v: (b - a) * v)
+        assert area == pytest.approx(2.0 + 10.0)
+
+    def test_integrate_clipped(self):
+        f = StepFunction((0.0, 10.0), (3.0,))
+        area = f.integrate(lambda a, b, v: (b - a) * v, 2.0, 4.0)
+        assert area == pytest.approx(6.0)
+
+    def test_integrate_outside_support(self):
+        f = StepFunction((0.0, 1.0), (3.0,))
+        assert f.integrate(lambda a, b, v: (b - a) * v, 5.0, 6.0) == 0.0

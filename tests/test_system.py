@@ -1,0 +1,114 @@
+"""Tests for the ContinuousQuerySystem facade."""
+
+import random
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.system import ContinuousQuerySystem
+
+
+class TestSubscriptions:
+    def test_subscribe_both_types(self):
+        system = ContinuousQuerySystem()
+        band = system.subscribe(BandJoinQuery(Interval(-1, 1)))
+        select = system.subscribe(SelectJoinQuery(Interval(0, 10), Interval(0, 10)))
+        assert system.subscription_count == 2
+        system.unsubscribe(band)
+        system.unsubscribe(select)
+        assert system.subscription_count == 0
+
+    def test_unsupported_query_type(self):
+        system = ContinuousQuerySystem()
+        with pytest.raises(TypeError):
+            system.subscribe("not a query")
+        with pytest.raises(TypeError):
+            system.unsubscribe(42)
+
+
+class TestEventProcessing:
+    def test_insert_r_returns_band_and_select_deltas(self):
+        system = ContinuousQuerySystem(alpha=None)
+        band = system.subscribe(BandJoinQuery(Interval(-0.5, 0.5)))
+        select = system.subscribe(SelectJoinQuery(Interval(0, 100), Interval(0, 100)))
+        system.insert_s(b=10.0, c=50.0)
+        deltas = system.insert_r(a=5.0, b=10.0)
+        assert band in deltas and select in deltas
+        assert len(deltas[band]) == 1 and len(deltas[select]) == 1
+        assert len(system.table_r) == 1
+
+    def test_insert_s_symmetric(self):
+        system = ContinuousQuerySystem(alpha=None)
+        band = system.subscribe(BandJoinQuery(Interval(-0.5, 0.5)))
+        system.insert_r(a=0.0, b=10.0)
+        deltas = system.insert_s(b=10.2, c=0.0)
+        assert band in deltas
+        assert len(deltas[band]) == 1
+
+    def test_insert_s_symmetric_with_hotspots(self):
+        system = ContinuousQuerySystem(alpha=0.2)
+        select = system.subscribe(SelectJoinQuery(Interval(0, 100), Interval(0, 100)))
+        system.insert_r(a=5.0, b=7.0)
+        deltas = system.insert_s(b=7.0, c=50.0)
+        assert select in deltas
+
+    def test_deltas_reflect_state_at_arrival(self):
+        system = ContinuousQuerySystem(alpha=None)
+        band = system.subscribe(BandJoinQuery(Interval(-0.5, 0.5)))
+        # No S rows yet: the R arrival produces nothing.
+        assert system.insert_r(a=0.0, b=10.0) == {}
+        # Now the S arrival joins with the stored R row.
+        assert band in system.insert_s(b=10.0, c=0.0)
+
+    def test_callbacks_dispatched(self):
+        system = ContinuousQuerySystem(alpha=None)
+        notifications = []
+        system.subscribe(
+            BandJoinQuery(Interval(-0.5, 0.5)),
+            on_results=lambda q, row, matches: notifications.append((q.qid, len(matches))),
+        )
+        system.insert_s(b=10.0, c=0.0)
+        system.insert_r(a=0.0, b=10.0)
+        assert notifications and notifications[0][1] == 1
+        assert system.events_processed == 2
+        assert system.results_produced == 1
+
+    def test_deletions(self):
+        system = ContinuousQuerySystem(alpha=None)
+        band = system.subscribe(BandJoinQuery(Interval(-0.5, 0.5)))
+        system.insert_s(b=10.0, c=0.0)
+        s_row = next(iter(system.table_s))
+        system.delete_s(s_row)
+        assert system.insert_r(a=0.0, b=10.0) == {}
+        r_row = next(iter(system.table_r))
+        system.delete_r(r_row)
+        assert len(system.table_r) == 0
+
+
+class TestHotspotVsPureConfigsAgree:
+    def test_same_deltas(self):
+        rng = random.Random(7)
+        pure = ContinuousQuerySystem(alpha=None)
+        hot = ContinuousQuerySystem(alpha=0.05)
+        queries = []
+        for __ in range(120):
+            lo = rng.uniform(-5, 5)
+            q1 = BandJoinQuery(Interval(lo, lo + rng.uniform(0, 2)))
+            q2 = BandJoinQuery(Interval(lo, lo + q1.band.length))
+            pure.subscribe(q1)
+            hot.subscribe(q2)
+            queries.append((q1, q2))
+        for __ in range(60):
+            b, c = rng.uniform(0, 100), rng.uniform(0, 100)
+            pure.insert_s(b, c)
+            hot.insert_s(b, c)
+        for __ in range(25):
+            a, b = rng.uniform(0, 100), rng.uniform(0, 100)
+            d1 = pure.insert_r(a, b)
+            d2 = hot.insert_r(a, b)
+            got1 = sorted((q.qid, len(v)) for q, v in d1.items())
+            # Map hot-system qids back through the pairing order.
+            remap = {q2.qid: q1.qid for q1, q2 in queries}
+            got2 = sorted((remap[q.qid], len(v)) for q, v in d2.items())
+            assert got1 == got2

@@ -1,0 +1,162 @@
+"""Tests for the Table 1 workload generators."""
+
+import os
+import random
+
+import pytest
+
+from repro.core.stabbing import stabbing_number
+from repro.engine.queries import band_interval, range_a_interval, range_c_interval
+from repro.workload import (
+    WorkloadParams,
+    ZipfSampler,
+    clustered_intervals,
+    make_band_join_queries,
+    make_select_join_queries,
+    make_tables,
+    mixed_query_stream,
+    r_insert_events,
+    spread_anchors,
+)
+from repro.workload.params import bench_scale
+
+
+class TestParams:
+    def test_scaled(self):
+        params = WorkloadParams(table_size=100, query_count=200).scaled(2.5)
+        assert params.table_size == 250
+        assert params.query_count == 500
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "oops")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+    def test_domain_width(self):
+        assert WorkloadParams().domain_width == 10_000.0
+
+
+class TestTables:
+    def test_sizes_and_domains(self):
+        params = WorkloadParams(table_size=500, seed=3)
+        table_r, table_s = make_tables(params)
+        assert len(table_r) == 500 and len(table_s) == 500
+        for row in table_s:
+            assert params.domain_lo <= row.b <= params.domain_hi
+            assert params.domain_lo <= row.c <= params.domain_hi
+
+    def test_s_b_concentrated_near_mean(self):
+        params = WorkloadParams(table_size=2000, seed=4)
+        __, table_s = make_tables(params)
+        mean = sum(row.b for row in table_s) / len(table_s)
+        assert abs(mean - params.s_b_mean) < 200
+
+    def test_deterministic_given_seed(self):
+        params = WorkloadParams(table_size=50, seed=5)
+        r1, s1 = make_tables(params)
+        r2, s2 = make_tables(params)
+        assert [(t.a, t.b) for t in r1] == [(t.a, t.b) for t in r2]
+        assert [(t.b, t.c) for t in s1] == [(t.b, t.c) for t in s2]
+
+    def test_integer_valued(self):
+        params = WorkloadParams(table_size=100, seed=6, integer_valued=True)
+        __, table_s = make_tables(params)
+        assert all(row.b == int(row.b) for row in table_s)
+
+    def test_join_key_grid_controls_fanout(self):
+        coarse = WorkloadParams(table_size=2_000, seed=7, join_key_grid=10)
+        fine = WorkloadParams(table_size=2_000, seed=7, join_key_grid=1_000)
+        __, s_coarse = make_tables(coarse)
+        __, s_fine = make_tables(fine)
+        # Distinct join-key counts track the grid resolution.
+        assert len({row.b for row in s_coarse}) <= 11
+        assert len({row.b for row in s_fine}) > 100
+        # Events snap to the same grid, so fan-out follows table/grid.
+        events = r_insert_events(coarse, 50)
+        fanout = sum(len(s_coarse.joining(b)) for __, b in events) / len(events)
+        assert fanout > 50  # ~ table_size / grid = 200
+
+    def test_join_key_grid_none_leaves_keys_free(self):
+        params = WorkloadParams(table_size=500, seed=8, join_key_grid=None)
+        __, table_s = make_tables(params)
+        assert len({row.b for row in table_s}) > 300
+
+
+class TestQueries:
+    def test_select_join_count_and_ranges(self):
+        params = WorkloadParams(query_count=300, seed=7)
+        queries = make_select_join_queries(params)
+        assert len(queries) == 300
+        for query in queries:
+            assert query.range_a.lo <= query.range_a.hi
+            assert params.domain_lo <= query.range_c.lo
+            assert query.range_c.hi <= params.domain_hi
+
+    def test_band_join_count(self):
+        params = WorkloadParams(query_count=250, seed=8)
+        queries = make_band_join_queries(params)
+        assert len(queries) == 250
+
+    def test_anchored_queries_bound_stabbing_number(self):
+        params = WorkloadParams(query_count=400, seed=9)
+        anchors = spread_anchors(params, 12)
+        queries = make_select_join_queries(params, range_c_anchors=anchors)
+        assert stabbing_number(queries, range_c_interval) <= 12
+        bqueries = make_band_join_queries(params, band_anchors=[-5.0, 0.0, 5.0])
+        assert stabbing_number(bqueries, band_interval) <= 3
+
+    def test_zipf_anchored_sizes_skewed(self):
+        params = WorkloadParams(seed=10)
+        anchors = spread_anchors(params, 10)
+        sampler = ZipfSampler(10, beta=1.0)
+        intervals = clustered_intervals(params, 2000, anchors, sampler=sampler)
+        from repro.core.stabbing import canonical_stabbing_partition
+
+        partition = canonical_stabbing_partition(intervals)
+        sizes = sorted((g.size for g in partition.groups), reverse=True)
+        assert sizes[0] > sizes[-1]
+
+    def test_spread_anchors(self):
+        params = WorkloadParams()
+        anchors = spread_anchors(params, 4)
+        assert len(anchors) == 4
+        assert anchors == sorted(anchors)
+        assert anchors[0] > params.domain_lo and anchors[-1] < params.domain_hi
+        with pytest.raises(ValueError):
+            spread_anchors(params, 0)
+
+    def test_r_insert_events(self):
+        params = WorkloadParams(seed=11)
+        events = r_insert_events(params, 50)
+        assert len(events) == 50
+        for a, b in events:
+            assert params.domain_lo <= a <= params.domain_hi
+
+
+class TestMixedStream:
+    def test_balance_and_liveness(self):
+        params = WorkloadParams(seed=12)
+        initial = make_band_join_queries(params, 50)
+        rng = random.Random(1)
+
+        def make_query(r):
+            return make_band_join_queries(params, 1, rng=r)[0]
+
+        inserts = deletes = 0
+        live = set(id(q) for q in initial)
+        for kind, query in mixed_query_stream(initial, 400, make_query, rng):
+            if kind == "insert":
+                inserts += 1
+                assert id(query) not in live
+                live.add(id(query))
+            else:
+                deletes += 1
+                assert id(query) in live
+                live.remove(id(query))
+        assert inserts + deletes == 400
+        assert abs(inserts - deletes) < 150  # roughly balanced

@@ -1,0 +1,66 @@
+"""Tests for the Zipf coverage utilities (Figure 2's curves)."""
+
+import random
+
+import pytest
+
+from repro.workload.zipf import ZipfSampler, coverage_curve, zipf_weights
+
+
+class TestWeights:
+    def test_decreasing(self):
+        weights = zipf_weights(100, 1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_beta_one_is_harmonic(self):
+        weights = zipf_weights(3, 1.0)
+        assert weights == pytest.approx([1.0, 0.5, 1 / 3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, 0.0)
+
+
+class TestCoverage:
+    def test_monotone_in_k(self):
+        curve = coverage_curve(5000, 1.0, [1, 10, 100, 500, 5000])
+        assert all(a < b for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_paper_figure_2_anchor(self):
+        # "top-500 largest stabbing groups (10% of all groups) cover about
+        # 70% of all queries when beta = 1".
+        (coverage,) = coverage_curve(5000, 1.0, [500])
+        assert 0.65 <= coverage <= 0.80
+
+    def test_larger_beta_covers_more(self):
+        for k in (50, 500):
+            c10, c11, c12 = (
+                coverage_curve(5000, beta, [k])[0] for beta in (1.0, 1.1, 1.2)
+            )
+            assert c10 < c11 < c12
+
+    def test_k_clipped(self):
+        assert coverage_curve(10, 1.0, [99]) == [pytest.approx(1.0)]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            coverage_curve(10, 1.0, [0])
+
+
+class TestSampler:
+    def test_distribution_skew(self):
+        sampler = ZipfSampler(50, 1.0)
+        rng = random.Random(5)
+        counts = [0] * 50
+        for __ in range(20_000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] > counts[10] > counts[49]
+        assert sampler.group_count == 50
+
+    def test_all_indices_in_range(self):
+        sampler = ZipfSampler(5, 1.2)
+        rng = random.Random(6)
+        assert all(0 <= sampler.sample(rng) < 5 for __ in range(1000))
