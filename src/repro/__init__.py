@@ -15,7 +15,9 @@ The package implements the paper's full stack from scratch:
   interval stabbing counts;
 * ``repro.workload`` — synthetic workload generators matching Table 1;
 * ``repro.bench`` — the throughput/maintenance measurement harness used by
-  the figure-reproduction benchmarks.
+  the figure-reproduction benchmarks;
+* ``repro.runtime`` — the sharded, micro-batched event-processing runtime
+  (shard routing, backpressure, metrics, deterministic replay).
 """
 
 from repro.core import (

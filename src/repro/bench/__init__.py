@@ -5,6 +5,7 @@ from repro.bench.harness import (
     assert_decreasing,
     assert_dominates,
     assert_flat,
+    emit_json,
     geometric_sweep,
     measure_amortized_update_ns,
     measure_event_time_us,
@@ -17,6 +18,7 @@ __all__ = [
     "assert_decreasing",
     "assert_dominates",
     "assert_flat",
+    "emit_json",
     "geometric_sweep",
     "measure_amortized_update_ns",
     "measure_event_time_us",

@@ -11,6 +11,8 @@ print the series each figure plots and to assert the qualitative shape
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Sequence, Tuple
@@ -95,6 +97,22 @@ def print_figure(
             value = s.ys[i] if i < len(s.ys) else float("nan")
             row.append(y_format.format(value).rjust(w))
         print("  ".join(row))
+
+
+def emit_json(tag: str, payload: dict) -> None:
+    """Emit one machine-readable benchmark record.
+
+    Prints a single ``BENCH-JSON`` line (grep-friendly in pytest output) and,
+    when the ``REPRO_BENCH_JSON`` env var names a file, appends the record
+    there as JSON-lines, so sweeps can be collected across runs.
+    """
+    record = {"tag": tag, **payload}
+    line = json.dumps(record, sort_keys=True, default=float)
+    print(f"BENCH-JSON {line}")
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path:
+        with open(path, "a") as handle:
+            handle.write(line + "\n")
 
 
 def assert_dominates(

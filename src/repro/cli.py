@@ -8,7 +8,12 @@ Self-contained utilities that do not require the repository checkout:
   and print their canonical stabbing partition and hotspots;
 * ``validate``  — run a built-in randomized cross-validation sweep (every
   join strategy against brute force) and report pass/fail, a quick
-  install smoke test.
+  install smoke test;
+* ``replay``    — generate a deterministic mixed event stream and replay it
+  through the sharded+batched runtime pipeline, asserting result-delta
+  equivalence against the unsharded system and reporting throughput;
+* ``serve``     — run the runtime pipeline as a long-lived loop over a
+  synthetic stream, printing periodic metric snapshots.
 
 Figure regeneration itself lives in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only`` from a checkout).
@@ -36,6 +41,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.operators", "BJ-*/SJ-* strategies, hotspot processing, extensions"),
         ("repro.histogram", "EQW-HIST, SSI-HIST, OPTIMAL"),
         ("repro.workload", "Table 1 generators, Zipf popularity"),
+        ("repro.runtime", "sharded micro-batched pipeline: routing, backpressure, metrics, replay"),
     ]:
         print(f"  {name:<16} {what}")
     return 0
@@ -148,6 +154,119 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _stream_profile_from_args(args: argparse.Namespace):
+    from repro.runtime.replay import StreamProfile
+
+    return StreamProfile(
+        n_events=args.events,
+        n_initial_queries=args.queries,
+        band_fraction=args.band_fraction,
+        delete_fraction=args.delete_fraction,
+        churn=args.churn,
+        seed=args.seed,
+    )
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.engine.events import DataEvent
+    from repro.runtime.replay import generate_mixed_stream, run_replay
+
+    stream = generate_mixed_stream(_stream_profile_from_args(args))
+    data_events = sum(isinstance(e, DataEvent) for e in stream)
+    print(
+        f"replaying {data_events} data events / "
+        f"{len(stream) - data_events} query events "
+        f"through {args.shards} shard(s), batch={args.batch_size}, mode={args.mode}"
+    )
+    start = time.perf_counter()
+    report = run_replay(
+        stream,
+        num_shards=args.shards,
+        batch_size=args.batch_size,
+        alpha=args.alpha,
+        mode=args.mode,
+        backpressure=args.policy,
+    )
+    elapsed = time.perf_counter() - start
+    print(report.summary())
+    print(f"both passes took {elapsed:.2f}s total")
+    stats = report.router_stats
+    print(
+        f"router: select queries/shard {stats['select_queries_per_shard']}, "
+        f"band queries/shard {stats['band_queries_per_shard']}, "
+        f"S-probe imbalance {stats['select_probe_imbalance']:.2f}"
+    )
+    if args.verbose:
+        for name, value in report.metrics["counters"].items():
+            print(f"  {name:<32} {value:>12,}")
+    if not report.equivalent:
+        for line in report.mismatches[:10]:
+            print(f"MISMATCH {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import itertools
+    import time
+
+    from repro.engine.events import DataEvent
+    from repro.runtime.pipeline import EventPipeline
+    from repro.runtime.replay import generate_mixed_stream
+
+    pipeline = EventPipeline(
+        num_shards=args.shards,
+        alpha=args.alpha,
+        batch_size=args.batch_size,
+        max_delay=args.max_delay,
+        queue_capacity=args.queue_capacity,
+        backpressure=args.policy,
+        mode=args.mode,
+    )
+    stream = generate_mixed_stream(_stream_profile_from_args(args))
+    print(
+        f"serving {args.events} synthetic events on {args.shards} shard(s) "
+        f"(batch={args.batch_size}, policy={args.policy}, mode={args.mode}); "
+        f"reporting every {args.report_every} events"
+    )
+    start = time.perf_counter()
+    served = 0
+    try:
+        for event in stream:
+            pipeline.submit(event)
+            if isinstance(event, DataEvent):
+                served += 1
+                if served % args.report_every == 0:
+                    rate = served / max(time.perf_counter() - start, 1e-9)
+                    print(f"\n-- {served} events ({rate:,.0f} events/s) --")
+                    print(pipeline.metrics.render())
+        pipeline.drain()
+    finally:
+        pipeline.close()
+    elapsed = max(time.perf_counter() - start, 1e-9)
+    print(f"\nserved {served} events in {elapsed:.2f}s ({served / elapsed:,.0f} events/s)")
+    print(pipeline.metrics.render())
+    return 0
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--events", type=int, default=5_000, help="data events to generate")
+    parser.add_argument("--queries", type=int, default=200, help="initial subscriptions")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--alpha", type=float, default=0.01, help="hotspot threshold")
+    parser.add_argument("--band-fraction", type=float, default=0.3,
+                        help="fraction of subscriptions that are band joins")
+    parser.add_argument("--delete-fraction", type=float, default=0.2)
+    parser.add_argument("--churn", type=float, default=0.0,
+                        help="fraction of deletions targeting just-inserted rows")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mode", choices=["inline", "thread", "process"], default="inline")
+    parser.add_argument("--policy", choices=["block", "drop-oldest", "reject"], default="block")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Hotspot-tracking continuous query processing (VLDB 2006 reproduction)"
@@ -171,6 +290,23 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--trials", type=int, default=3)
     validate.add_argument("--seed", type=int, default=0)
     validate.set_defaults(func=_cmd_validate)
+
+    replay = sub.add_parser(
+        "replay", help="replay a mixed stream through the sharded runtime and verify equivalence"
+    )
+    _add_runtime_args(replay)
+    replay.add_argument("--verbose", action="store_true", help="print pipeline counters")
+    replay.set_defaults(func=_cmd_replay)
+
+    serve = sub.add_parser(
+        "serve", help="run the runtime pipeline over a synthetic stream with periodic metrics"
+    )
+    _add_runtime_args(serve)
+    serve.add_argument("--report-every", type=int, default=2_000)
+    serve.add_argument("--max-delay", type=float, default=None,
+                       help="flush a partial batch after this many seconds")
+    serve.add_argument("--queue-capacity", type=int, default=1024)
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

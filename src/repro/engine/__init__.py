@@ -1,6 +1,13 @@
 """Relations, tuples, continuous-query objects and update streams."""
 
-from repro.engine.events import DataEvent, EventKind, QueryEvent, insertions, replay_query_events
+from repro.engine.events import (
+    DataEvent,
+    EventKind,
+    QueryEvent,
+    insertions,
+    replay_data_events,
+    replay_query_events,
+)
 from repro.engine.queries import (
     BandJoinQuery,
     SelectJoinQuery,
@@ -28,5 +35,6 @@ __all__ = [
     "insertions",
     "range_a_interval",
     "range_c_interval",
+    "replay_data_events",
     "replay_query_events",
 ]

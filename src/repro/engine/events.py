@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 
 class EventKind(enum.Enum):
@@ -44,6 +44,42 @@ def insertions(rows: Iterable[Any], relation: str) -> Iterator[DataEvent]:
     """Wrap plain rows as a stream of insertion events."""
     for row in rows:
         yield DataEvent(EventKind.INSERT, relation, row)
+
+
+def replay_data_events(
+    events: Iterable[DataEvent],
+    system: Any,
+    *,
+    on_result: Optional[Callable[[DataEvent, dict], None]] = None,
+) -> int:
+    """Apply a stream of data updates to a system that exposes the row-level
+    event API (``insert_r_row`` / ``insert_s_row`` / ``delete_r`` /
+    ``delete_s``), symmetric to :func:`replay_query_events`.
+
+    Handles both INSERT and DELETE events; ``on_result`` (if given) receives
+    each event together with the per-query result deltas it produced
+    (deletions produce none — the result stream is monotone append-only).
+    Returns the number of events applied.
+    """
+    count = 0
+    for event in events:
+        if not isinstance(event, DataEvent):
+            raise TypeError(f"expected DataEvent, got {type(event).__name__}")
+        if event.kind is EventKind.INSERT:
+            if event.relation == "R":
+                deltas = system.insert_r_row(event.row)
+            else:
+                deltas = system.insert_s_row(event.row)
+        else:
+            if event.relation == "R":
+                system.delete_r(event.row)
+            else:
+                system.delete_s(event.row)
+            deltas = {}
+        if on_result is not None:
+            on_result(event, deltas)
+        count += 1
+    return count
 
 
 def replay_query_events(events: Iterable[QueryEvent], processor: Any) -> int:

@@ -93,7 +93,11 @@ class ContinuousQuerySystem:
         """Apply an R-insertion: compute result deltas against the current
         S state, then install the tuple.  Returns {query: new S matches}
         and dispatches registered callbacks."""
-        row = self.table_r.new_row(a, b)
+        return self.insert_r_row(self.table_r.new_row(a, b))
+
+    def insert_r_row(self, row: RTuple) -> Dict[object, List[STuple]]:
+        """Apply an R-insertion for an already-materialized row (replayed
+        streams carry rows with pre-assigned surrogate ids)."""
         deltas: Dict[object, List[STuple]] = {}
         deltas.update(self._band.process_r(row))
         deltas.update(self._select.process_r(row))
@@ -109,7 +113,10 @@ class ContinuousQuerySystem:
         per-query probes for this direction (its tracker groups the R-side
         projections).
         """
-        row = self.table_s.new_row(b, c)
+        return self.insert_s_row(self.table_s.new_row(b, c))
+
+    def insert_s_row(self, row: STuple) -> Dict[object, List[RTuple]]:
+        """Apply an S-insertion for an already-materialized row."""
         deltas: Dict[object, List[RTuple]] = {}
         deltas.update(self._band.process_s(row))
         deltas.update(self._select.process_s(row))
@@ -120,11 +127,14 @@ class ContinuousQuerySystem:
     def delete_r(self, row: RTuple) -> None:
         """Remove an R-tuple (results referencing it become stale; delta
         semantics for deletions report nothing, matching monotone
-        append-only result streams)."""
+        append-only result streams).  Deletions still count as applied
+        events in ``events_processed``."""
         self.table_r.delete(row)
+        self._dispatch(row, {})
 
     def delete_s(self, row: STuple) -> None:
         self.table_s.delete(row)
+        self._dispatch(row, {})
 
     def _dispatch(self, row, deltas: Dict[object, list]) -> None:
         self.events_processed += 1

@@ -1,0 +1,60 @@
+"""Sharded, micro-batched event-processing runtime.
+
+The scaling layer above the engine: shard routing over the attribute
+domain (``sharding``), micro-batch coalescing (``batching``), the bounded
+pipeline with backpressure and worker-per-shard execution (``pipeline``),
+cheap runtime metrics (``metrics``), and the deterministic replay driver
+that proves the whole stack equivalent to the unsharded facade
+(``replay``).  See ``docs/RUNTIME.md`` for the architecture.
+"""
+
+from repro.runtime.batching import BatchEntry, BatchStats, MicroBatcher
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HotspotMetricsListener,
+    MetricsRegistry,
+)
+from repro.runtime.pipeline import BackpressurePolicy, EventPipeline
+from repro.runtime.replay import (
+    ReplayReport,
+    StreamProfile,
+    generate_mixed_stream,
+    normalize_deltas,
+    run_replay,
+)
+from repro.runtime.sharding import (
+    EventRoute,
+    Shard,
+    ShardRange,
+    ShardRouter,
+    ShardedContinuousQuerySystem,
+    merge_deltas,
+    scaled_alpha,
+)
+
+__all__ = [
+    "BackpressurePolicy",
+    "BatchEntry",
+    "BatchStats",
+    "Counter",
+    "EventPipeline",
+    "EventRoute",
+    "Gauge",
+    "Histogram",
+    "HotspotMetricsListener",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "ReplayReport",
+    "Shard",
+    "ShardRange",
+    "ShardRouter",
+    "ShardedContinuousQuerySystem",
+    "StreamProfile",
+    "generate_mixed_stream",
+    "merge_deltas",
+    "normalize_deltas",
+    "run_replay",
+    "scaled_alpha",
+]

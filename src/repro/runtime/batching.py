@@ -1,0 +1,130 @@
+"""Micro-batching of pending data events.
+
+The pipeline coalesces updates before they reach the shard workers: events
+accumulate in a :class:`MicroBatcher` up to a size bound (and, in the
+pipeline, a latency bound), then flush as one batch.  Coalescing cancels
+matched insert+delete pairs — a row inserted and deleted while both events
+are still pending was never visible under the batch's atomic visibility
+contract, so neither event needs to touch a shard.  Survivors keep their
+original arrival order, so per-key (and in fact total) event order is
+preserved for everything that is actually applied.
+
+A delete whose insert already flushed in an earlier batch is *not*
+cancelled — it must reach the shards to remove installed state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.events import DataEvent, EventKind
+
+
+def _row_key(event: DataEvent) -> Tuple[str, int]:
+    """Identity of the row an event refers to (relation + surrogate id)."""
+    row = event.row
+    rid = row.rid if event.relation == "R" else row.sid
+    return (event.relation, rid)
+
+
+@dataclass
+class BatchEntry:
+    """One pending event, tagged with its global sequence number and the
+    select-plane routing flags the router computed at submission."""
+
+    seq: int
+    event: DataEvent
+    select_probe: bool = True
+    select_state: bool = True
+
+
+@dataclass
+class BatchStats:
+    """Lifetime coalescing accounting for one batcher."""
+
+    events_in: int = 0
+    events_out: int = 0
+    coalesced_pairs: int = 0
+    batches: int = 0
+    cancelled: List[Tuple[int, int]] = field(default_factory=list)
+
+
+class MicroBatcher:
+    """Accumulates pending :class:`BatchEntry` items and drains them as
+    coalesced batches.
+
+    ``max_batch`` is the flush threshold (``is_due`` turns true);
+    ``drain()`` returns up to ``max_batch`` oldest survivors after
+    cancelling insert+delete pairs that are both still pending.
+    """
+
+    def __init__(self, max_batch: int = 64):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self._pending: List[BatchEntry] = []
+        self.stats = BatchStats()
+
+    def add(self, entry: BatchEntry) -> None:
+        self._pending.append(entry)
+        self.stats.events_in += 1
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def is_due(self) -> bool:
+        return len(self._pending) >= self.max_batch
+
+    def peek_oldest(self) -> Optional[BatchEntry]:
+        return self._pending[0] if self._pending else None
+
+    def drop_oldest(self) -> Optional[BatchEntry]:
+        """Evict the oldest pending entry (drop-oldest backpressure)."""
+        if not self._pending:
+            return None
+        return self._pending.pop(0)
+
+    def coalesce_pending(self) -> List[Tuple[int, int]]:
+        """Cancel insert+delete pairs among the pending events.
+
+        Returns the cancelled ``(insert_seq, delete_seq)`` pairs.  Only a
+        delete *following* a pending insert of the same row cancels; the
+        relative order of all surviving events is untouched.
+        """
+        pending_inserts: Dict[Tuple[str, int], int] = {}
+        cancelled_positions: set = set()
+        pairs: List[Tuple[int, int]] = []
+        for pos, entry in enumerate(self._pending):
+            key = _row_key(entry.event)
+            if entry.event.kind is EventKind.INSERT:
+                pending_inserts[key] = pos
+            else:
+                insert_pos = pending_inserts.pop(key, None)
+                if insert_pos is not None:
+                    cancelled_positions.add(insert_pos)
+                    cancelled_positions.add(pos)
+                    pairs.append(
+                        (self._pending[insert_pos].seq, entry.seq)
+                    )
+        if cancelled_positions:
+            self._pending = [
+                entry
+                for pos, entry in enumerate(self._pending)
+                if pos not in cancelled_positions
+            ]
+            self.stats.coalesced_pairs += len(pairs)
+            self.stats.cancelled.extend(pairs)
+        return pairs
+
+    def drain(self, *, coalesce: bool = True) -> List[BatchEntry]:
+        """Remove and return the next batch (oldest-first survivors)."""
+        if coalesce:
+            self.coalesce_pending()
+        batch = self._pending[: self.max_batch]
+        self._pending = self._pending[self.max_batch :]
+        if batch:
+            self.stats.events_out += len(batch)
+            self.stats.batches += 1
+        return batch

@@ -1,0 +1,220 @@
+"""Cheap runtime metrics: counters, gauges and log-bucketed histograms.
+
+The pipeline instruments its hot path, so every primitive here is a few
+arithmetic operations under a small lock (shard workers run on threads).
+Histograms bucket observations by powers of two, which is precise enough
+for the latency/batch-size distributions the runtime reports and keeps
+``observe`` allocation-free.
+
+``MetricsRegistry.snapshot()`` returns a plain nested dict (JSON-friendly);
+``render()`` formats it as aligned text for the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (e.g. current queue depth)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Log2-bucketed histogram of non-negative observations.
+
+    Bucket ``i`` counts observations in ``[2**(i-1), 2**i)`` (bucket 0
+    holds ``[0, 1)``).  Quantiles are estimated by the upper bound of the
+    bucket containing the requested rank, so they are exact to within a
+    factor of two — plenty for "did p99 latency explode" dashboards.
+    """
+
+    __slots__ = ("_buckets", "_count", "_sum", "_min", "_max", "_lock")
+
+    N_BUCKETS = 64
+
+    def __init__(self) -> None:
+        self._buckets: List[int] = [0] * self.N_BUCKETS
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            value = 0.0
+        index = max(0, int(value).bit_length()) if value >= 1 else 0
+        index = min(index, self.N_BUCKETS - 1)
+        with self._lock:
+            self._buckets[index] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (upper bucket bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0
+        for index, n in enumerate(self._buckets):
+            seen += n
+            if seen >= rank:
+                return float(2**index) if index else 1.0
+        return self._max
+
+    def snapshot(self) -> Dict[str, float]:
+        if self._count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p99": 0.0}
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with one-shot snapshot/rendering.
+
+    Names are slash-separated paths (``pipeline/events_in``,
+    ``shard/3/latency_us``); creation is idempotent so producers can call
+    ``counter(name)`` on the hot path without pre-registration.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram()
+            return self._histograms[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """All metrics as a plain (JSON-serializable) dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Aligned text rendering of the current snapshot."""
+        snap = self.snapshot()
+        lines: List[str] = []
+        if snap["counters"]:
+            lines.append("counters:")
+            width = max(len(n) for n in snap["counters"])
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name:<{width}}  {value:>12,}")
+        if snap["gauges"]:
+            lines.append("gauges:")
+            width = max(len(n) for n in snap["gauges"])
+            for name, value in snap["gauges"].items():
+                lines.append(f"  {name:<{width}}  {value:>12,.1f}")
+        if snap["histograms"]:
+            lines.append("histograms:")
+            width = max(len(n) for n in snap["histograms"])
+            for name, h in snap["histograms"].items():
+                lines.append(
+                    f"  {name:<{width}}  count={h['count']:<8,} mean={h['mean']:<10.1f}"
+                    f" p50={h['p50']:<10.0f} p99={h['p99']:<10.0f} max={h['max']:,.0f}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+class HotspotMetricsListener:
+    """Tracker listener that counts hotspot promotions/demotions.
+
+    Attach to any :class:`~repro.core.hotspot_tracker.HotspotTracker` via
+    ``tracker.add_listener``; promotion churn is one of the signals the
+    runtime surfaces (a thrashing tracker means alpha is mis-tuned for the
+    workload).
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str = "runtime") -> None:
+        self._promotions = registry.counter(f"{prefix}/hotspot_promotions")
+        self._demotions = registry.counter(f"{prefix}/hotspot_demotions")
+
+    def on_promoted(self, group) -> None:
+        self._promotions.inc()
+
+    def on_demoted(self, group) -> None:
+        self._demotions.inc()
+
+    def on_hot_item_added(self, group, item) -> None:
+        pass
+
+    def on_hot_item_removed(self, group, item) -> None:
+        pass
+
+
+def null_registry() -> Optional[MetricsRegistry]:
+    """Placeholder for call sites that want metrics to be optional."""
+    return None

@@ -1,0 +1,464 @@
+"""The event-processing pipeline: bounded ingress, micro-batches, workers.
+
+``EventPipeline`` stacks the runtime layers on top of the sharded system:
+
+1. **ingress** — submitted :class:`~repro.engine.events.DataEvent`\\ s queue
+   in a bounded :class:`~repro.runtime.batching.MicroBatcher`.  When the
+   queue is full the configured :class:`BackpressurePolicy` decides:
+   ``block`` flushes a batch immediately (the caller absorbs the latency),
+   ``drop-oldest`` evicts the oldest pending event, ``reject`` refuses the
+   new one (``submit`` returns False).  Every outcome is counted.
+2. **batching** — a batch flushes when ``batch_size`` events are pending or
+   the oldest pending event exceeds ``max_delay`` seconds.  Pending
+   insert+delete pairs coalesce away before dispatch (batch-atomic
+   visibility; see ``batching.py``).
+3. **execution** — each batch fans out to one task per affected shard.
+   ``mode="inline"`` runs shards sequentially on the caller's thread
+   (deterministic, zero overhead — the right choice for replay/benchmarks
+   on CPython), ``mode="thread"`` uses a worker-per-shard
+   ``ThreadPoolExecutor``, ``mode="process"`` pins each shard to its own
+   single-worker ``ProcessPoolExecutor`` so shard state lives in a
+   dedicated process (opt-in: real parallelism, but events and queries are
+   pickled across the boundary).
+4. **merge** — per-shard deltas are merged by sequence number into one
+   per-event result dict, deterministically (sorted rows), then dispatched
+   to subscription callbacks in arrival order.
+
+:class:`~repro.engine.events.QueryEvent`\\ s act as barriers: pending data
+events flush before a subscription change applies, preserving the exact
+stream order an unsharded system would see.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.runtime.batching import BatchEntry, MicroBatcher, _row_key
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.sharding import (
+    DOMAIN_HI,
+    DOMAIN_LO,
+    ResultCallback,
+    Shard,
+    ShardRouter,
+    scaled_alpha,
+    merge_deltas,
+)
+
+
+class BackpressurePolicy(str, enum.Enum):
+    """What ``submit`` does when the ingress queue is at capacity."""
+
+    BLOCK = "block"
+    DROP_OLDEST = "drop-oldest"
+    REJECT = "reject"
+
+
+# -- execution backends ------------------------------------------------------
+
+
+class _InlineBackend:
+    """Shards applied sequentially on the calling thread."""
+
+    def __init__(self, shards: List[Shard]):
+        self.shards = shards
+
+    def subscribe(self, indices: Sequence[int], query) -> None:
+        for index in indices:
+            self.shards[index].subscribe(query)
+
+    def unsubscribe(self, indices: Sequence[int], query) -> None:
+        for index in indices:
+            self.shards[index].unsubscribe(query)
+
+    def apply_shard_batches(
+        self, shard_entries: Dict[int, list]
+    ) -> Dict[int, Tuple[float, List[Tuple[int, dict]]]]:
+        out = {}
+        for index, entries in shard_entries.items():
+            start = time.perf_counter()
+            results = self.shards[index].apply_batch(entries)
+            out[index] = (time.perf_counter() - start, results)
+        return out
+
+    def close(self) -> None:
+        pass
+
+
+class _ThreadBackend(_InlineBackend):
+    """Worker-per-shard thread pool (default).
+
+    On CPython, threads interleave rather than truly parallelize the pure-
+    Python probe work, but shard batches overlap any releasing operations
+    and the structure matches what a free-threaded build exploits fully.
+    """
+
+    def __init__(self, shards: List[Shard]):
+        super().__init__(shards)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, len(shards)), thread_name_prefix="repro-shard"
+        )
+
+    def _timed_apply(self, index: int, entries: list):
+        start = time.perf_counter()
+        results = self.shards[index].apply_batch(entries)
+        return time.perf_counter() - start, results
+
+    def apply_shard_batches(self, shard_entries: Dict[int, list]):
+        futures = {
+            index: self._pool.submit(self._timed_apply, index, entries)
+            for index, entries in shard_entries.items()
+        }
+        return {index: future.result() for index, future in futures.items()}
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+# Process-mode worker state: one Shard per worker process, pinned by using
+# single-worker pools (ProcessPoolExecutor does not route tasks by key).
+# Queries unpickle to fresh objects on every call and the engine tracks
+# them by identity, so the worker keeps its own qid -> object registry and
+# unsubscribes by qid.
+_WORKER_SHARD: Optional[Shard] = None
+_WORKER_QUERIES: Dict[int, object] = {}
+
+
+def _process_init(index: int, alpha: Optional[float], epsilon: float) -> None:
+    global _WORKER_SHARD
+    _WORKER_SHARD = Shard(index, alpha=alpha, epsilon=epsilon)
+    _WORKER_QUERIES.clear()
+
+
+def _process_subscribe(query) -> bool:
+    _WORKER_QUERIES[query.qid] = query
+    _WORKER_SHARD.subscribe(query)
+    return True
+
+
+def _process_unsubscribe(qid: int) -> bool:
+    _WORKER_SHARD.unsubscribe(_WORKER_QUERIES.pop(qid))
+    return True
+
+
+def _process_apply(entries: list) -> Tuple[float, List[Tuple[int, dict]]]:
+    start = time.perf_counter()
+    out = []
+    for seq, deltas in _WORKER_SHARD.apply_batch(entries):
+        out.append((seq, {query.qid: rows for query, rows in deltas.items()}))
+    return time.perf_counter() - start, out
+
+
+class _ProcessBackend:
+    """Shard state pinned to dedicated worker processes.
+
+    Queries and events cross the boundary by pickling; returned deltas are
+    keyed by qid and resolved back to the caller's query objects.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        alpha: Optional[float],
+        epsilon: float,
+        resolve_query: Callable[[int], object],
+    ):
+        self._resolve = resolve_query
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1, initializer=_process_init, initargs=(i, alpha, epsilon)
+            )
+            for i in range(num_shards)
+        ]
+
+    def subscribe(self, indices: Sequence[int], query) -> None:
+        for index in indices:
+            self._pools[index].submit(_process_subscribe, query).result()
+
+    def unsubscribe(self, indices: Sequence[int], query) -> None:
+        for index in indices:
+            self._pools[index].submit(_process_unsubscribe, query.qid).result()
+
+    def apply_shard_batches(self, shard_entries: Dict[int, list]):
+        futures = {
+            index: self._pools[index].submit(_process_apply, entries)
+            for index, entries in shard_entries.items()
+        }
+        out = {}
+        for index, future in futures.items():
+            elapsed, results = future.result()
+            out[index] = (
+                elapsed,
+                [
+                    (seq, {self._resolve(qid): rows for qid, rows in deltas.items()})
+                    for seq, deltas in results
+                ],
+            )
+        return out
+
+    def close(self) -> None:
+        for pool in self._pools:
+            pool.shutdown(wait=True)
+
+
+# -- the pipeline ------------------------------------------------------------
+
+
+class EventPipeline:
+    """Sharded, micro-batched event processing with backpressure.
+
+    Parameters mirror the knobs documented in ``docs/RUNTIME.md``.  Results
+    are delivered through per-subscription callbacks (``subscribe``) and/or
+    returned by ``flush``/``run`` as ``(seq, event, deltas)`` triples in
+    arrival order.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_shards: int = 4,
+        alpha: Optional[float] = 0.01,
+        epsilon: float = 1.0,
+        domain_lo: float = DOMAIN_LO,
+        domain_hi: float = DOMAIN_HI,
+        batch_size: int = 32,
+        max_delay: Optional[float] = None,
+        queue_capacity: int = 1024,
+        backpressure: BackpressurePolicy | str = BackpressurePolicy.BLOCK,
+        mode: str = "thread",
+        coalesce: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.router = ShardRouter(num_shards, domain_lo=domain_lo, domain_hi=domain_hi)
+        self.batch_size = batch_size
+        self.max_delay = max_delay
+        self.queue_capacity = queue_capacity
+        self.backpressure = BackpressurePolicy(backpressure)
+        self.coalesce = coalesce
+        self.mode = mode
+        self._batcher = MicroBatcher(max_batch=batch_size)
+        self._queries: Dict[int, object] = {}
+        self._placements: Dict[int, List[int]] = {}
+        self._callbacks: Dict[int, ResultCallback] = {}
+        self._seq = 0
+        self._oldest_pending_at: Optional[float] = None
+        self._sink: Optional[List[Tuple[int, DataEvent, Dict[object, list]]]] = None
+        self.dropped_seqs: List[int] = []
+        self.rejected_seqs: List[int] = []
+        # Rows whose INSERT was refused (evicted by drop-oldest or rejected):
+        # the row never reached any shard, so a later DELETE of it must be
+        # refused too — deleting state that was never installed would corrupt
+        # the shards.  A successful re-submit of the insert clears the mark.
+        # Assumes surrogate ids are not reused, as with the repo's generators.
+        self._lost_rows: set = set()
+        per_shard_alpha = scaled_alpha(alpha, num_shards)
+        if mode == "inline":
+            self._backend = _InlineBackend(
+                [Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=self.metrics)
+                 for i in range(num_shards)]
+            )
+        elif mode == "thread":
+            self._backend = _ThreadBackend(
+                [Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=self.metrics)
+                 for i in range(num_shards)]
+            )
+        elif mode == "process":
+            self._backend = _ProcessBackend(
+                num_shards, per_shard_alpha, epsilon, self._queries.__getitem__
+            )
+        else:
+            raise ValueError(f"unknown mode {mode!r} (inline|thread|process)")
+
+    # -- subscriptions (barrier semantics) -----------------------------------
+
+    def subscribe(self, query, on_results: Optional[ResultCallback] = None):
+        """Register a continuous query.  Pending data events flush first so
+        the subscription observes exactly the prefix of the stream that
+        preceded it."""
+        self.drain()
+        if query.qid in self._placements:
+            raise ValueError(f"duplicate query id {query.qid}")
+        indices = self.router.shards_for_query(query)
+        self._backend.subscribe(indices, query)
+        self._placements[query.qid] = indices
+        self._queries[query.qid] = query
+        self.router.note_query(query, indices, +1)
+        if on_results is not None:
+            self._callbacks[query.qid] = on_results
+        return query
+
+    def unsubscribe(self, query) -> None:
+        self.drain()
+        indices = self._placements.pop(query.qid)
+        self._backend.unsubscribe(indices, query)
+        self._queries.pop(query.qid)
+        self.router.note_query(query, indices, -1)
+        self._callbacks.pop(query.qid, None)
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._placements)
+
+    # -- ingress -------------------------------------------------------------
+
+    def submit(self, event) -> bool:
+        """Enqueue one event.  Returns False iff the event was rejected by
+        the ``reject`` backpressure policy."""
+        if isinstance(event, QueryEvent):
+            self.metrics.counter("pipeline/query_events").inc()
+            if event.kind is EventKind.INSERT:
+                self.subscribe(event.query)
+            else:
+                self.unsubscribe(event.query)
+            return True
+        if not isinstance(event, DataEvent):
+            raise TypeError(f"unsupported event type: {type(event).__name__}")
+        seq = self._seq
+        self._seq += 1
+        self.metrics.counter("pipeline/events_submitted").inc()
+        if self._lost_rows and event.kind is EventKind.DELETE:
+            key = _row_key(event)
+            if key in self._lost_rows:
+                self._lost_rows.discard(key)
+                if self.backpressure is BackpressurePolicy.REJECT:
+                    self.metrics.counter("pipeline/events_rejected").inc()
+                    self.rejected_seqs.append(seq)
+                    return False
+                self.metrics.counter("pipeline/events_dropped").inc()
+                self.dropped_seqs.append(seq)
+                return True
+        if len(self._batcher) >= self.queue_capacity:
+            if self.backpressure is BackpressurePolicy.REJECT:
+                if event.kind is EventKind.INSERT:
+                    self._lost_rows.add(_row_key(event))
+                self.metrics.counter("pipeline/events_rejected").inc()
+                self.rejected_seqs.append(seq)
+                return False
+            if self.backpressure is BackpressurePolicy.DROP_OLDEST:
+                dropped = self._batcher.drop_oldest()
+                if dropped is not None:
+                    if dropped.event.kind is EventKind.INSERT:
+                        self._lost_rows.add(_row_key(dropped.event))
+                    self.metrics.counter("pipeline/events_dropped").inc()
+                    self.dropped_seqs.append(dropped.seq)
+            else:  # BLOCK: make room by processing a batch now.
+                self.metrics.counter("pipeline/backpressure_blocks").inc()
+                self.flush()
+        if self._lost_rows and event.kind is EventKind.INSERT:
+            self._lost_rows.discard(_row_key(event))
+        if not len(self._batcher):
+            self._oldest_pending_at = time.monotonic()
+        self._batcher.add(BatchEntry(seq, event))
+        self.metrics.histogram("pipeline/queue_depth").observe(len(self._batcher))
+        if self._batcher.is_due or self._deadline_exceeded():
+            self.flush()
+        return True
+
+    def _deadline_exceeded(self) -> bool:
+        return (
+            self.max_delay is not None
+            and self._oldest_pending_at is not None
+            and time.monotonic() - self._oldest_pending_at >= self.max_delay
+        )
+
+    @property
+    def pending(self) -> int:
+        return len(self._batcher)
+
+    @property
+    def cancelled_pairs(self) -> List[Tuple[int, int]]:
+        """All ``(insert_seq, delete_seq)`` pairs coalesced away so far."""
+        return self._batcher.stats.cancelled
+
+    # -- batch execution -----------------------------------------------------
+
+    def flush(self) -> List[Tuple[int, DataEvent, Dict[object, list]]]:
+        """Process one pending batch; returns ``(seq, event, deltas)`` in
+        arrival order (empty if nothing was pending)."""
+        batch = self._batcher.drain(coalesce=self.coalesce)
+        if not batch:
+            return []
+        self._oldest_pending_at = time.monotonic() if len(self._batcher) else None
+        shard_entries: Dict[int, list] = {}
+        for entry in batch:
+            route = self.router.route_event(entry.event)
+            self.router.note_event(route)
+            for index in route.shards:
+                select_probe, select_state = route.flags(index, entry.event.relation)
+                shard_entries.setdefault(index, []).append(
+                    (entry.seq, entry.event, select_probe, select_state)
+                )
+        by_seq: Dict[int, List[dict]] = {entry.seq: [] for entry in batch}
+        for index, (elapsed, results) in sorted(
+            self._backend.apply_shard_batches(shard_entries).items()
+        ):
+            self.metrics.histogram(f"shard/{index}/batch_us").observe(elapsed * 1e6)
+            self.metrics.counter(f"shard/{index}/events").inc(
+                len(shard_entries[index])
+            )
+            for seq, deltas in results:
+                by_seq[seq].append(deltas)
+        out: List[Tuple[int, DataEvent, Dict[object, list]]] = []
+        results_counter = self.metrics.counter("pipeline/results_produced")
+        for entry in batch:
+            merged = merge_deltas(by_seq[entry.seq])
+            for query, matches in merged.items():
+                results_counter.inc(len(matches))
+                callback = self._callbacks.get(query.qid)
+                if callback is not None:
+                    callback(query, entry.event.row, matches)
+            out.append((entry.seq, entry.event, merged))
+        self.metrics.counter("pipeline/events_applied").inc(len(batch))
+        self.metrics.counter("pipeline/batches").inc()
+        self.metrics.histogram("pipeline/batch_size").observe(len(batch))
+        if self._sink is not None:
+            self._sink.extend(out)
+        return out
+
+    def drain(self) -> List[Tuple[int, DataEvent, Dict[object, list]]]:
+        """Flush until no events are pending."""
+        out: List[Tuple[int, DataEvent, Dict[object, list]]] = []
+        while len(self._batcher):
+            out.extend(self.flush())
+        return out
+
+    def run(
+        self, events
+    ) -> List[Tuple[int, DataEvent, Dict[object, list]]]:
+        """Submit an event stream, drain, and return every applied event's
+        ``(seq, event, deltas)`` in sequence order.
+
+        Every flush during the run (batch-size triggers, barriers,
+        backpressure blocks) feeds the same collection, so the caller sees
+        one ordered result list for the whole stream."""
+        collected: List[Tuple[int, DataEvent, Dict[object, list]]] = []
+        outer_sink, self._sink = self._sink, collected
+        try:
+            for event in events:
+                self.submit(event)
+            self.drain()
+        finally:
+            self._sink = outer_sink
+        collected.sort(key=lambda item: item[0])
+        if self._sink is not None:
+            self._sink.extend(collected)
+        return collected
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self.drain()
+        self._backend.close()
+
+    def __enter__(self) -> "EventPipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,299 @@
+"""Deterministic replay: recorded streams, equivalence checking, reports.
+
+The replay driver is the runtime's correctness harness: it feeds one
+recorded mixed stream (data inserts/deletes plus subscribe/unsubscribe
+events) through both the sharded+batched :class:`EventPipeline` and the
+unsharded :class:`~repro.engine.system.ContinuousQuerySystem`, then
+compares the per-event result deltas query by query.
+
+Rows in a recorded stream carry pre-assigned surrogate ids, so both
+systems apply bit-identical tuples (via the row-level
+``insert_r_row``/``insert_s_row`` API and
+:func:`~repro.engine.events.replay_data_events`).
+
+Equivalence contract: for every applied event the merged sharded deltas
+must equal the unsharded deltas exactly.  Events coalesced away by the
+micro-batcher (an insert+delete pair pending in the same batch) are
+exempt — under batch-atomic visibility that row was never exposed, so the
+reference deltas it produced are transient by construction; the report
+counts these separately rather than hiding them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.events import DataEvent, EventKind, QueryEvent, replay_data_events
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.system import ContinuousQuerySystem
+from repro.engine.table import RTuple, STuple
+from repro.runtime.pipeline import BackpressurePolicy, EventPipeline
+from repro.workload.generator import make_band_join_queries, make_select_join_queries
+from repro.workload.params import WorkloadParams
+
+
+@dataclass
+class StreamProfile:
+    """Knobs for :func:`generate_mixed_stream` (all deterministic per seed).
+
+    ``delete_fraction`` of data events remove a previously inserted row;
+    ``churn`` of those deletions target a *recent* row (inserted within the
+    last ``recent_window`` events), which is what gives the micro-batcher
+    insert+delete pairs to cancel.  With ``churn=0`` deletions only touch
+    rows older than ``min_delete_age`` events, so no pair is ever
+    co-pending and the batched pipeline must match the unsharded reference
+    delta-for-delta on the full stream.
+    """
+
+    n_events: int = 10_000
+    n_initial_queries: int = 120
+    band_fraction: float = 0.3
+    query_event_fraction: float = 0.02
+    delete_fraction: float = 0.2
+    churn: float = 0.0
+    min_delete_age: int = 1024
+    recent_window: int = 16
+    seed: int = 0
+
+
+def generate_mixed_stream(
+    profile: StreamProfile, params: Optional[WorkloadParams] = None
+) -> List[object]:
+    """A reproducible mixed event stream over the Table 1 distributions.
+
+    Returns a list of :class:`DataEvent`/:class:`QueryEvent`; the first
+    ``n_initial_queries`` entries subscribe the starting query population.
+    """
+    params = params if params is not None else WorkloadParams(seed=profile.seed)
+    rng = random.Random(profile.seed)
+    stream: List[object] = []
+    live_queries: List[object] = []
+
+    def new_query():
+        if rng.random() < profile.band_fraction:
+            return make_band_join_queries(params, 1, rng)[0]
+        return make_select_join_queries(params, 1, rng)[0]
+
+    for __ in range(profile.n_initial_queries):
+        query = new_query()
+        live_queries.append(query)
+        stream.append(QueryEvent(EventKind.INSERT, query))
+
+    next_rid = 0
+    next_sid = 0
+    live_r: List[Tuple[int, RTuple]] = []  # (data-event position, row)
+    live_s: List[Tuple[int, STuple]] = []
+    grid = params.join_key_grid
+    step = params.domain_width / grid if grid else None
+
+    def join_key() -> float:
+        x = rng.uniform(params.domain_lo, params.domain_hi)
+        if step:
+            x = params.domain_lo + round((x - params.domain_lo) / step) * step
+        return float(round(x)) if params.integer_valued else x
+
+    def attr() -> float:
+        x = rng.uniform(params.domain_lo, params.domain_hi)
+        return float(round(x)) if params.integer_valued else x
+
+    def pick_victim(live: List[Tuple[int, object]], position: int):
+        """A deletable row: recent under churn, old otherwise."""
+        if rng.random() < profile.churn:
+            eligible = [i for i, (at, _) in enumerate(live) if position - at <= profile.recent_window]
+        else:
+            eligible = [i for i, (at, _) in enumerate(live) if position - at >= profile.min_delete_age]
+        if not eligible:
+            return None
+        index = eligible[rng.randrange(len(eligible))]
+        live[index], live[-1] = live[-1], live[index]
+        return live.pop()[1]
+
+    position = 0
+    while position < profile.n_events:
+        roll = rng.random()
+        if roll < profile.query_event_fraction:
+            if live_queries and rng.random() < 0.5:
+                index = rng.randrange(len(live_queries))
+                live_queries[index], live_queries[-1] = live_queries[-1], live_queries[index]
+                stream.append(QueryEvent(EventKind.DELETE, live_queries.pop()))
+            else:
+                query = new_query()
+                live_queries.append(query)
+                stream.append(QueryEvent(EventKind.INSERT, query))
+            continue  # query events don't consume a data-event position
+        relation = "R" if rng.random() < 0.5 else "S"
+        live = live_r if relation == "R" else live_s
+        victim = None
+        if rng.random() < profile.delete_fraction:
+            victim = pick_victim(live, position)
+        if victim is not None:
+            stream.append(DataEvent(EventKind.DELETE, relation, victim))
+        elif relation == "R":
+            row = RTuple(next_rid, attr(), join_key())
+            next_rid += 1
+            live_r.append((position, row))
+            stream.append(DataEvent(EventKind.INSERT, "R", row))
+        else:
+            row = STuple(next_sid, join_key(), attr())
+            next_sid += 1
+            live_s.append((position, row))
+            stream.append(DataEvent(EventKind.INSERT, "S", row))
+        position += 1
+    return stream
+
+
+# -- equivalence -------------------------------------------------------------
+
+
+def normalize_deltas(deltas: Dict[object, list]) -> Dict[int, Tuple[int, ...]]:
+    """Canonical form for comparison: qid -> sorted row ids."""
+    out: Dict[int, Tuple[int, ...]] = {}
+    for query, rows in deltas.items():
+        if not rows:
+            continue
+        ids = sorted(
+            row.sid if isinstance(row, STuple) else row.rid for row in rows
+        )
+        out[query.qid] = tuple(ids)
+    return out
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one replay equivalence run."""
+
+    events: int = 0
+    data_events: int = 0
+    applied: int = 0
+    coalesced_pairs: int = 0
+    compared: int = 0
+    mismatches: List[str] = field(default_factory=list)
+    reference_results: int = 0
+    pipeline_results: int = 0
+    metrics: Dict[str, object] = field(default_factory=dict)
+    router_stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        status = "EQUIVALENT" if self.equivalent else f"{len(self.mismatches)} MISMATCHES"
+        return (
+            f"replay: {status} — {self.data_events} data events "
+            f"({self.applied} applied, {self.coalesced_pairs} pairs coalesced), "
+            f"{self.compared} compared, "
+            f"{self.pipeline_results} result rows (reference {self.reference_results})"
+        )
+
+
+def run_replay(
+    stream: List[object],
+    *,
+    num_shards: int = 4,
+    batch_size: int = 64,
+    alpha: Optional[float] = 0.01,
+    epsilon: float = 1.0,
+    mode: str = "inline",
+    backpressure: BackpressurePolicy | str = BackpressurePolicy.BLOCK,
+    queue_capacity: int = 4096,
+    coalesce: bool = True,
+    domain_lo: float = 0.0,
+    domain_hi: float = 10_000.0,
+    max_mismatches: int = 20,
+) -> ReplayReport:
+    """Replay ``stream`` through a pipeline and the unsharded reference and
+    compare per-event deltas.  Deterministic given the stream."""
+    report = ReplayReport(events=len(stream))
+
+    # Reference pass: per-data-event normalized deltas, in stream order.
+    reference = ContinuousQuerySystem(alpha=alpha, epsilon=epsilon)
+    reference_deltas: List[Dict[int, Tuple[int, ...]]] = []
+    data_events: List[DataEvent] = []
+
+    def record(event: DataEvent, deltas: dict) -> None:
+        normalized = normalize_deltas(deltas)
+        reference_deltas.append(normalized)
+        data_events.append(event)
+        report.reference_results += sum(len(ids) for ids in normalized.values())
+
+    for event in stream:
+        if isinstance(event, QueryEvent):
+            if event.kind is EventKind.INSERT:
+                reference.subscribe(event.query)
+            else:
+                reference.unsubscribe(event.query)
+        else:
+            replay_data_events([event], reference, on_result=record)
+    report.data_events = len(reference_deltas)
+
+    # Pipeline pass.
+    with EventPipeline(
+        num_shards=num_shards,
+        alpha=alpha,
+        epsilon=epsilon,
+        domain_lo=domain_lo,
+        domain_hi=domain_hi,
+        batch_size=batch_size,
+        queue_capacity=queue_capacity,
+        backpressure=backpressure,
+        mode=mode,
+        coalesce=coalesce,
+    ) as pipeline:
+        results = pipeline.run(stream)
+        cancelled = {seq for pair in pipeline.cancelled_pairs for seq in pair}
+        # A coalesced row is invisible to the whole batch, including events
+        # *between* its insert and delete; the strict per-event reference
+        # saw it there, so its matches are filtered out before comparing
+        # (this is exactly the batch-atomic visibility contract).
+        windows = [
+            (i, d, data_events[i].relation,
+             data_events[i].row.rid if data_events[i].relation == "R"
+             else data_events[i].row.sid)
+            for i, d in pipeline.cancelled_pairs
+        ]
+        report.coalesced_pairs = len(pipeline.cancelled_pairs)
+        report.applied = len(results)
+        got: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        for seq, __, deltas in results:
+            normalized = normalize_deltas(deltas)
+            got[seq] = normalized
+            report.pipeline_results += sum(len(ids) for ids in normalized.values())
+
+        def visible_reference(seq: int, want: Dict[int, Tuple[int, ...]]):
+            """Reference deltas minus matches against rows coalesced away
+            while this event was co-pending with them."""
+            event = data_events[seq]
+            hidden = {
+                row_id
+                for i, d, relation, row_id in windows
+                if i < seq < d and relation != event.relation
+            }
+            if not hidden:
+                return want
+            out = {}
+            for qid, ids in want.items():
+                kept = tuple(x for x in ids if x not in hidden)
+                if kept:
+                    out[qid] = kept
+            return out
+
+        for seq, want in enumerate(reference_deltas):
+            if seq in cancelled:
+                continue  # never visible under batch-atomic coalescing
+            report.compared += 1
+            have = got.get(seq, {})
+            want = visible_reference(seq, want)
+            if have != want:
+                if len(report.mismatches) < max_mismatches:
+                    report.mismatches.append(
+                        f"seq {seq}: pipeline {have!r} != reference {want!r}"
+                    )
+                else:
+                    report.mismatches.append("... (truncated)")
+                    break
+        report.metrics = pipeline.metrics.snapshot()
+        report.router_stats = pipeline.router.stats()
+    return report

@@ -1,0 +1,474 @@
+"""Domain sharding for the continuous-query runtime.
+
+The runtime splits subscriptions across ``K`` shards on two *planes*, one
+per query template, because the two templates constrain different
+attributes:
+
+* **select plane** — :class:`~repro.engine.queries.SelectJoinQuery`
+  subscriptions are routed by their ``rangeC`` selection over the value
+  domain, to *every* shard their range overlaps.  S-rows are partitioned
+  by ``S.C`` (each row lives in exactly one shard), R-rows are replicated.
+  An incoming S-tuple therefore probes a **single** shard — the unsharded
+  processors scan all select queries per S-arrival, so this is where
+  sharding buys real per-event work reduction, not just parallelism.
+  An incoming R-tuple probes every shard, and because the S partition is
+  disjoint, the per-shard deltas for a query spanning several shards are
+  disjoint partial results whose union equals the unsharded delta.
+
+* **band plane** — :class:`~repro.engine.queries.BandJoinQuery`
+  subscriptions are routed by band midpoint over the *difference* domain
+  (``S.B - R.B``) to exactly one shard.  A band match depends on the
+  difference of two join keys, so no single-attribute partition of the
+  base tables can localize it: band shards keep full table replicas and
+  every data event reaches every shard.  Sharding here divides the
+  per-event probe work (each shard owns a slice of the bands and its own
+  hotspot tracker) across workers.
+
+Every routing decision is **static**: it depends only on the coordinates of
+the row or query, never on the current subscription set.  That invariant is
+what makes the sharded system exactly equivalent to the unsharded
+:class:`~repro.engine.system.ContinuousQuerySystem` — a row is stored by
+the same rule that later routes its deletion, and a query subscribed
+mid-stream finds all prior state already in its shards.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.events import DataEvent, EventKind
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.table import RTuple, STuple, TableR, TableS
+from repro.operators.band_join import BJSSI
+from repro.operators.hotspot_processor import (
+    HotspotBandJoinProcessor,
+    HotspotSelectJoinProcessor,
+)
+from repro.operators.select_join import SJSSI
+from repro.runtime.metrics import HotspotMetricsListener, MetricsRegistry
+
+DOMAIN_LO = 0.0
+DOMAIN_HI = 10_000.0
+
+ResultCallback = Callable[[object, object, list], None]
+
+
+def scaled_alpha(alpha: Optional[float], num_shards: int) -> Optional[float]:
+    """Per-shard hotspot threshold keeping the *absolute* promotion bar
+    constant across the fleet.
+
+    Each shard's :class:`~repro.core.hotspot_tracker.HotspotTracker`
+    promotes a stabbing group once it holds ``alpha * n_shard`` items.  With
+    queries split ``K`` ways, an unscaled alpha would drop the absolute bar
+    by ``K`` and promote up to ``K * 2/alpha`` groups fleet-wide — and every
+    broadcast R-arrival would pay a group probe for each of them, erasing
+    the sharding win.  Scaling to ``alpha * K`` (capped at 1) restores the
+    unsharded bar ``alpha * n_total``, so the fleet-wide group count (and
+    hence broadcast probe cost) matches the unsharded processor's.
+    """
+    if alpha is None:
+        return None
+    return min(1.0, alpha * num_shards)
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One contiguous slice of a routing domain (for introspection; the
+    router itself routes by bisecting the boundary list, so the outermost
+    ranges implicitly extend to infinity)."""
+
+    index: int
+    lo: float
+    hi: float
+
+
+@dataclass(frozen=True)
+class EventRoute:
+    """Where a data event goes.
+
+    ``select_shard`` is the single shard whose C-slice owns the row (only
+    set for S events); every shard in ``shards`` applies the event to its
+    band plane, and R events additionally probe/store on every select
+    plane.
+    """
+
+    shards: Tuple[int, ...]
+    select_shard: Optional[int]
+
+    def flags(self, index: int, relation: str) -> Tuple[bool, bool]:
+        """(select_probe, select_state) for shard ``index``."""
+        if relation == "R":
+            return True, True
+        owns = self.select_shard == index
+        return owns, owns
+
+
+class ShardRouter:
+    """Routes queries and data events to shard indices.
+
+    The value domain ``[domain_lo, domain_hi]`` is split into ``num_shards``
+    contiguous ranges for the select plane; the difference domain
+    ``[-(width), +width]`` is split likewise for the band plane.  Routing
+    clamps out-of-domain coordinates into the edge shards, which affects
+    load balance only, never correctness.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        *,
+        domain_lo: float = DOMAIN_LO,
+        domain_hi: float = DOMAIN_HI,
+    ):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if domain_lo >= domain_hi:
+            raise ValueError("domain_lo must be < domain_hi")
+        self.num_shards = num_shards
+        self.domain_lo = domain_lo
+        self.domain_hi = domain_hi
+        width = domain_hi - domain_lo
+        self._value_bounds = [
+            domain_lo + width * i / num_shards for i in range(1, num_shards)
+        ]
+        self._band_bounds = [
+            -width + 2 * width * i / num_shards for i in range(1, num_shards)
+        ]
+        # Rebalancing stats: query placements and event routing per shard.
+        self.select_queries_per_shard = [0] * num_shards
+        self.band_queries_per_shard = [0] * num_shards
+        self.events_per_shard = [0] * num_shards
+        self.select_probes_per_shard = [0] * num_shards
+
+    # -- routing domains -----------------------------------------------------
+
+    def value_ranges(self) -> List[ShardRange]:
+        bounds = [self.domain_lo, *self._value_bounds, self.domain_hi]
+        return [ShardRange(i, bounds[i], bounds[i + 1]) for i in range(self.num_shards)]
+
+    def band_ranges(self) -> List[ShardRange]:
+        width = self.domain_hi - self.domain_lo
+        bounds = [-width, *self._band_bounds, width]
+        return [ShardRange(i, bounds[i], bounds[i + 1]) for i in range(self.num_shards)]
+
+    # -- query routing -------------------------------------------------------
+
+    def shard_for_value(self, c: float) -> int:
+        """The select-plane shard owning value coordinate ``c``."""
+        return bisect_right(self._value_bounds, c)
+
+    def shard_for_band(self, query: BandJoinQuery) -> int:
+        mid = (query.band.lo + query.band.hi) / 2.0
+        return bisect_right(self._band_bounds, mid)
+
+    def shards_for_query(self, query) -> List[int]:
+        """All shard indices a subscription registers in.
+
+        Select-joins go to every shard their ``rangeC`` overlaps (their
+        partial results partition along the S-row C-partition); band joins
+        go to the single shard containing their band midpoint (band shards
+        hold full replicas, so multi-registration would duplicate deltas).
+        """
+        if isinstance(query, SelectJoinQuery):
+            lo = self.shard_for_value(query.range_c.lo)
+            hi = self.shard_for_value(query.range_c.hi)
+            return list(range(lo, hi + 1))
+        if isinstance(query, BandJoinQuery):
+            return [self.shard_for_band(query)]
+        raise TypeError(f"unsupported query type: {type(query).__name__}")
+
+    # -- event routing -------------------------------------------------------
+
+    def route_event(self, event: DataEvent) -> EventRoute:
+        """The shards an event can affect (probing and/or state).
+
+        Data events reach every shard's band plane (band matches cannot be
+        localized) and, for R events, every select plane; S events probe
+        and store on exactly one select plane — the shard owning ``row.c``.
+        """
+        everywhere = tuple(range(self.num_shards))
+        if event.relation == "S":
+            return EventRoute(everywhere, self.shard_for_value(event.row.c))
+        return EventRoute(everywhere, None)
+
+    # -- stats ---------------------------------------------------------------
+
+    def note_query(self, query, indices: Sequence[int], delta: int) -> None:
+        counts = (
+            self.select_queries_per_shard
+            if isinstance(query, SelectJoinQuery)
+            else self.band_queries_per_shard
+        )
+        for index in indices:
+            counts[index] += delta
+
+    def note_event(self, route: EventRoute) -> None:
+        for index in route.shards:
+            self.events_per_shard[index] += 1
+        if route.select_shard is not None:
+            self.select_probes_per_shard[route.select_shard] += 1
+
+    @staticmethod
+    def _imbalance(loads: Sequence[int]) -> float:
+        total = sum(loads)
+        if not total:
+            return 1.0
+        return max(loads) / (total / len(loads))
+
+    def stats(self) -> Dict[str, object]:
+        """Load distribution snapshot; ``*_imbalance`` is max-shard load over
+        mean-shard load (1.0 = perfectly balanced), the signal a rebalancer
+        would act on by re-splitting the domain."""
+        return {
+            "num_shards": self.num_shards,
+            "select_queries_per_shard": list(self.select_queries_per_shard),
+            "band_queries_per_shard": list(self.band_queries_per_shard),
+            "events_per_shard": list(self.events_per_shard),
+            "select_probes_per_shard": list(self.select_probes_per_shard),
+            "select_query_imbalance": self._imbalance(self.select_queries_per_shard),
+            "band_query_imbalance": self._imbalance(self.band_queries_per_shard),
+            "select_probe_imbalance": self._imbalance(self.select_probes_per_shard),
+        }
+
+
+class Shard:
+    """One shard's processors and table state.
+
+    Holds a band-join processor over full table replicas and a select-join
+    processor over the C-partitioned S slice; ``table_r`` is shared by both
+    planes (R is replicated everywhere either way).
+    """
+
+    def __init__(
+        self,
+        index: int,
+        *,
+        alpha: Optional[float] = 0.01,
+        epsilon: float = 1.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.index = index
+        self.table_r = TableR()
+        self.table_s_band = TableS()
+        self.table_s_select = TableS()
+        if alpha is None:
+            self.band = BJSSI(self.table_s_band, self.table_r, epsilon=epsilon)
+            self.select = SJSSI(self.table_s_select, self.table_r, epsilon=epsilon)
+        else:
+            self.band = HotspotBandJoinProcessor(
+                self.table_s_band, self.table_r, alpha=alpha, epsilon=epsilon
+            )
+            self.select = HotspotSelectJoinProcessor(
+                self.table_s_select, self.table_r, alpha=alpha, epsilon=epsilon
+            )
+            if metrics is not None:
+                listener = HotspotMetricsListener(metrics)
+                self.band.tracker.add_listener(listener)
+                self.select.tracker.add_listener(listener)
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(self, query) -> None:
+        if isinstance(query, BandJoinQuery):
+            self.band.add_query(query)
+        else:
+            self.select.add_query(query)
+
+    def unsubscribe(self, query) -> None:
+        if isinstance(query, BandJoinQuery):
+            self.band.remove_query(query)
+        else:
+            self.select.remove_query(query)
+
+    @property
+    def query_count(self) -> int:
+        return self.band.query_count + self.select.query_count
+
+    # -- event application ---------------------------------------------------
+
+    def apply(
+        self, event: DataEvent, *, select_probe: bool = True, select_state: bool = True
+    ) -> Dict[object, list]:
+        """Apply one data event: probe (insertions), then install/remove
+        state.  ``select_probe``/``select_state`` gate the select plane for
+        S events routed to other shards' C-slices."""
+        row = event.row
+        deltas: Dict[object, list] = {}
+        if event.kind is EventKind.INSERT:
+            if event.relation == "R":
+                deltas.update(self.band.process_r(row))
+                deltas.update(self.select.process_r(row))
+                self.table_r.insert(row)
+            else:
+                deltas.update(self.band.process_s(row))
+                if select_probe:
+                    deltas.update(self.select.process_s(row))
+                self.table_s_band.insert(row)
+                if select_state:
+                    self.table_s_select.insert(row)
+        else:
+            if event.relation == "R":
+                self.table_r.delete(row)
+            else:
+                self.table_s_band.delete(row)
+                if select_state:
+                    self.table_s_select.delete(row)
+        return deltas
+
+    def apply_batch(
+        self, entries: Sequence[Tuple[int, DataEvent, bool, bool]]
+    ) -> List[Tuple[int, Dict[object, list]]]:
+        """Apply ``(seq, event, select_probe, select_state)`` entries in
+        order, returning per-event deltas tagged with their sequence
+        numbers (the pipeline merges them across shards by seq)."""
+        out: List[Tuple[int, Dict[object, list]]] = []
+        for seq, event, select_probe, select_state in entries:
+            deltas = self.apply(
+                event, select_probe=select_probe, select_state=select_state
+            )
+            out.append((seq, deltas))
+        return out
+
+
+def _row_sort_key(row) -> tuple:
+    if isinstance(row, STuple):
+        return (row.b, row.c, row.sid)
+    return (row.b, row.a, row.rid)
+
+
+def merge_deltas(parts: Sequence[Dict[object, list]]) -> Dict[object, list]:
+    """Merge per-shard delta dicts into one, deterministically.
+
+    Partial match lists for the same query (a select-join spanning several
+    C-slices) are concatenated and sorted by row coordinates, so the merged
+    result is independent of shard evaluation order.
+    """
+    merged: Dict[object, list] = {}
+    for part in parts:
+        for query, rows in part.items():
+            if not rows:
+                continue
+            if query in merged:
+                merged[query] = merged[query] + list(rows)
+            else:
+                merged[query] = list(rows)
+    for query, rows in merged.items():
+        rows.sort(key=_row_sort_key)
+    return merged
+
+
+class ShardedContinuousQuerySystem:
+    """Drop-in sharded counterpart of
+    :class:`~repro.engine.system.ContinuousQuerySystem`.
+
+    Applies every event synchronously across its shards (the
+    :class:`~repro.runtime.pipeline.EventPipeline` adds batching, queues
+    and parallel workers on top).  Exposes the same subscription/update
+    API and counters, and produces identical per-event result deltas.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_shards: int = 4,
+        alpha: Optional[float] = 0.01,
+        epsilon: float = 1.0,
+        domain_lo: float = DOMAIN_LO,
+        domain_hi: float = DOMAIN_HI,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.router = ShardRouter(
+            num_shards, domain_lo=domain_lo, domain_hi=domain_hi
+        )
+        per_shard_alpha = scaled_alpha(alpha, num_shards)
+        self.shards = [
+            Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=metrics)
+            for i in range(num_shards)
+        ]
+        self._placements: Dict[int, List[int]] = {}
+        self._callbacks: Dict[int, ResultCallback] = {}
+        self._queries: Dict[int, object] = {}
+        self._r_ids = itertools.count()
+        self._s_ids = itertools.count()
+        self.events_processed = 0
+        self.results_produced = 0
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(self, query, on_results: Optional[ResultCallback] = None):
+        indices = self.router.shards_for_query(query)
+        if query.qid in self._placements:
+            raise ValueError(f"duplicate query id {query.qid}")
+        for index in indices:
+            self.shards[index].subscribe(query)
+        self._placements[query.qid] = indices
+        self._queries[query.qid] = query
+        self.router.note_query(query, indices, +1)
+        if on_results is not None:
+            self._callbacks[query.qid] = on_results
+        return query
+
+    def unsubscribe(self, query) -> None:
+        indices = self._placements.pop(query.qid)
+        self._queries.pop(query.qid)
+        for index in indices:
+            self.shards[index].unsubscribe(query)
+        self.router.note_query(query, indices, -1)
+        self._callbacks.pop(query.qid, None)
+
+    @property
+    def subscription_count(self) -> int:
+        return len(self._placements)
+
+    def query_by_id(self, qid: int):
+        return self._queries[qid]
+
+    # -- event application ---------------------------------------------------
+
+    def apply(self, event: DataEvent) -> Dict[object, list]:
+        """Route one data event through every affected shard and merge the
+        per-shard deltas."""
+        route = self.router.route_event(event)
+        self.router.note_event(route)
+        parts = []
+        for index in route.shards:
+            select_probe, select_state = route.flags(index, event.relation)
+            parts.append(
+                self.shards[index].apply(
+                    event, select_probe=select_probe, select_state=select_state
+                )
+            )
+        deltas = merge_deltas(parts)
+        self._dispatch(event.row, deltas)
+        return deltas
+
+    # Facade-compatible convenience constructors around ``apply``.
+
+    def insert_r(self, a: float, b: float) -> Dict[object, list]:
+        return self.insert_r_row(RTuple(next(self._r_ids), a, b))
+
+    def insert_s(self, b: float, c: float) -> Dict[object, list]:
+        return self.insert_s_row(STuple(next(self._s_ids), b, c))
+
+    def insert_r_row(self, row: RTuple) -> Dict[object, list]:
+        return self.apply(DataEvent(EventKind.INSERT, "R", row))
+
+    def insert_s_row(self, row: STuple) -> Dict[object, list]:
+        return self.apply(DataEvent(EventKind.INSERT, "S", row))
+
+    def delete_r(self, row: RTuple) -> None:
+        self.apply(DataEvent(EventKind.DELETE, "R", row))
+
+    def delete_s(self, row: STuple) -> None:
+        self.apply(DataEvent(EventKind.DELETE, "S", row))
+
+    def _dispatch(self, row, deltas: Dict[object, list]) -> None:
+        self.events_processed += 1
+        for query, matches in deltas.items():
+            self.results_produced += len(matches)
+            callback = self._callbacks.get(query.qid)
+            if callback is not None:
+                callback(query, row, matches)

@@ -55,3 +55,38 @@ def test_validate(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+def test_info_lists_runtime(capsys):
+    assert main(["info"]) == 0
+    assert "repro.runtime" in capsys.readouterr().out
+
+
+def test_replay_small_stream(capsys):
+    assert main([
+        "replay", "--events", "300", "--queries", "30", "--shards", "3",
+        "--batch-size", "16", "--seed", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "EQUIVALENT" in out
+    assert "router:" in out
+
+
+def test_replay_churn_verbose(capsys):
+    assert main([
+        "replay", "--events", "300", "--queries", "30", "--churn", "0.5",
+        "--delete-fraction", "0.4", "--verbose",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "EQUIVALENT" in out
+    assert "pipeline/events_applied" in out
+
+
+def test_serve_reports_metrics(capsys):
+    assert main([
+        "serve", "--events", "400", "--queries", "20", "--shards", "2",
+        "--report-every", "200",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "events/s" in out
+    assert "pipeline/events_applied" in out

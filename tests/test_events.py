@@ -8,10 +8,12 @@ from repro.engine.events import (
     EventKind,
     QueryEvent,
     insertions,
+    replay_data_events,
     replay_query_events,
 )
 from repro.engine.queries import BandJoinQuery
-from repro.engine.table import TableS
+from repro.engine.system import ContinuousQuerySystem
+from repro.engine.table import RTuple, STuple, TableS
 from repro.operators.band_join import BJQOuter
 
 
@@ -24,6 +26,40 @@ def test_insertions_wraps_rows():
     events = list(insertions([1, 2, 3], "R"))
     assert all(e.kind is EventKind.INSERT and e.relation == "R" for e in events)
     assert [e.row for e in events] == [1, 2, 3]
+
+
+def test_replay_data_events_applies_inserts_and_deletes():
+    system = ContinuousQuerySystem(alpha=None)
+    query = system.subscribe(BandJoinQuery(Interval(-0.5, 0.5)))
+    s_row = STuple(0, 10.0, 3.0)
+    r_row = RTuple(0, 1.0, 10.0)
+    seen = []
+    stream = [
+        DataEvent(EventKind.INSERT, "S", s_row),
+        DataEvent(EventKind.INSERT, "R", r_row),
+        DataEvent(EventKind.DELETE, "S", s_row),
+        DataEvent(EventKind.DELETE, "R", r_row),
+    ]
+    applied = replay_data_events(
+        stream, system, on_result=lambda e, d: seen.append((e.kind, len(d)))
+    )
+    assert applied == 4
+    assert system.events_processed == 4
+    assert len(system.table_r) == 0 and len(system.table_s) == 0
+    # The R insert joined the live S row; deletions produce no deltas.
+    assert seen == [
+        (EventKind.INSERT, 0),
+        (EventKind.INSERT, 1),
+        (EventKind.DELETE, 0),
+        (EventKind.DELETE, 0),
+    ]
+
+
+def test_replay_data_events_rejects_query_events():
+    system = ContinuousQuerySystem(alpha=None)
+    stream = [QueryEvent(EventKind.INSERT, BandJoinQuery(Interval(0, 1)))]
+    with pytest.raises(TypeError):
+        replay_data_events(stream, system)
 
 
 def test_replay_query_events_applies_to_processor():

@@ -1,0 +1,231 @@
+"""Tests for the bounded event pipeline: backpressure, execution modes,
+metrics, and query-event barriers."""
+
+import sys
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.table import RTuple, STuple
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.pipeline import BackpressurePolicy, EventPipeline
+from repro.runtime.replay import StreamProfile, generate_mixed_stream, run_replay
+
+
+def r_insert(rid, a=5.0, b=10.0):
+    return DataEvent(EventKind.INSERT, "R", RTuple(rid, a, b))
+
+
+def s_insert(sid, b=10.0, c=50.0):
+    return DataEvent(EventKind.INSERT, "S", STuple(sid, b, c))
+
+
+def wide_select():
+    return SelectJoinQuery(Interval(0.0, 10_000.0), Interval(0.0, 10_000.0))
+
+
+class TestBackpressure:
+    def make(self, policy):
+        # batch_size larger than capacity so auto-flush never makes room.
+        return EventPipeline(
+            num_shards=2,
+            alpha=None,
+            batch_size=64,
+            queue_capacity=5,
+            backpressure=policy,
+            mode="inline",
+        )
+
+    def test_reject_returns_false_and_counts(self):
+        with self.make("reject") as pipeline:
+            accepted = [pipeline.submit(r_insert(i)) for i in range(8)]
+            assert accepted == [True] * 5 + [False] * 3
+            assert pipeline.rejected_seqs == [5, 6, 7]
+            snap = pipeline.metrics.snapshot()
+            assert snap["counters"]["pipeline/events_rejected"] == 3
+            assert snap["counters"]["pipeline/events_submitted"] == 8
+            applied = pipeline.drain()
+            assert [seq for seq, __, __ in applied] == [0, 1, 2, 3, 4]
+
+    def test_drop_oldest_evicts_and_counts(self):
+        with self.make("drop-oldest") as pipeline:
+            for i in range(8):
+                assert pipeline.submit(r_insert(i))
+            assert pipeline.dropped_seqs == [0, 1, 2]
+            assert pipeline.metrics.snapshot()["counters"]["pipeline/events_dropped"] == 3
+            applied = pipeline.drain()
+            assert [seq for seq, __, __ in applied] == [3, 4, 5, 6, 7]
+
+    def test_block_flushes_to_make_room(self):
+        with self.make(BackpressurePolicy.BLOCK) as pipeline:
+            for i in range(8):
+                assert pipeline.submit(r_insert(i))
+            pipeline.drain()
+            snap = pipeline.metrics.snapshot()
+            assert snap["counters"]["pipeline/backpressure_blocks"] == 1
+            # Lazily-created counters: never dropping means no counter at all.
+            assert snap["counters"].get("pipeline/events_dropped", 0) == 0
+            assert snap["counters"]["pipeline/events_applied"] == 8  # nothing lost
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            EventPipeline(backpressure="nonsense")
+
+    def test_drop_oldest_suppresses_delete_of_evicted_insert(self):
+        # Seqs 0-2 are evicted before ever reaching a shard; their deletes
+        # must be refused too, not applied against never-installed state.
+        with self.make("drop-oldest") as pipeline:
+            for i in range(8):
+                assert pipeline.submit(r_insert(i))
+            assert pipeline.dropped_seqs == [0, 1, 2]
+            for i in range(3):
+                assert pipeline.submit(
+                    DataEvent(EventKind.DELETE, "R", RTuple(i, 5.0, 10.0))
+                )
+            assert pipeline.dropped_seqs == [0, 1, 2, 8, 9, 10]
+            applied = pipeline.drain()
+            assert [seq for seq, __, __ in applied] == [3, 4, 5, 6, 7]
+            snap = pipeline.metrics.snapshot()
+            assert snap["counters"]["pipeline/events_dropped"] == 6
+
+    def test_reject_suppresses_delete_of_rejected_insert(self):
+        with self.make("reject") as pipeline:
+            accepted = [pipeline.submit(r_insert(i)) for i in range(8)]
+            assert accepted == [True] * 5 + [False] * 3
+            pipeline.flush()  # make room so the deletes are not capacity-rejected
+            # Deleting a row whose insert was rejected is itself rejected ...
+            assert not pipeline.submit(
+                DataEvent(EventKind.DELETE, "R", RTuple(6, 5.0, 10.0))
+            )
+            assert pipeline.rejected_seqs == [5, 6, 7, 8]
+            # ... but a successful re-submit of the insert clears the mark,
+            # after which its delete flows through normally.
+            assert pipeline.submit(r_insert(7))
+            pipeline.flush()  # keep the pair in separate batches (no coalescing)
+            assert pipeline.submit(
+                DataEvent(EventKind.DELETE, "R", RTuple(7, 5.0, 10.0))
+            )
+            pipeline.drain()
+            snap = pipeline.metrics.snapshot()
+            assert snap["counters"]["pipeline/events_applied"] == 7
+
+
+class TestBatchTriggers:
+    def test_batch_size_triggers_flush(self):
+        with EventPipeline(
+            num_shards=2, alpha=None, batch_size=4, mode="inline"
+        ) as pipeline:
+            for i in range(4):
+                pipeline.submit(r_insert(i))
+            assert pipeline.pending == 0  # size bound flushed the batch
+            assert pipeline.metrics.snapshot()["counters"]["pipeline/batches"] == 1
+
+    def test_max_delay_zero_flushes_every_event(self):
+        with EventPipeline(
+            num_shards=2, alpha=None, batch_size=64, max_delay=0.0, mode="inline"
+        ) as pipeline:
+            pipeline.submit(r_insert(0))
+            assert pipeline.pending == 0
+
+
+class TestQueryEventBarrier:
+    def test_subscribe_drains_pending_events_first(self):
+        """A mid-stream subscription must observe exactly the stream prefix
+        before it: pending inserts flush before the query registers, so
+        they produce no deltas for it, but their rows are installed."""
+        with EventPipeline(
+            num_shards=2, alpha=None, batch_size=64, mode="inline"
+        ) as pipeline:
+            pipeline.submit(s_insert(0))
+            assert pipeline.pending == 1
+            query = wide_select()
+            pipeline.submit(QueryEvent(EventKind.INSERT, query))
+            assert pipeline.pending == 0  # barrier flushed the S insert
+            results = pipeline.run([r_insert(0)])
+            (seq, __, deltas), = results
+            assert len(deltas[query]) == 1  # joins the pre-subscribe S row
+
+    def test_unsubscribe_stops_deltas(self):
+        with EventPipeline(
+            num_shards=2, alpha=None, batch_size=64, mode="inline"
+        ) as pipeline:
+            query = wide_select()
+            pipeline.submit(QueryEvent(EventKind.INSERT, query))
+            pipeline.submit(s_insert(0))
+            pipeline.submit(QueryEvent(EventKind.DELETE, query))
+            results = pipeline.run([r_insert(0)])
+            assert results[0][2] == {}
+
+    def test_callbacks_fire_on_flush(self):
+        seen = []
+        with EventPipeline(
+            num_shards=2, alpha=None, batch_size=64, mode="inline"
+        ) as pipeline:
+            pipeline.subscribe(
+                wide_select(),
+                on_results=lambda q, row, matches: seen.append((row.rid, len(matches))),
+            )
+            pipeline.submit(s_insert(0))
+            pipeline.submit(r_insert(7))
+            pipeline.drain()
+        assert seen == [(7, 1)]
+
+
+class TestExecutionModes:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        profile = StreamProfile(
+            n_events=400,
+            n_initial_queries=40,
+            query_event_fraction=0.05,
+            delete_fraction=0.25,
+            churn=0.3,
+            min_delete_age=32,
+            recent_window=8,
+            seed=9,
+        )
+        return generate_mixed_stream(profile)
+
+    def test_thread_mode_equivalent(self, stream):
+        report = run_replay(stream, num_shards=3, batch_size=16, mode="thread")
+        assert report.equivalent, report.summary()
+
+    @pytest.mark.skipif(
+        sys.platform.startswith("win"), reason="fork-based worker pools"
+    )
+    def test_process_mode_equivalent(self, stream):
+        report = run_replay(stream, num_shards=2, batch_size=32, mode="process")
+        assert report.equivalent, report.summary()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            EventPipeline(mode="gpu")
+
+
+class TestMetrics:
+    def test_snapshot_and_render(self):
+        with EventPipeline(
+            num_shards=2, alpha=None, batch_size=2, mode="inline"
+        ) as pipeline:
+            pipeline.subscribe(wide_select())
+            pipeline.run([s_insert(0), r_insert(0), r_insert(1)])
+            snap = pipeline.metrics.snapshot()
+            assert snap["counters"]["pipeline/events_applied"] == 3
+            assert snap["counters"]["pipeline/results_produced"] == 2
+            assert snap["histograms"]["pipeline/batch_size"]["count"] == 2
+            assert "shard/0/batch_us" in snap["histograms"]
+            text = pipeline.metrics.render()
+            assert "pipeline/events_applied" in text
+
+    def test_hotspot_promotions_counted(self):
+        metrics = MetricsRegistry()
+        with EventPipeline(
+            num_shards=1, alpha=0.2, batch_size=8, mode="inline", metrics=metrics
+        ) as pipeline:
+            # A pile of near-identical bands forms one dominant stabbing
+            # group, which the shard's tracker promotes to a hotspot.
+            for i in range(30):
+                pipeline.subscribe(BandJoinQuery(Interval(-1.0 - 0.01 * i, 1.0)))
+            assert metrics.snapshot()["counters"]["runtime/hotspot_promotions"] >= 1

@@ -1,0 +1,198 @@
+"""Tests for the runtime's shard router and sharded facade."""
+
+import random
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.system import ContinuousQuerySystem
+from repro.engine.table import RTuple, STuple
+from repro.runtime.sharding import (
+    ShardRouter,
+    ShardedContinuousQuerySystem,
+    merge_deltas,
+    scaled_alpha,
+)
+
+
+def select_query(lo, hi, a_lo=0.0, a_hi=10_000.0):
+    return SelectJoinQuery(Interval(a_lo, a_hi), Interval(lo, hi))
+
+
+class TestShardRouter:
+    def test_value_ranges_tile_the_domain(self):
+        router = ShardRouter(4, domain_lo=0.0, domain_hi=100.0)
+        ranges = router.value_ranges()
+        assert [r.index for r in ranges] == [0, 1, 2, 3]
+        assert ranges[0].lo == 0.0 and ranges[-1].hi == 100.0
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert prev.hi == cur.lo
+
+    def test_band_ranges_tile_the_difference_domain(self):
+        router = ShardRouter(4, domain_lo=0.0, domain_hi=100.0)
+        ranges = router.band_ranges()
+        assert ranges[0].lo == -100.0 and ranges[-1].hi == 100.0
+        for prev, cur in zip(ranges, ranges[1:]):
+            assert prev.hi == cur.lo
+
+    def test_out_of_domain_values_clamp_to_edge_shards(self):
+        router = ShardRouter(4, domain_lo=0.0, domain_hi=100.0)
+        assert router.shard_for_value(-5.0) == 0
+        assert router.shard_for_value(1e9) == 3
+
+    def test_select_query_reaches_every_overlapping_shard(self):
+        rng = random.Random(3)
+        router = ShardRouter(6, domain_lo=0.0, domain_hi=600.0)
+        ranges = router.value_ranges()
+        for __ in range(300):
+            lo = rng.uniform(-50, 650)
+            query = select_query(lo, lo + rng.uniform(0, 250))
+            placed = set(router.shards_for_query(query))
+            for shard in ranges:
+                # Outermost ranges extend to +-infinity for routing.
+                s_lo = float("-inf") if shard.index == 0 else shard.lo
+                s_hi = float("inf") if shard.index == len(ranges) - 1 else shard.hi
+                overlaps = query.range_c.hi >= s_lo and query.range_c.lo < s_hi
+                if overlaps:
+                    assert shard.index in placed
+            assert placed == set(range(min(placed), max(placed) + 1))
+
+    def test_band_query_routes_to_single_midpoint_shard(self):
+        router = ShardRouter(4, domain_lo=0.0, domain_hi=100.0)
+        query = BandJoinQuery(Interval(-10.0, 10.0))  # midpoint 0 -> shard 2
+        assert router.shards_for_query(query) == [2]
+
+    def test_event_and_matching_query_are_co_located(self):
+        """Any S row lands in a shard where every query selecting it lives."""
+        rng = random.Random(11)
+        router = ShardRouter(5, domain_lo=0.0, domain_hi=1000.0)
+        for __ in range(300):
+            lo = rng.uniform(0, 1000)
+            query = select_query(lo, lo + rng.uniform(0, 100))
+            c = rng.uniform(0, 1000)
+            if query.range_c.contains(c):
+                assert router.shard_for_value(c) in router.shards_for_query(query)
+
+    def test_route_event_flags(self):
+        from repro.engine.events import DataEvent, EventKind
+
+        router = ShardRouter(3, domain_lo=0.0, domain_hi=300.0)
+        s_event = DataEvent(EventKind.INSERT, "S", STuple(0, 5.0, 150.0))
+        route = router.route_event(s_event)
+        assert route.shards == (0, 1, 2)
+        assert route.select_shard == 1
+        assert route.flags(1, "S") == (True, True)
+        assert route.flags(0, "S") == (False, False)
+        r_event = DataEvent(EventKind.INSERT, "R", RTuple(0, 5.0, 150.0))
+        route = router.route_event(r_event)
+        assert route.select_shard is None
+        assert route.flags(2, "R") == (True, True)
+
+    def test_unsupported_query_type(self):
+        router = ShardRouter(2)
+        with pytest.raises(TypeError):
+            router.shards_for_query("nope")
+
+    def test_stats_track_load_and_imbalance(self):
+        router = ShardRouter(2, domain_lo=0.0, domain_hi=100.0)
+        query = select_query(10.0, 20.0)
+        router.note_query(query, router.shards_for_query(query), +1)
+        stats = router.stats()
+        assert stats["select_queries_per_shard"] == [1, 0]
+        assert stats["select_query_imbalance"] == 2.0  # all load on 1 of 2
+
+
+def test_scaled_alpha_keeps_absolute_threshold():
+    assert scaled_alpha(0.01, 8) == pytest.approx(0.08)
+    assert scaled_alpha(0.3, 8) == 1.0  # capped
+    assert scaled_alpha(None, 8) is None
+
+
+def test_merge_deltas_is_order_independent():
+    q = select_query(0, 10)
+    a = {q: [STuple(2, 5.0, 3.0)]}
+    b = {q: [STuple(1, 4.0, 2.0)]}
+    assert merge_deltas([a, b]) == merge_deltas([b, a])
+    assert [row.sid for row in merge_deltas([a, b])[q]] == [1, 2]
+
+
+class TestShardedFacadeEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 5])
+    @pytest.mark.parametrize("alpha", [None, 0.05])
+    def test_matches_unsharded_system(self, num_shards, alpha):
+        rng = random.Random(42)
+        plain = ContinuousQuerySystem(alpha=alpha)
+        sharded = ShardedContinuousQuerySystem(
+            num_shards=num_shards, alpha=alpha, domain_lo=0.0, domain_hi=1000.0
+        )
+        for qid in range(60):
+            if qid % 3 == 0:
+                band_lo = rng.uniform(-40, 40)
+                band = Interval(band_lo, band_lo + rng.uniform(0, 30))
+                make = lambda: BandJoinQuery(band)
+            else:
+                c_lo, a_lo = rng.uniform(0, 1000), rng.uniform(0, 1000)
+                range_a = Interval(a_lo, a_lo + 300)
+                range_c = Interval(c_lo, c_lo + rng.uniform(0, 200))
+                make = lambda: SelectJoinQuery(range_a, range_c)
+            q1, q2 = make(), make()
+            plain.subscribe(q1)
+            sharded.subscribe(q2)
+
+        def norm(deltas):
+            return sorted(
+                (sorted(r.sid if isinstance(r, STuple) else r.rid for r in rows))
+                for rows in deltas.values()
+                if rows
+            )
+
+        live_r, live_s = [], []
+        for step in range(250):
+            roll = rng.random()
+            if roll < 0.15 and live_r:
+                row = live_r.pop(rng.randrange(len(live_r)))
+                plain.delete_r(row)
+                sharded.delete_r(row)
+            elif roll < 0.3 and live_s:
+                row = live_s.pop(rng.randrange(len(live_s)))
+                plain.delete_s(row)
+                sharded.delete_s(row)
+            elif roll < 0.65:
+                row = RTuple(step, rng.uniform(0, 1000), rng.uniform(0, 1000))
+                live_r.append(row)
+                assert norm(plain.insert_r_row(row)) == norm(sharded.insert_r_row(row))
+            else:
+                row = STuple(step, rng.uniform(0, 1000), rng.uniform(0, 1000))
+                live_s.append(row)
+                assert norm(plain.insert_s_row(row)) == norm(sharded.insert_s_row(row))
+        assert sharded.events_processed == plain.events_processed == 250
+
+    def test_mid_stream_subscribe_sees_prior_state(self):
+        sharded = ShardedContinuousQuerySystem(
+            num_shards=4, alpha=None, domain_lo=0.0, domain_hi=100.0
+        )
+        sharded.insert_s(b=10.0, c=50.0)
+        sharded.insert_s(b=10.0, c=75.0)
+        query = sharded.subscribe(select_query(0.0, 100.0, 0.0, 100.0))
+        deltas = sharded.insert_r(a=5.0, b=10.0)
+        assert len(deltas[query]) == 2  # both pre-subscribe S rows join
+
+    def test_unsubscribe_removes_from_all_shards(self):
+        sharded = ShardedContinuousQuerySystem(
+            num_shards=4, alpha=None, domain_lo=0.0, domain_hi=100.0
+        )
+        query = sharded.subscribe(select_query(0.0, 100.0, 0.0, 100.0))
+        assert sharded.subscription_count == 1
+        sharded.unsubscribe(query)
+        assert sharded.subscription_count == 0
+        assert all(shard.query_count == 0 for shard in sharded.shards)
+        sharded.insert_s(b=1.0, c=50.0)
+        assert sharded.insert_r(a=1.0, b=1.0) == {}
+
+    def test_deletions_count_as_processed_events(self):
+        sharded = ShardedContinuousQuerySystem(num_shards=2, alpha=None)
+        sharded.insert_r(a=1.0, b=2.0)
+        row = next(iter(sharded.shards[0].table_r))
+        sharded.delete_r(row)
+        assert sharded.events_processed == 2

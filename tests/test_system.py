@@ -85,6 +85,26 @@ class TestEventProcessing:
         system.delete_r(r_row)
         assert len(system.table_r) == 0
 
+    def test_deletions_count_as_processed_events(self):
+        system = ContinuousQuerySystem(alpha=None)
+        system.insert_s(b=10.0, c=0.0)
+        system.insert_r(a=0.0, b=10.0)
+        assert system.events_processed == 2
+        system.delete_s(next(iter(system.table_s)))
+        system.delete_r(next(iter(system.table_r)))
+        # Deletions are applied events too, not just table maintenance.
+        assert system.events_processed == 4
+
+    def test_insert_row_applies_premade_rows(self):
+        from repro.engine.table import RTuple, STuple
+
+        system = ContinuousQuerySystem(alpha=None)
+        band = system.subscribe(BandJoinQuery(Interval(-0.5, 0.5)))
+        system.insert_s_row(STuple(41, 10.0, 0.0))
+        deltas = system.insert_r_row(RTuple(7, 0.0, 10.0))
+        assert [s.sid for s in deltas[band]] == [41]
+        assert next(iter(system.table_r)).rid == 7
+
 
 class TestHotspotVsPureConfigsAgree:
     def test_same_deltas(self):
