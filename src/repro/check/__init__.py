@@ -1,0 +1,60 @@
+"""repro.check: differential fuzzing and invariant probing.
+
+The subsystem turns the paper's theorems into continuously enforced
+contracts: seeded op-sequence generation (:mod:`repro.check.ops`),
+brute-force reference oracles (:mod:`repro.check.oracles`), invariant
+probes (:mod:`repro.check.probes`), target adapters
+(:mod:`repro.check.targets`) and the fuzz/shrink/replay loop
+(:mod:`repro.check.runner`).  Entry points: the :func:`fuzz` API and the
+``repro fuzz`` CLI verb.
+"""
+
+from repro.check.ops import FuzzConfig, Op, generate_ops, ops_from_json, ops_to_json
+from repro.check.oracles import (
+    ModelState,
+    brute_force_stabbing_partition,
+    brute_force_tau,
+    naive_hotspots,
+)
+from repro.check.probes import Divergence
+from repro.check.runner import (
+    DivergenceRecord,
+    FuzzReport,
+    RunOutcome,
+    fuzz,
+    load_reproducer,
+    normalize_ops,
+    replay_reproducer,
+    reproducer_dict,
+    run_sequence,
+    save_reproducer,
+    shrink_ops,
+)
+from repro.check.targets import DEFAULT_TARGETS, TARGET_FACTORIES, FuzzTarget
+
+__all__ = [
+    "DEFAULT_TARGETS",
+    "Divergence",
+    "DivergenceRecord",
+    "FuzzConfig",
+    "FuzzReport",
+    "FuzzTarget",
+    "ModelState",
+    "Op",
+    "RunOutcome",
+    "TARGET_FACTORIES",
+    "brute_force_stabbing_partition",
+    "brute_force_tau",
+    "fuzz",
+    "generate_ops",
+    "load_reproducer",
+    "naive_hotspots",
+    "normalize_ops",
+    "ops_from_json",
+    "ops_to_json",
+    "replay_reproducer",
+    "reproducer_dict",
+    "run_sequence",
+    "save_reproducer",
+    "shrink_ops",
+]

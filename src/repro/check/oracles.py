@@ -1,0 +1,223 @@
+"""Brute-force reference models the fuzz targets are compared against.
+
+Every oracle here is deliberately implemented by a *different* algorithm
+than the production code it checks:
+
+* :func:`brute_force_stabbing_partition` computes the optimal stabbing
+  partition by the classic O(n^2) piercing loop — repeatedly stab at the
+  smallest remaining right endpoint — rather than the left-endpoint sweep
+  of :func:`repro.core.stabbing.canonical_stabbing_partition`.  For 1-D
+  intervals the two constructions provably coincide group-for-group, so
+  disagreement convicts one of them.
+* :func:`naive_hotspots` classifies hotspots by scanning the brute-force
+  partition with the bare definition (size >= alpha * n), independent of
+  the tracker's hysteresis machinery.
+* :func:`oracle_r_insert_deltas` / :func:`oracle_s_insert_deltas` evaluate
+  both query templates by nested loops over the model's live rows and
+  subscriptions, independent of every index structure.
+
+:class:`ModelState` is the fuzzer's ground truth: a trivially correct
+mirror of the op sequence (plain dicts of live intervals, rows and
+subscriptions) that the oracles read and every target is diffed against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.check import ops as op_mod
+from repro.check.ops import Op
+
+IntervalPair = Tuple[float, float]
+
+
+# -- stabbing-partition oracle (O(n^2) piercing) ------------------------------
+
+
+def brute_force_stabbing_partition(
+    intervals: Sequence[IntervalPair],
+) -> List[List[IntervalPair]]:
+    """Optimal stabbing partition by repeated piercing, O(n^2).
+
+    Take the smallest right endpoint h among the remaining intervals; every
+    remaining interval containing h forms one group (this is optimal: any
+    stabbing set must spend a point on the interval realizing h, and h
+    covers a superset of what that point covers).  Repeat on the rest.
+    """
+    remaining = list(intervals)
+    groups: List[List[IntervalPair]] = []
+    while remaining:
+        h = min(hi for __, hi in remaining)
+        group = [iv for iv in remaining if iv[0] <= h <= iv[1]]
+        remaining = [iv for iv in remaining if not (iv[0] <= h <= iv[1])]
+        groups.append(group)
+    return groups
+
+
+def brute_force_tau(intervals: Sequence[IntervalPair]) -> int:
+    """The stabbing number tau by the O(n^2) piercing oracle."""
+    return len(brute_force_stabbing_partition(intervals))
+
+
+def naive_hotspots(
+    intervals: Sequence[IntervalPair], alpha: float
+) -> List[List[IntervalPair]]:
+    """Alpha-hotspot groups of the optimal partition, by bare definition."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    threshold = alpha * len(intervals)
+    return [
+        group
+        for group in brute_force_stabbing_partition(intervals)
+        if len(group) >= threshold
+    ]
+
+
+# -- model state -------------------------------------------------------------
+
+
+@dataclass
+class ModelState:
+    """Ground-truth mirror of an op sequence.
+
+    ``epsilon``/``alpha`` track the current maintenance parameters (the
+    SET_EPSILON / SET_ALPHA ops); everything else is a plain dict of live
+    entities keyed by the op ``key`` namespace.
+    """
+
+    intervals: Dict[int, IntervalPair] = field(default_factory=dict)
+    r_rows: Dict[int, Tuple[float, float]] = field(default_factory=dict)  # a, b
+    s_rows: Dict[int, Tuple[float, float]] = field(default_factory=dict)  # b, c
+    band_queries: Dict[int, IntervalPair] = field(default_factory=dict)
+    select_queries: Dict[int, Tuple[float, float, float, float]] = field(
+        default_factory=dict
+    )
+    epsilon: float = 1.0
+    alpha: float = 0.2
+
+    # -- op application ------------------------------------------------------
+
+    def is_legal(self, op: Op) -> bool:
+        """Whether ``op`` is applicable to the current state (used by the
+        shrinker to keep reduced sequences well-formed)."""
+        kind, key = op.kind, op.key
+        if kind == op_mod.INSERT_INTERVAL:
+            return key not in self.intervals and op.values[0] <= op.values[1]
+        if kind == op_mod.DELETE_INTERVAL:
+            return key in self.intervals
+        if kind == op_mod.INSERT_R:
+            return key not in self.r_rows
+        if kind == op_mod.DELETE_R:
+            return key in self.r_rows
+        if kind == op_mod.INSERT_S:
+            return key not in self.s_rows
+        if kind == op_mod.DELETE_S:
+            return key in self.s_rows
+        if kind == op_mod.SUB_BAND:
+            return not self._query_live(key) and op.values[0] <= op.values[1]
+        if kind == op_mod.SUB_SELECT:
+            return (
+                not self._query_live(key)
+                and op.values[0] <= op.values[1]
+                and op.values[2] <= op.values[3]
+            )
+        if kind == op_mod.UNSUB:
+            return self._query_live(key)
+        if kind == op_mod.SET_EPSILON:
+            return op.values[0] > 0
+        if kind == op_mod.SET_ALPHA:
+            return 0 < op.values[0] <= 1
+        return False
+
+    def _query_live(self, qid: int) -> bool:
+        return qid in self.band_queries or qid in self.select_queries
+
+    def apply(self, op: Op) -> None:
+        kind, key = op.kind, op.key
+        if kind == op_mod.INSERT_INTERVAL:
+            self.intervals[key] = (op.values[0], op.values[1])
+        elif kind == op_mod.DELETE_INTERVAL:
+            del self.intervals[key]
+        elif kind == op_mod.INSERT_R:
+            self.r_rows[key] = (op.values[0], op.values[1])
+        elif kind == op_mod.DELETE_R:
+            del self.r_rows[key]
+        elif kind == op_mod.INSERT_S:
+            self.s_rows[key] = (op.values[0], op.values[1])
+        elif kind == op_mod.DELETE_S:
+            del self.s_rows[key]
+        elif kind == op_mod.SUB_BAND:
+            self.band_queries[key] = (op.values[0], op.values[1])
+        elif kind == op_mod.SUB_SELECT:
+            self.select_queries[key] = (
+                op.values[0], op.values[1], op.values[2], op.values[3]
+            )
+        elif kind == op_mod.UNSUB:
+            self.band_queries.pop(key, None)
+            self.select_queries.pop(key, None)
+        elif kind == op_mod.SET_EPSILON:
+            self.epsilon = op.values[0]
+        elif kind == op_mod.SET_ALPHA:
+            self.alpha = op.values[0]
+        else:  # pragma: no cover - Op.__post_init__ rejects unknown kinds
+            raise ValueError(f"unknown op kind {kind!r}")
+
+    # -- oracle views --------------------------------------------------------
+
+    def interval_multiset(self) -> List[IntervalPair]:
+        return sorted(self.intervals.values())
+
+    def tau(self) -> int:
+        """Stabbing number of the live intervals (O(n^2) oracle)."""
+        return brute_force_tau(list(self.intervals.values()))
+
+    def subscription_count(self) -> int:
+        return len(self.band_queries) + len(self.select_queries)
+
+    # -- nested-loop join deltas ---------------------------------------------
+
+    def oracle_r_insert_deltas(self, a: float, b: float) -> Dict[int, Tuple[int, ...]]:
+        """Expected deltas for inserting R(a, b): nested loops over the live
+        S rows and every subscription; {qid: sorted sids}, empty qids
+        omitted (matching :func:`repro.runtime.replay.normalize_deltas`)."""
+        out: Dict[int, Tuple[int, ...]] = {}
+        for qid, (lo, hi) in self.band_queries.items():
+            hits = sorted(
+                sid for sid, (sb, __) in self.s_rows.items() if lo <= sb - b <= hi
+            )
+            if hits:
+                out[qid] = tuple(hits)
+        for qid, (a_lo, a_hi, c_lo, c_hi) in self.select_queries.items():
+            if not a_lo <= a <= a_hi:
+                continue
+            hits = sorted(
+                sid
+                for sid, (sb, sc) in self.s_rows.items()
+                if sb == b and c_lo <= sc <= c_hi
+            )
+            if hits:
+                out[qid] = tuple(hits)
+        return out
+
+    def oracle_s_insert_deltas(self, b: float, c: float) -> Dict[int, Tuple[int, ...]]:
+        """Expected deltas for inserting S(b, c) (the symmetric direction:
+        matches come from the live R rows)."""
+        out: Dict[int, Tuple[int, ...]] = {}
+        for qid, (lo, hi) in self.band_queries.items():
+            hits = sorted(
+                rid for rid, (__, rb) in self.r_rows.items() if lo <= b - rb <= hi
+            )
+            if hits:
+                out[qid] = tuple(hits)
+        for qid, (a_lo, a_hi, c_lo, c_hi) in self.select_queries.items():
+            if not c_lo <= c <= c_hi:
+                continue
+            hits = sorted(
+                rid
+                for rid, (ra, rb) in self.r_rows.items()
+                if rb == b and a_lo <= ra <= a_hi
+            )
+            if hits:
+                out[qid] = tuple(hits)
+        return out

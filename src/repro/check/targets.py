@@ -1,0 +1,391 @@
+"""Fuzz targets: adapters mapping op sequences onto production structures.
+
+Each target owns one system under test, declares the op ``kinds`` it
+consumes, applies ops as they stream by, and exposes ``check(model)`` for
+the runner's periodic invariant sweep.  Items are keyed by the op ``key``
+(partitions and trackers identify items by object identity, so each target
+materializes its *own* interval/row/query objects).
+
+``TARGET_FACTORIES`` is the registry the runner builds targets from; tests
+inject deliberately broken implementations by overriding an entry (e.g. a
+``LazyStabbingPartition`` subclass with an off-by-one trigger) and checking
+the fuzzer convicts it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional
+
+from repro.check import ops as op_mod
+from repro.check.ops import ENGINE_KINDS, INTERVAL_KINDS, Op
+from repro.check.oracles import ModelState
+from repro.check.probes import (
+    check_batcher_drain,
+    check_delta_equivalence,
+    check_partition,
+    check_tracker,
+    expect,
+)
+from repro.core.hotspot_tracker import HotspotTracker
+from repro.core.intervals import Interval
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.multidim import Box, DynamicBoxPartition
+from repro.core.refined_partition import RefinedStabbingPartition
+from repro.engine.events import DataEvent, EventKind
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.system import ContinuousQuerySystem
+from repro.engine.table import RTuple, STuple
+from repro.runtime.batching import BatchEntry, MicroBatcher
+from repro.runtime.replay import normalize_deltas
+from repro.runtime.sharding import ShardedContinuousQuerySystem
+
+
+class FuzzTarget:
+    """Interface every target implements."""
+
+    name: str = "?"
+    kinds: FrozenSet[str] = frozenset()
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        raise NotImplementedError
+
+    def check(self, model: ModelState) -> None:
+        raise NotImplementedError
+
+
+# -- interval-domain targets -------------------------------------------------
+
+
+class _IntervalPartitionTarget(FuzzTarget):
+    """Shared plumbing for targets maintaining a partition of intervals.
+
+    ``SET_EPSILON`` rebuilds the structure from the live items under the new
+    parameter (partitions fix epsilon at construction); ``SET_ALPHA`` is
+    ignored except by the tracker subclass.
+    """
+
+    kinds = INTERVAL_KINDS
+
+    def __init__(self) -> None:
+        self._items: Dict[int, Interval] = {}
+        self._epsilon = 1.0
+        self._structure = self._build([])
+
+    def _build(self, items: List[Interval]):
+        raise NotImplementedError
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        if op.kind == op_mod.INSERT_INTERVAL:
+            item = Interval(op.values[0], op.values[1])
+            self._items[op.key] = item
+            self._structure.insert(item)
+        elif op.kind == op_mod.DELETE_INTERVAL:
+            self._structure.delete(self._items.pop(op.key))
+        elif op.kind == op_mod.SET_EPSILON:
+            self._epsilon = op.values[0]
+            self._structure = self._build(list(self._items.values()))
+
+    def check(self, model: ModelState) -> None:
+        check_partition(
+            self.name, self._structure, model, epsilon=self._epsilon
+        )
+
+
+class LazyTarget(_IntervalPartitionTarget):
+    name = "lazy"
+
+    def __init__(
+        self,
+        partition_cls: type = LazyStabbingPartition,
+        trigger: str = "relaxed",
+    ) -> None:
+        self._partition_cls = partition_cls
+        self._trigger = trigger
+        super().__init__()
+
+    def _build(self, items: List[Interval]):
+        return self._partition_cls(
+            items, epsilon=self._epsilon, trigger=self._trigger
+        )
+
+
+class RefinedTarget(_IntervalPartitionTarget):
+    name = "refined"
+
+    def __init__(self, partition_cls: type = RefinedStabbingPartition) -> None:
+        self._partition_cls = partition_cls
+        super().__init__()
+
+    def _build(self, items: List[Interval]):
+        # Fixed treap seed keeps runs reproducible per op sequence.
+        return self._partition_cls(items, epsilon=self._epsilon, seed=0)
+
+
+class MultidimTarget(FuzzTarget):
+    """Drives :class:`DynamicBoxPartition` with 1-D boxes, where the sweep
+    heuristic coincides with the canonical partition and the (1 + eps) * tau
+    bound is exact."""
+
+    name = "multidim"
+    kinds = INTERVAL_KINDS
+
+    def __init__(self, partition_cls: type = DynamicBoxPartition) -> None:
+        self._partition_cls = partition_cls
+        self._items: Dict[int, Box] = {}
+        self._epsilon = 1.0
+        self._structure = self._build([])
+
+    def _build(self, items: List[Box]):
+        return self._partition_cls(items, epsilon=self._epsilon)
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        if op.kind == op_mod.INSERT_INTERVAL:
+            box = Box((op.values[0],), (op.values[1],))
+            self._items[op.key] = box
+            self._structure.insert(box)
+        elif op.kind == op_mod.DELETE_INTERVAL:
+            self._structure.delete(self._items.pop(op.key))
+        elif op.kind == op_mod.SET_EPSILON:
+            self._epsilon = op.values[0]
+            self._structure = self._build(list(self._items.values()))
+
+    def check(self, model: ModelState) -> None:
+        check_partition(
+            self.name,
+            self._structure,
+            model,
+            epsilon=self._epsilon,
+            interval_of=lambda box: Interval(box.lo[0], box.hi[0]),
+        )
+
+
+class TrackerTarget(FuzzTarget):
+    name = "tracker"
+    kinds = INTERVAL_KINDS
+
+    def __init__(self, tracker_cls: type = HotspotTracker) -> None:
+        self._tracker_cls = tracker_cls
+        self._items: Dict[int, Interval] = {}
+        self._alpha = 0.2
+        self._epsilon = 1.0
+        self._tracker = self._build([])
+
+    def _build(self, items: List[Interval]):
+        return self._tracker_cls(items, alpha=self._alpha, epsilon=self._epsilon)
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        if op.kind == op_mod.INSERT_INTERVAL:
+            item = Interval(op.values[0], op.values[1])
+            self._items[op.key] = item
+            self._tracker.insert(item)
+        elif op.kind == op_mod.DELETE_INTERVAL:
+            self._tracker.delete(self._items.pop(op.key))
+        elif op.kind == op_mod.SET_EPSILON:
+            self._epsilon = op.values[0]
+            self._tracker = self._build(list(self._items.values()))
+        elif op.kind == op_mod.SET_ALPHA:
+            self._alpha = op.values[0]
+            self._tracker = self._build(list(self._items.values()))
+
+    def check(self, model: ModelState) -> None:
+        check_tracker(self.name, self._tracker, model)
+
+
+# -- engine-domain targets ---------------------------------------------------
+
+
+class BatcherTarget(FuzzTarget):
+    """Feeds row events through a :class:`MicroBatcher`, draining whenever
+    it is due and fully at every check round, verifying each drain against
+    the naive pair-cancellation model."""
+
+    name = "batcher"
+    kinds = frozenset(
+        {op_mod.INSERT_R, op_mod.DELETE_R, op_mod.INSERT_S, op_mod.DELETE_S}
+    )
+
+    def __init__(self, max_batch: int = 16) -> None:
+        self.batcher = MicroBatcher(max_batch)
+        self._seq = 0
+        # Shadow of the pending queue: (seq, relation, row_id, kind).
+        self._shadow: List[tuple] = []
+        self._rows: Dict[tuple, object] = {}
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        if op.kind == op_mod.INSERT_R:
+            row = RTuple(op.key, op.values[0], op.values[1])
+            self._rows[("R", op.key)] = row
+            self._enqueue(DataEvent(EventKind.INSERT, "R", row), op.key)
+        elif op.kind == op_mod.DELETE_R:
+            row = self._rows.pop(("R", op.key))
+            self._enqueue(DataEvent(EventKind.DELETE, "R", row), op.key)
+        elif op.kind == op_mod.INSERT_S:
+            row = STuple(op.key, op.values[0], op.values[1])
+            self._rows[("S", op.key)] = row
+            self._enqueue(DataEvent(EventKind.INSERT, "S", row), op.key)
+        elif op.kind == op_mod.DELETE_S:
+            row = self._rows.pop(("S", op.key))
+            self._enqueue(DataEvent(EventKind.DELETE, "S", row), op.key)
+
+    def _enqueue(self, event: DataEvent, row_id: int) -> None:
+        seq = self._seq
+        self._seq += 1
+        self.batcher.add(BatchEntry(seq, event))
+        kind = "insert" if event.kind is EventKind.INSERT else "delete"
+        self._shadow.append((seq, event.relation, row_id, kind))
+        if self.batcher.is_due:
+            self._drain_once()
+
+    def _drain_once(self) -> None:
+        before = list(self._shadow)
+        pairs_seen = len(self.batcher.stats.cancelled)
+        batch = self.batcher.drain()
+        pairs = list(self.batcher.stats.cancelled[pairs_seen:])
+        drained = [entry.seq for entry in batch]
+        remaining = [entry.seq for entry in self.batcher._pending]
+        check_batcher_drain(
+            self.name, before, drained, remaining, pairs, self.batcher.max_batch
+        )
+        gone = set(drained)
+        for insert_seq, delete_seq in pairs:
+            gone.add(insert_seq)
+            gone.add(delete_seq)
+        self._shadow = [entry for entry in self._shadow if entry[0] not in gone]
+        stats = self.batcher.stats
+        expect(
+            stats.events_in
+            == stats.events_out + 2 * stats.coalesced_pairs + len(self.batcher),
+            self.name,
+            f"stats ledger drift: in={stats.events_in} out={stats.events_out} "
+            f"pairs={stats.coalesced_pairs} pending={len(self.batcher)}",
+        )
+
+    def check(self, model: ModelState) -> None:
+        while len(self.batcher):
+            self._drain_once()
+
+
+class EngineTarget(FuzzTarget):
+    """Runs every engine op through the sharded system *and* the unsharded
+    reference, comparing per-insert deltas between the two and against the
+    model's nested-loop oracle."""
+
+    name = "sharded"
+    kinds = ENGINE_KINDS
+
+    def __init__(
+        self,
+        num_shards: int = 3,
+        alpha: Optional[float] = 0.2,
+        epsilon: float = 1.0,
+    ) -> None:
+        self.sharded = ShardedContinuousQuerySystem(
+            num_shards=num_shards, alpha=alpha, epsilon=epsilon
+        )
+        self.reference = ContinuousQuerySystem(alpha=alpha, epsilon=epsilon)
+        self._r_rows: Dict[int, RTuple] = {}
+        self._s_rows: Dict[int, STuple] = {}
+        self._queries: Dict[int, object] = {}
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        kind, key = op.kind, op.key
+        if kind == op_mod.INSERT_R:
+            row = RTuple(key, op.values[0], op.values[1])
+            self._r_rows[key] = row
+            got_sharded = normalize_deltas(self.sharded.insert_r_row(row))
+            got_reference = normalize_deltas(self.reference.insert_r_row(row))
+            want = model.oracle_r_insert_deltas(row.a, row.b)
+            check_delta_equivalence(
+                self.name, f"insert_r #{key}", got_sharded, got_reference, want
+            )
+        elif kind == op_mod.INSERT_S:
+            row = STuple(key, op.values[0], op.values[1])
+            self._s_rows[key] = row
+            got_sharded = normalize_deltas(self.sharded.insert_s_row(row))
+            got_reference = normalize_deltas(self.reference.insert_s_row(row))
+            want = model.oracle_s_insert_deltas(row.b, row.c)
+            check_delta_equivalence(
+                self.name, f"insert_s #{key}", got_sharded, got_reference, want
+            )
+        elif kind == op_mod.DELETE_R:
+            row = self._r_rows.pop(key)
+            self.sharded.delete_r(row)
+            self.reference.delete_r(row)
+        elif kind == op_mod.DELETE_S:
+            row = self._s_rows.pop(key)
+            self.sharded.delete_s(row)
+            self.reference.delete_s(row)
+        elif kind == op_mod.SUB_BAND:
+            query = BandJoinQuery(Interval(op.values[0], op.values[1]), qid=key)
+            self._queries[key] = query
+            self.sharded.subscribe(query)
+            self.reference.subscribe(query)
+        elif kind == op_mod.SUB_SELECT:
+            query = SelectJoinQuery(
+                Interval(op.values[0], op.values[1]),
+                Interval(op.values[2], op.values[3]),
+                qid=key,
+            )
+            self._queries[key] = query
+            self.sharded.subscribe(query)
+            self.reference.subscribe(query)
+        elif kind == op_mod.UNSUB:
+            query = self._queries.pop(key)
+            self.sharded.unsubscribe(query)
+            self.reference.unsubscribe(query)
+
+    def check(self, model: ModelState) -> None:
+        n_queries = model.subscription_count()
+        expect(
+            self.reference.subscription_count == n_queries,
+            self.name,
+            f"reference holds {self.reference.subscription_count} "
+            f"subscription(s), model {n_queries}",
+        )
+        expect(
+            self.sharded.subscription_count == n_queries,
+            self.name,
+            f"sharded system holds {self.sharded.subscription_count} "
+            f"subscription(s), model {n_queries}",
+        )
+        n_r, n_s = len(model.r_rows), len(model.s_rows)
+        expect(
+            len(self.reference.table_r) == n_r and len(self.reference.table_s) == n_s,
+            self.name,
+            f"reference tables hold {len(self.reference.table_r)}R/"
+            f"{len(self.reference.table_s)}S, model {n_r}R/{n_s}S",
+        )
+        for shard in self.sharded.shards:
+            expect(
+                len(shard.table_r) == n_r,
+                self.name,
+                f"shard {shard.index} R replica holds {len(shard.table_r)} "
+                f"rows, model {n_r}",
+            )
+            expect(
+                len(shard.table_s_band) == n_s,
+                self.name,
+                f"shard {shard.index} S band replica holds "
+                f"{len(shard.table_s_band)} rows, model {n_s}",
+            )
+        select_total = sum(len(s.table_s_select) for s in self.sharded.shards)
+        expect(
+            select_total == n_s,
+            self.name,
+            f"S select partition holds {select_total} rows fleet-wide, "
+            f"model {n_s} (slices must be disjoint and exhaustive)",
+        )
+
+
+# -- registry ----------------------------------------------------------------
+
+TARGET_FACTORIES: Dict[str, Callable[[], FuzzTarget]] = {
+    "lazy": LazyTarget,
+    "refined": RefinedTarget,
+    "multidim": MultidimTarget,
+    "tracker": TrackerTarget,
+    "batcher": BatcherTarget,
+    "sharded": EngineTarget,
+}
+
+DEFAULT_TARGETS = ("lazy", "refined", "multidim", "tracker", "batcher", "sharded")

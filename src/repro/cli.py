@@ -9,6 +9,9 @@ Self-contained utilities that do not require the repository checkout:
 * ``validate``  — run a built-in randomized cross-validation sweep (every
   join strategy against brute force) and report pass/fail, a quick
   install smoke test;
+* ``fuzz``      — differential fuzzing of every maintained structure against
+  brute-force oracles (``repro.check``), with delta-debugging shrinkage of
+  failures into replayable JSON reproducers;
 * ``replay``    — generate a deterministic mixed event stream and replay it
   through the sharded+batched runtime pipeline, asserting result-delta
   equivalence against the unsharded system and reporting throughput;
@@ -42,6 +45,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.histogram", "EQW-HIST, SSI-HIST, OPTIMAL"),
         ("repro.workload", "Table 1 generators, Zipf popularity"),
         ("repro.runtime", "sharded micro-batched pipeline: routing, backpressure, metrics, replay"),
+        ("repro.check", "differential fuzzing: brute-force oracles, invariant probes, shrinking"),
     ]:
         print(f"  {name:<16} {what}")
     return 0
@@ -152,6 +156,62 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     total = args.trials * 5 * 8
     print(f"validate: {total - failures}/{total} strategy evaluations matched brute force")
     return 1 if failures else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.check import (
+        DEFAULT_TARGETS,
+        FuzzConfig,
+        fuzz,
+        replay_reproducer,
+        save_reproducer,
+    )
+
+    targets = (
+        [name.strip() for name in args.targets.split(",") if name.strip()]
+        if args.targets
+        else list(DEFAULT_TARGETS)
+    )
+
+    if args.replay:
+        outcome = replay_reproducer(args.replay)
+        if outcome.ok:
+            print(
+                f"replay: {args.replay} no longer diverges "
+                f"({outcome.ops_applied} ops, {outcome.check_rounds} check rounds)"
+            )
+            return 0
+        record = outcome.divergence
+        print(f"replay: diverged at op {record.op_index}: {record.message}")
+        return 1
+
+    print(
+        f"fuzzing {args.ops} ops (seed={args.seed}) against "
+        f"{', '.join(targets)}; invariant sweep every {args.check_every} ops"
+    )
+    report = fuzz(
+        FuzzConfig(seed=args.seed, n_ops=args.ops),
+        targets=targets,
+        check_every=args.check_every,
+        shrink=args.shrink,
+    )
+    if report.ok:
+        print(
+            f"fuzz: {report.outcome.ops_applied} ops applied, "
+            f"{report.outcome.check_rounds} invariant sweeps, zero divergences"
+        )
+        return 0
+    record = report.outcome.divergence
+    print(f"fuzz: DIVERGENCE at op {record.op_index}: {record.message}", file=sys.stderr)
+    if report.shrunk_ops is not None:
+        print(
+            f"shrunk to {len(report.shrunk_ops)} op(s): "
+            f"{report.shrunk_divergence.message}",
+            file=sys.stderr,
+        )
+    save_reproducer(args.out, report.reproducer())
+    print(f"reproducer written to {args.out} (replay with: repro fuzz --replay {args.out})")
+    return 1
 
 
 def _stream_profile_from_args(args: argparse.Namespace):
@@ -290,6 +350,41 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--trials", type=int, default=3)
     validate.add_argument("--seed", type=int, default=0)
     validate.set_defaults(func=_cmd_validate)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: run randomized ops against every target "
+        "with brute-force oracles, shrinking any divergence to a minimal "
+        "reproducer",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--ops", type=int, default=2_000, help="ops to generate")
+    fuzz.add_argument(
+        "--targets",
+        default=None,
+        help="comma-separated target subset (default: all of "
+        "lazy,refined,multidim,tracker,batcher,sharded)",
+    )
+    fuzz.add_argument(
+        "--shrink",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="delta-debug a failing sequence to a minimal reproducer",
+    )
+    fuzz.add_argument(
+        "--check-every",
+        type=int,
+        default=32,
+        help="ops between full invariant sweeps (per-op checks always run)",
+    )
+    fuzz.add_argument(
+        "--out", default="fuzz-reproducer.json", help="reproducer output path"
+    )
+    fuzz.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="re-run a saved reproducer instead of fuzzing",
+    )
+    fuzz.set_defaults(func=_cmd_fuzz)
 
     replay = sub.add_parser(
         "replay", help="replay a mixed stream through the sharded runtime and verify equivalence"

@@ -125,6 +125,28 @@ class LazyStabbingPartition(DynamicStabbingPartitionBase[T]):
         """The worst-case bound (1 + eps) * tau(I) currently guaranteed."""
         return (1.0 + self._epsilon) * max(self._tau0 - self._original_deletions, 0)
 
+    def validate(self) -> None:
+        """Stabbing validity plus the lazy strategy's own contracts:
+        item-to-group bookkeeping, epoch records, and the Lemma 3 bound
+        ``|P| <= (1 + eps) * tau(I)`` against the true current tau."""
+        super().validate()
+        mapped = sum(group.size for group in self._groups)
+        assert mapped == len(self._group_of), (
+            f"group membership ({mapped}) and group_of ({len(self._group_of)}) "
+            "disagree"
+        )
+        for group in self._groups:
+            for item in group:
+                assert self._group_of[id(item)] is group, "stale group_of entry"
+        assert set(self._item_epoch) == set(self._group_of), (
+            "epoch records out of sync with live items"
+        )
+        tau = self._sweep_tau(self._all_items())
+        assert len(self._groups) <= (1.0 + self._epsilon) * tau + 1e-9, (
+            f"{len(self._groups)} groups > (1 + {self._epsilon}) * tau "
+            f"where tau = {tau}"
+        )
+
     # -- internals -----------------------------------------------------------
 
     def _after_update(self) -> None:

@@ -32,9 +32,9 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Iterator, List, Optional
 
-from repro.core.intervals import Interval
+from repro.core.intervals import Interval, common_intersection
 from repro.core.partition_base import DynamicStabbingPartitionBase, T
-from repro.core.stabbing import canonical_stabbing_partition, identity_interval
+from repro.core.stabbing import canonical_stabbing_partition, identity_interval, stabbing_number
 from repro.dstruct.treap import Treap
 
 
@@ -158,6 +158,40 @@ class RefinedStabbingPartition(DynamicStabbingPartitionBase[T]):
             self._groups.remove(group)
             self._notify_group_destroyed(group)
         self._after_update()
+
+    def validate(self) -> None:
+        """Stabbing validity plus the refined algorithm's own contracts:
+        treap aggregates must equal the recomputed common intersections,
+        fresh groups are singletons (insertions never join a group outside
+        reconstruction), bookkeeping is consistent, and the partition obeys
+        the Theorem 2 bound ``|P| <= (1 + eps) * tau(I)``."""
+        super().validate()
+        mapped = sum(group.size for group in self._groups)
+        assert mapped == len(self._group_of), (
+            f"group membership ({mapped}) and group_of ({len(self._group_of)}) "
+            "disagree"
+        )
+        for group in self._groups:
+            if group.fresh:
+                assert group.size == 1, (
+                    f"fresh group holds {group.size} items; insertions are "
+                    "always singletons"
+                )
+            recomputed = common_intersection(
+                self._interval_of(item) for item in group
+            )
+            assert group.common == recomputed, (
+                f"treap aggregate {group.common} != recomputed intersection "
+                f"{recomputed}"
+            )
+            for item in group:
+                assert self._group_of[id(item)] is group, "stale group_of entry"
+        items = [item for group in self._groups for item in group]
+        tau = stabbing_number(items, self._interval_of)
+        assert len(self._groups) <= (1.0 + self._epsilon) * tau + 1e-9, (
+            f"{len(self._groups)} groups > (1 + {self._epsilon}) * tau "
+            f"where tau = {tau}"
+        )
 
     # -- internals --------------------------------------------------------------
 

@@ -48,6 +48,14 @@ def interval_lists(min_size: int = 1, max_size: int = 60) -> st.SearchStrategy[l
     return st.lists(int_interval_strategy(), min_size=min_size, max_size=max_size)
 
 
+# ``st.from_type(Interval)`` (and inference inside st.builds) resolves to the
+# discrete high-collision strategy everywhere in the suite.
+st.register_type_strategy(Interval, int_interval_strategy())
+
+EPSILON_CHOICES = st.sampled_from([0.25, 0.5, 1.0, 2.0])
+ALPHA_CHOICES = st.sampled_from([0.1, 0.2, 0.25, 0.5])
+
+
 def fresh_intervals(intervals: list[Interval]) -> list[Interval]:
     """Copy intervals into distinct objects (the dynamic partitions key items
     by identity, so shared objects would alias)."""

@@ -1,0 +1,159 @@
+"""End-to-end tests for the differential fuzzer: clean campaigns, conviction
+of a deliberately broken implementation, shrinking, and reproducer replay."""
+
+import pytest
+
+from repro.check import ops as op_mod
+from repro.check.ops import FuzzConfig, Op
+from repro.check.runner import (
+    fuzz,
+    load_reproducer,
+    normalize_ops,
+    replay_reproducer,
+    run_sequence,
+    save_reproducer,
+    shrink_ops,
+)
+from repro.check.targets import LazyTarget
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.stabbing import canonical_stabbing_partition
+
+
+class RecalOffByOne(LazyStabbingPartition):
+    """The lazy strategy with an off-by-one in the recalibration acceptance:
+    it keeps partitions one whole group above the (1 + eps) * tau budget
+    instead of rebuilding, so fragmentation accumulates past Lemma 3's bound."""
+
+    def _recalibrate_or_rebuild(self):
+        items = self._all_items()
+        tau = self._sweep_tau(items)
+        self.recalibration_count += 1
+        if len(self._groups) <= (1.0 + self._epsilon) * tau + 1:  # off by one
+            self._tau0 = tau
+            self._epoch += 1
+            self._original_deletions = 0
+            self._updates_since_recon = 0
+            return
+        self._install(canonical_stabbing_partition(items, self._interval_of))
+
+
+BUGGY_LAZY = {"lazy": lambda: LazyTarget(partition_cls=RecalOffByOne)}
+
+# Interval-domain-only workload with wide uniform intervals and heavy churn:
+# deletions fragment groups (a wide member outlives its narrow co-members)
+# fast enough to push |P| against the (1 + eps) * tau budget, where the
+# broken acceptance above actually matters.  The clustered default workload
+# stays far from the bound and would let the bug hide.
+ADVERSARIAL = FuzzConfig(
+    seed=0,
+    n_ops=1_500,
+    engine_fraction=0.0,
+    uniform_interval_fraction=1.0,
+    delete_fraction=0.5,
+    churn=0.8,
+    recent_window=20,
+    max_live_intervals=40,
+    param_change_fraction=0.05,
+)
+
+
+class TestCleanRuns:
+    def test_default_targets_no_divergence(self):
+        report = fuzz(FuzzConfig(seed=0, n_ops=400), check_every=16)
+        assert report.ok, report.outcome.divergence
+        assert report.outcome.ops_applied == 400
+        assert report.outcome.check_rounds >= 400 // 16
+
+    def test_adversarial_workload_clean_on_correct_code(self):
+        report = fuzz(ADVERSARIAL, targets=["lazy"], check_every=1)
+        assert report.ok, report.outcome.divergence
+
+    def test_run_sequence_skips_illegal_ops(self):
+        ops = [
+            Op(op_mod.INSERT_INTERVAL, 0, (0.0, 5.0)),
+            Op(op_mod.DELETE_INTERVAL, 99),  # never inserted
+            Op(op_mod.DELETE_INTERVAL, 0),
+        ]
+        outcome = run_sequence(ops, targets=["lazy"])
+        assert outcome.ok
+        assert outcome.ops_applied == 2
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            run_sequence([], targets=["warp-drive"])
+
+
+class TestInjectedBug:
+    """The acceptance gate for the whole subsystem: a planted off-by-one in
+    ``LazyStabbingPartition`` must be caught and shrunk to a tiny reproducer."""
+
+    def test_off_by_one_is_caught_and_shrunk(self, tmp_path):
+        report = fuzz(
+            ADVERSARIAL, targets=["lazy"], check_every=1, factories=BUGGY_LAZY
+        )
+        assert not report.ok, "the planted bug escaped the fuzzer"
+        assert report.outcome.divergence.target == "lazy"
+        assert "groups >" in report.outcome.divergence.message
+
+        assert report.shrunk_ops is not None
+        assert len(report.shrunk_ops) <= 12
+        assert report.shrunk_divergence.target == "lazy"
+
+        # The shrunk sequence still convicts the buggy implementation ...
+        outcome = run_sequence(
+            report.shrunk_ops, targets=["lazy"], check_every=1,
+            factories=BUGGY_LAZY,
+        )
+        assert outcome.divergence is not None
+        assert outcome.divergence.target == "lazy"
+        # ... and passes against the correct one (it is the bug's fault,
+        # not the sequence's).
+        assert run_sequence(report.shrunk_ops, targets=["lazy"], check_every=1).ok
+
+        # Reproducer JSON round-trips through save/replay.
+        path = tmp_path / "repro.json"
+        save_reproducer(str(path), report.reproducer())
+        data = load_reproducer(str(path))
+        assert data["version"] == 1
+        assert data["seed"] == ADVERSARIAL.seed
+        assert len(data["ops"]) == len(report.shrunk_ops)
+        replayed = replay_reproducer(str(path), factories=BUGGY_LAZY)
+        assert replayed.divergence is not None
+        assert replayed.divergence.target == "lazy"
+        assert replay_reproducer(str(path)).ok
+
+
+class TestShrinking:
+    def test_normalize_drops_dangling_ops(self):
+        ops = [
+            Op(op_mod.INSERT_INTERVAL, 0, (0.0, 5.0)),
+            Op(op_mod.DELETE_INTERVAL, 1),  # dangling after removing insert 1
+            Op(op_mod.DELETE_INTERVAL, 0),
+            Op(op_mod.DELETE_INTERVAL, 0),  # double delete
+            Op(op_mod.UNSUB, 3),
+        ]
+        assert normalize_ops(ops) == [ops[0], ops[2]]
+
+    def test_shrink_preserves_failing_target(self):
+        report = fuzz(
+            ADVERSARIAL, targets=["lazy"], check_every=1, shrink=False,
+            factories=BUGGY_LAZY,
+        )
+        assert not report.ok
+        shrunk, divergence = shrink_ops(
+            report.ops, report.outcome.divergence,
+            targets=["lazy"], factories=BUGGY_LAZY,
+        )
+        assert divergence.target == "lazy"
+        assert len(shrunk) <= report.outcome.divergence.op_index + 1
+        # Minimality in the ddmin sense: dropping any single op (with
+        # dependency closure) no longer reproduces the divergence.
+        for index in range(len(shrunk)):
+            candidate = normalize_ops(shrunk[:index] + shrunk[index + 1:])
+            outcome = run_sequence(
+                candidate, targets=["lazy"], check_every=1, factories=BUGGY_LAZY
+            )
+            assert (
+                outcome.ok or outcome.divergence.target != "lazy"
+                or len(candidate) == len(shrunk)
+            )

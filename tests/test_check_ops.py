@@ -1,0 +1,90 @@
+"""Tests for the fuzzer's op model and seeded sequence generator."""
+
+import pytest
+
+from repro.check import ops as op_mod
+from repro.check.ops import (
+    FuzzConfig,
+    Op,
+    generate_ops,
+    ops_from_json,
+    ops_to_json,
+)
+from repro.check.oracles import ModelState
+
+
+class TestOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Op("teleport", 0)
+
+    def test_json_round_trip(self):
+        op = Op(op_mod.SUB_SELECT, 7, (1.0, 2.0, 3.5, 4.0))
+        assert Op.from_json(op.to_json()) == op
+
+    def test_sequence_json_round_trip(self):
+        ops = generate_ops(FuzzConfig(seed=3, n_ops=200))
+        assert ops_from_json(ops_to_json(ops)) == ops
+
+    def test_from_json_defaults(self):
+        assert Op.from_json({"kind": op_mod.DELETE_R, "key": 4}) == Op(
+            op_mod.DELETE_R, 4
+        )
+
+
+class TestGenerateOps:
+    def test_deterministic_per_seed(self):
+        config = FuzzConfig(seed=11, n_ops=500)
+        assert generate_ops(config) == generate_ops(config)
+
+    def test_seeds_differ(self):
+        assert generate_ops(FuzzConfig(seed=0, n_ops=300)) != generate_ops(
+            FuzzConfig(seed=1, n_ops=300)
+        )
+
+    def test_requested_length(self):
+        assert len(generate_ops(FuzzConfig(seed=2, n_ops=123))) == 123
+
+    def test_every_op_legal_in_order(self):
+        """Generated sequences are well-formed: each op is legal against the
+        model state produced by its predecessors (no dangling deletes, no id
+        reuse, no inverted intervals)."""
+        model = ModelState()
+        for op in generate_ops(FuzzConfig(seed=5, n_ops=2_000)):
+            assert model.is_legal(op), op
+            model.apply(op)
+
+    def test_live_set_caps_respected(self):
+        config = FuzzConfig(
+            seed=7, n_ops=2_000, max_live_intervals=20, max_live_rows=10,
+            max_live_queries=5,
+        )
+        model = ModelState()
+        for op in generate_ops(config):
+            model.apply(op)
+            assert len(model.intervals) <= config.max_live_intervals
+            assert len(model.r_rows) <= config.max_live_rows
+            assert len(model.s_rows) <= config.max_live_rows
+            assert model.subscription_count() <= config.max_live_queries
+
+    def test_engine_fraction_zero_means_interval_domain_only(self):
+        ops = generate_ops(FuzzConfig(seed=4, n_ops=400, engine_fraction=0.0))
+        assert all(op.kind in op_mod.INTERVAL_KINDS for op in ops)
+
+    def test_engine_fraction_one_means_engine_domain_only(self):
+        ops = generate_ops(FuzzConfig(seed=4, n_ops=400, engine_fraction=1.0))
+        assert all(op.kind in op_mod.ENGINE_KINDS for op in ops)
+
+    def test_mixed_run_covers_both_domains_and_deletes(self):
+        kinds = {op.kind for op in generate_ops(FuzzConfig(seed=0, n_ops=3_000))}
+        assert op_mod.INSERT_INTERVAL in kinds
+        assert op_mod.DELETE_INTERVAL in kinds
+        assert op_mod.INSERT_R in kinds and op_mod.INSERT_S in kinds
+        assert op_mod.DELETE_R in kinds or op_mod.DELETE_S in kinds
+        assert op_mod.SUB_BAND in kinds or op_mod.SUB_SELECT in kinds
+
+    def test_with_ops_rewrites_only_length(self):
+        config = FuzzConfig(seed=9, churn=0.7)
+        resized = config.with_ops(50)
+        assert resized.n_ops == 50
+        assert resized.seed == 9 and resized.churn == 0.7

@@ -1,0 +1,132 @@
+"""Tests for the brute-force oracles and the ground-truth model state."""
+
+from hypothesis import given
+
+from repro.check import ops as op_mod
+from repro.check.oracles import (
+    ModelState,
+    brute_force_stabbing_partition,
+    brute_force_tau,
+    naive_hotspots,
+)
+from repro.check.ops import Op
+from repro.core.stabbing import canonical_stabbing_partition, stabbing_number
+
+from conftest import interval_lists
+
+
+class TestPiercingOracle:
+    def test_disjoint_intervals_each_their_own_group(self):
+        pairs = [(0.0, 1.0), (2.0, 3.0), (4.0, 5.0)]
+        assert brute_force_tau(pairs) == 3
+        assert [len(g) for g in brute_force_stabbing_partition(pairs)] == [1, 1, 1]
+
+    def test_nested_intervals_one_group(self):
+        pairs = [(0.0, 10.0), (2.0, 8.0), (4.0, 6.0)]
+        groups = brute_force_stabbing_partition(pairs)
+        assert len(groups) == 1
+        assert sorted(groups[0]) == sorted(pairs)
+
+    def test_empty(self):
+        assert brute_force_stabbing_partition([]) == []
+        assert brute_force_tau([]) == 0
+
+    @given(interval_lists(min_size=0, max_size=50))
+    def test_agrees_with_sweep_construction(self, intervals):
+        """The piercing oracle and the left-endpoint sweep are different
+        algorithms for the same optimum; in 1-D they coincide group-for-group."""
+        pairs = [(iv.lo, iv.hi) for iv in intervals]
+        sweep = canonical_stabbing_partition(intervals)
+        pierce = brute_force_stabbing_partition(pairs)
+        assert sweep.size == len(pierce)
+        assert sorted(g.size for g in sweep.groups) == sorted(
+            len(g) for g in pierce
+        )
+        assert brute_force_tau(pairs) == stabbing_number(intervals)
+
+    @given(interval_lists(min_size=1, max_size=40))
+    def test_naive_hotspots_bare_definition(self, intervals):
+        pairs = [(iv.lo, iv.hi) for iv in intervals]
+        alpha = 0.3
+        hotspots = naive_hotspots(pairs, alpha)
+        threshold = alpha * len(pairs)
+        assert all(len(group) >= threshold for group in hotspots)
+        n_large = sum(
+            1
+            for group in brute_force_stabbing_partition(pairs)
+            if len(group) >= threshold
+        )
+        assert len(hotspots) == n_large
+
+
+class TestModelState:
+    def test_apply_and_views(self):
+        model = ModelState()
+        for op in [
+            Op(op_mod.INSERT_INTERVAL, 0, (0.0, 10.0)),
+            Op(op_mod.INSERT_INTERVAL, 1, (2.0, 8.0)),
+            Op(op_mod.INSERT_INTERVAL, 2, (50.0, 60.0)),
+            Op(op_mod.SET_EPSILON, 0, (0.5,)),
+            Op(op_mod.SET_ALPHA, 0, (0.4,)),
+        ]:
+            assert model.is_legal(op)
+            model.apply(op)
+        assert model.tau() == 2
+        assert model.interval_multiset() == [(0.0, 10.0), (2.0, 8.0), (50.0, 60.0)]
+        assert model.epsilon == 0.5 and model.alpha == 0.4
+        model.apply(Op(op_mod.DELETE_INTERVAL, 2))
+        assert model.tau() == 1
+
+    def test_legality_guards(self):
+        model = ModelState()
+        assert not model.is_legal(Op(op_mod.DELETE_INTERVAL, 0))  # not live
+        assert not model.is_legal(Op(op_mod.INSERT_INTERVAL, 0, (5.0, 1.0)))  # inverted
+        assert not model.is_legal(Op(op_mod.UNSUB, 0))
+        assert not model.is_legal(Op(op_mod.SET_EPSILON, 0, (0.0,)))
+        assert not model.is_legal(Op(op_mod.SET_ALPHA, 0, (1.5,)))
+        model.apply(Op(op_mod.INSERT_R, 3, (1.0, 2.0)))
+        assert not model.is_legal(Op(op_mod.INSERT_R, 3, (1.0, 2.0)))  # id reuse
+        assert model.is_legal(Op(op_mod.DELETE_R, 3))
+
+    def test_unsub_clears_either_query_namespace(self):
+        model = ModelState()
+        model.apply(Op(op_mod.SUB_BAND, 0, (-5.0, 5.0)))
+        model.apply(Op(op_mod.SUB_SELECT, 1, (0.0, 1.0, 0.0, 1.0)))
+        assert model.subscription_count() == 2
+        model.apply(Op(op_mod.UNSUB, 0))
+        model.apply(Op(op_mod.UNSUB, 1))
+        assert model.subscription_count() == 0
+
+
+class TestNestedLoopDeltas:
+    def make_model(self):
+        model = ModelState()
+        # S rows: sid -> (b, c)
+        model.apply(Op(op_mod.INSERT_S, 0, (10.0, 100.0)))
+        model.apply(Op(op_mod.INSERT_S, 1, (12.0, 500.0)))
+        model.apply(Op(op_mod.INSERT_S, 2, (40.0, 100.0)))
+        # R rows: rid -> (a, b)
+        model.apply(Op(op_mod.INSERT_R, 0, (7.0, 10.0)))
+        model.apply(Op(op_mod.INSERT_R, 1, (99.0, 41.0)))
+        # Band query |S.b - R.b| in [0, 3]; select query A in [0,10], C in [0,200].
+        model.apply(Op(op_mod.SUB_BAND, 0, (0.0, 3.0)))
+        model.apply(Op(op_mod.SUB_SELECT, 1, (0.0, 10.0, 0.0, 200.0)))
+        return model
+
+    def test_r_insert_deltas(self):
+        model = self.make_model()
+        # R(a=5, b=10): band matches S.b in [10, 13] -> sids 0, 1; select
+        # needs S.b == 10 and S.c in [0, 200] -> sid 0.
+        assert model.oracle_r_insert_deltas(5.0, 10.0) == {0: (0, 1), 1: (0,)}
+        # a outside the select's A range suppresses the select delta only.
+        assert model.oracle_r_insert_deltas(50.0, 10.0) == {0: (0, 1)}
+        # No band or key matches at all: empty dict, no empty entries.
+        assert model.oracle_r_insert_deltas(5.0, 900.0) == {}
+
+    def test_s_insert_deltas(self):
+        model = self.make_model()
+        # S(b=41, c=150): band matches R.b in [38, 41] -> rid 1; select needs
+        # R.b == 41 and R.a in [0, 10] -> rid 1 fails (a=99).
+        assert model.oracle_s_insert_deltas(41.0, 150.0) == {0: (1,)}
+        # S(b=10, c=150): band -> rid 0; select: R.b == 10, a=7 in range -> rid 0.
+        assert model.oracle_s_insert_deltas(10.0, 150.0) == {0: (0,), 1: (0,)}

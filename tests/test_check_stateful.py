@@ -1,0 +1,116 @@
+"""Hypothesis stateful test driving the tracker and both dynamic partitions
+through one mixed op sequence in lockstep, checking oracle agreement after
+every step.
+
+This complements the fuzzer in ``repro.check``: hypothesis explores op
+interleavings adversarially (and shrinks its own failures), while the fuzzer
+covers the engine-domain targets and paper-shaped workloads.  The oracle here
+is the O(n^2) piercing construction from ``repro.check.oracles`` — a different
+algorithm than the sweep the structures themselves rebuild from.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from conftest import ALPHA_CHOICES, EPSILON_CHOICES
+from repro.check.oracles import brute_force_tau
+from repro.core.hotspot_tracker import HotspotTracker
+from repro.core.intervals import Interval
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.refined_partition import RefinedStabbingPartition
+
+
+class DifferentialMachine(RuleBasedStateMachine):
+    """Lazy partition, refined partition and hotspot tracker vs the piercing
+    oracle, under interleaved inserts, deletes and parameter changes."""
+
+    def __init__(self):
+        super().__init__()
+        self.epsilon = 1.0
+        self.alpha = 0.25
+        self.model = []  # list of (lo, hi)
+        self._rebuild(items=[])
+
+    def _rebuild(self, items):
+        """(Re)build every structure from ``items`` under current params.
+        Each structure gets its own Interval objects (identity keying)."""
+        self.lazy_items = [Interval(lo, hi) for lo, hi in items]
+        self.refined_items = [Interval(lo, hi) for lo, hi in items]
+        self.tracker_items = [Interval(lo, hi) for lo, hi in items]
+        self.lazy = LazyStabbingPartition(self.lazy_items, epsilon=self.epsilon)
+        self.refined = RefinedStabbingPartition(
+            self.refined_items, epsilon=self.epsilon, seed=7
+        )
+        self.tracker = HotspotTracker(
+            self.tracker_items, alpha=self.alpha, epsilon=self.epsilon
+        )
+
+    @rule(interval=st.from_type(Interval))
+    def insert(self, interval):
+        self.model.append((interval.lo, interval.hi))
+        self.lazy_items.append(Interval(interval.lo, interval.hi))
+        self.lazy.insert(self.lazy_items[-1])
+        self.refined_items.append(Interval(interval.lo, interval.hi))
+        self.refined.insert(self.refined_items[-1])
+        self.tracker_items.append(Interval(interval.lo, interval.hi))
+        self.tracker.insert(self.tracker_items[-1])
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        self.model.pop(index)
+        self.lazy.delete(self.lazy_items.pop(index))
+        self.refined.delete(self.refined_items.pop(index))
+        self.tracker.delete(self.tracker_items.pop(index))
+
+    @rule(epsilon=EPSILON_CHOICES)
+    def set_epsilon(self, epsilon):
+        self.epsilon = epsilon
+        self._rebuild(self.model)
+
+    @rule(alpha=ALPHA_CHOICES)
+    def set_alpha(self, alpha):
+        self.alpha = alpha
+        self._rebuild(self.model)
+
+    @invariant()
+    def structures_agree_with_oracle(self):
+        tau = brute_force_tau(self.model)
+        n = len(self.model)
+        slack = 1e-9
+
+        self.lazy.validate()
+        assert self.lazy.total_items() == n
+        assert len(self.lazy) <= (1.0 + self.epsilon) * tau + slack
+
+        self.refined.validate()
+        assert self.refined.total_items() == n
+        assert len(self.refined) <= (1.0 + self.epsilon) * tau + slack
+
+        self.tracker.validate()
+        assert len(self.tracker) == n
+        total = len(self.tracker.hotspot_groups) + len(self.tracker.scattered)
+        assert total <= (1.0 + self.epsilon) * tau + 2.0 / self.alpha + slack
+        assert self.tracker.boundary_moves() <= 5 * max(self.tracker.update_count, 1)
+        # I1 against the bare definitions: hotspot groups are all at least
+        # (alpha/2)-dense (hysteresis demotes below that), so there are at
+        # most 2/alpha of them.
+        if n:
+            assert all(
+                g.size >= self.alpha / 2.0 * n - slack
+                for g in self.tracker.hotspot_groups
+            )
+            assert len(self.tracker.hotspot_groups) <= 2.0 / self.alpha + slack
+
+
+TestDifferentialMachine = DifferentialMachine.TestCase
+TestDifferentialMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

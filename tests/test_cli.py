@@ -82,6 +82,43 @@ def test_replay_churn_verbose(capsys):
     assert "pipeline/events_applied" in out
 
 
+def test_fuzz_clean_run(capsys):
+    assert main(["fuzz", "--ops", "200", "--seed", "0", "--check-every", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "zero divergences" in out
+    assert "200 ops applied" in out
+
+
+def test_fuzz_target_subset(capsys):
+    assert main(["fuzz", "--ops", "150", "--targets", "lazy,tracker"]) == 0
+    out = capsys.readouterr().out
+    assert "lazy, tracker" in out
+
+
+def test_fuzz_unknown_target_rejected():
+    with pytest.raises(ValueError):
+        main(["fuzz", "--ops", "10", "--targets", "quantum"])
+
+
+def test_fuzz_replay_clean_reproducer(tmp_path, capsys):
+    from repro.check import reproducer_dict, save_reproducer
+    from repro.check.ops import FuzzConfig, generate_ops
+    from repro.check.runner import DivergenceRecord
+
+    ops = generate_ops(FuzzConfig(seed=1, n_ops=60))
+    path = tmp_path / "repro.json"
+    # A reproducer whose recorded divergence no longer fires (e.g. after the
+    # bug it convicted was fixed) replays clean and exits 0.
+    save_reproducer(
+        str(path),
+        reproducer_dict(
+            ops, DivergenceRecord(0, "lazy", "stale"), targets=["lazy"], seed=1
+        ),
+    )
+    assert main(["fuzz", "--replay", str(path)]) == 0
+    assert "no longer diverges" in capsys.readouterr().out
+
+
 def test_serve_reports_metrics(capsys):
     assert main([
         "serve", "--events", "400", "--queries", "20", "--shards", "2",

@@ -1,0 +1,211 @@
+"""Tests for the runtime metrics primitives: counters/gauges/histograms under
+concurrent writers, log2 bucketing, registry snapshots and the hotspot-churn
+listener."""
+
+import threading
+
+import pytest
+
+from repro.core.hotspot_tracker import HotspotTracker
+from repro.core.intervals import Interval
+from repro.runtime.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HotspotMetricsListener,
+    MetricsRegistry,
+    null_registry,
+)
+
+
+def hammer(n_threads, fn):
+    """Run ``fn`` concurrently from ``n_threads`` threads, all released at
+    once, and join them."""
+    barrier = threading.Barrier(n_threads)
+
+    def work():
+        barrier.wait()
+        fn()
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_concurrent_writers_lose_nothing(self):
+        c = Counter()
+        n_threads, per_thread = 8, 5_000
+        hammer(n_threads, lambda: [c.inc() for _ in range(per_thread)])
+        assert c.value == n_threads * per_thread
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(-1.0)
+        assert g.value == -1.0
+
+    def test_concurrent_writers_leave_one_written_value(self):
+        g = Gauge()
+        values = [float(i) for i in range(16)]
+        counter = iter(values)
+        lock = threading.Lock()
+
+        def write():
+            with lock:
+                value = next(counter)
+            g.set(value)
+
+        hammer(len(values), write)
+        assert g.value in values
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        h = Histogram()
+        assert h.count == 0 and h.mean == 0.0
+        assert h.quantile(0.99) == 0.0
+        assert h.snapshot() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p99": 0.0,
+        }
+
+    def test_basic_stats(self):
+        h = Histogram()
+        for value in [1.0, 2.0, 3.0, 10.0]:
+            h.observe(value)
+        assert h.count == 4
+        assert h.mean == pytest.approx(4.0)
+        snap = h.snapshot()
+        assert snap["min"] == 1.0 and snap["max"] == 10.0 and snap["sum"] == 16.0
+
+    def test_negative_observations_clamp_to_zero(self):
+        h = Histogram()
+        h.observe(-5.0)
+        assert h.count == 1
+        assert h.snapshot()["min"] == 0.0 and h.snapshot()["max"] == 0.0
+
+    def test_quantiles_within_factor_of_two(self):
+        """Log2 bucketing: the reported quantile is the upper bound of the
+        bucket holding the requested rank, so it overestimates the true
+        quantile by at most 2x and never underestimates it."""
+        h = Histogram()
+        values = [float(v) for v in range(1, 1_000)]
+        for value in values:
+            h.observe(value)
+        for q in (0.5, 0.9, 0.99):
+            true = values[int(q * len(values)) - 1]
+            got = h.quantile(q)
+            assert true <= got <= 2.0 * true
+
+    def test_quantile_domain_checked(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_huge_values_saturate_last_bucket(self):
+        h = Histogram()
+        h.observe(2.0**100)
+        assert h.quantile(1.0) == 2.0**63  # clamped to the last bucket bound
+        assert h.snapshot()["max"] == 2.0**100  # exact extremes still kept
+
+    def test_concurrent_observers_lose_nothing(self):
+        h = Histogram()
+        n_threads, per_thread = 8, 2_000
+        hammer(
+            n_threads,
+            lambda: [h.observe(float(i % 37)) for i in range(per_thread)],
+        )
+        total = n_threads * per_thread
+        assert h.count == total
+        assert h.snapshot()["sum"] == pytest.approx(
+            n_threads * sum(float(i % 37) for i in range(per_thread))
+        )
+
+
+class TestRegistry:
+    def test_creation_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a/b") is registry.counter("a/b")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_concurrent_creation_yields_one_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def create():
+            c = registry.counter("hot/path")
+            with lock:
+                seen.append(c)
+            c.inc()
+
+        hammer(16, create)
+        assert all(c is seen[0] for c in seen)
+        assert registry.counter("hot/path").value == 16
+
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc(2)
+        registry.counter("a").inc()
+        registry.gauge("depth").set(7.0)
+        registry.histogram("lat").observe(3.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["counters"]["z"] == 2
+        assert snap["gauges"]["depth"] == 7.0
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_render(self):
+        registry = MetricsRegistry()
+        assert registry.render() == "(no metrics recorded)"
+        registry.counter("pipeline/events").inc(1_234)
+        registry.gauge("queue").set(5.0)
+        registry.histogram("batch").observe(12.0)
+        text = registry.render()
+        assert "pipeline/events" in text and "1,234" in text
+        assert "queue" in text and "batch" in text
+
+    def test_null_registry(self):
+        assert null_registry() is None
+
+
+class TestHotspotMetricsListener:
+    def test_promotions_and_demotions_counted(self):
+        registry = MetricsRegistry()
+        tracker = HotspotTracker(alpha=0.5)
+        tracker.add_listener(HotspotMetricsListener(registry))
+        # A pile of co-stabbed intervals forms one dominant group -> promote.
+        pile = [Interval(0.0, 10.0) for _ in range(12)]
+        for interval in pile:
+            tracker.insert(interval)
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime/hotspot_promotions"] >= 1
+        # Scatter the set and delete most of the pile -> the group falls
+        # below (alpha/2) * n and is demoted.
+        spread = [Interval(100.0 * i, 100.0 * i + 1.0) for i in range(1, 9)]
+        for interval in spread:
+            tracker.insert(interval)
+        for interval in pile[:10]:
+            tracker.delete(interval)
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime/hotspot_demotions"] >= 1
+        tracker.validate()
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        tracker = HotspotTracker(alpha=0.5)
+        tracker.add_listener(HotspotMetricsListener(registry, prefix="shard/3"))
+        for _ in range(8):
+            tracker.insert(Interval(0.0, 1.0))
+        assert registry.snapshot()["counters"]["shard/3/hotspot_promotions"] >= 1

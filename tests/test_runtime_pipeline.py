@@ -204,6 +204,101 @@ class TestExecutionModes:
             EventPipeline(mode="gpu")
 
 
+@pytest.mark.skipif(
+    sys.platform.startswith("win"), reason="fork-based worker pools"
+)
+class TestProcessBackend:
+    """The process execution mode pickles events/queries across the worker
+    boundary and resolves returned deltas back by qid — every path here is
+    distinct from the inline/thread backends and deserves its own coverage."""
+
+    def make(self, **kwargs):
+        kwargs.setdefault("num_shards", 2)
+        kwargs.setdefault("alpha", None)
+        kwargs.setdefault("batch_size", 8)
+        return EventPipeline(mode="process", **kwargs)
+
+    def test_deltas_resolve_to_caller_query_objects(self):
+        with self.make() as pipeline:
+            query = wide_select()
+            pipeline.subscribe(query)
+            results = pipeline.run([s_insert(0), r_insert(0)])
+            (__, __, s_deltas), (__, __, r_deltas) = results
+            assert s_deltas == {}
+            (got_query, matches), = r_deltas.items()
+            # The worker unpickled its own copy; the caller gets the original.
+            assert got_query is query
+            assert [row.sid for row in matches] == [0]
+
+    def test_mid_stream_subscribe_unsubscribe_barrier(self):
+        """QueryEvents act as barriers in process mode too: the subscription
+        observes exactly the stream prefix before it, and unsubscribing by
+        qid stops deltas without disturbing other subscriptions."""
+        with self.make() as pipeline:
+            first = wide_select()
+            second = wide_select()
+            pipeline.submit(s_insert(0))
+            pipeline.submit(QueryEvent(EventKind.INSERT, first))
+            assert pipeline.pending == 0  # barrier flushed the S insert
+            pipeline.submit(QueryEvent(EventKind.INSERT, second))
+            results = pipeline.run([r_insert(0)])
+            (__, __, deltas), = results
+            assert {q.qid for q in deltas} == {first.qid, second.qid}
+            pipeline.submit(QueryEvent(EventKind.DELETE, first))
+            results = pipeline.run([r_insert(1)])
+            (__, __, deltas), = results
+            assert {q.qid for q in deltas} == {second.qid}
+            assert pipeline.subscription_count == 1
+
+    def test_callbacks_fire_on_flush(self):
+        seen = []
+        with self.make() as pipeline:
+            pipeline.subscribe(
+                wide_select(),
+                on_results=lambda q, row, matches: seen.append(
+                    (q.qid, row.rid, len(matches))
+                ),
+            )
+            pipeline.submit(s_insert(0))
+            pipeline.submit(s_insert(1))
+            pipeline.submit(r_insert(7))
+            pipeline.drain()
+        assert len(seen) == 1
+        assert seen[0][1:] == (7, 2)
+
+    def test_metrics_and_coalescing(self):
+        with self.make(batch_size=64) as pipeline:
+            pipeline.subscribe(wide_select())
+            pipeline.submit(r_insert(0))
+            pipeline.submit(DataEvent(EventKind.DELETE, "R", RTuple(0, 5.0, 10.0)))
+            pipeline.submit(s_insert(0))
+            results = pipeline.drain()
+            # The insert+delete pair coalesced away before any worker saw it.
+            assert pipeline.cancelled_pairs == [(0, 1)]
+            assert [seq for seq, __, __ in results] == [2]
+            snap = pipeline.metrics.snapshot()
+            assert snap["counters"]["pipeline/events_applied"] == 1
+            assert any(name.startswith("shard/") for name in snap["histograms"])
+
+    def test_hotspot_path_in_workers(self):
+        """alpha-enabled shards run the hotspot tracker inside the worker
+        process; a pile of near-identical bands must still produce correct
+        join results through promotion."""
+        with self.make(alpha=0.2, num_shards=1, batch_size=4) as pipeline:
+            queries = [
+                BandJoinQuery(Interval(-1.0 - 0.01 * i, 1.0)) for i in range(12)
+            ]
+            for query in queries:
+                pipeline.subscribe(query)
+            pipeline.submit(r_insert(0, b=10.0))
+            pipeline.drain()
+            results = pipeline.run([s_insert(0, b=10.0)])
+            (__, __, deltas), = results
+            # |S.b - R.b| = 0 lies inside every band.
+            assert len(deltas) == len(queries)
+            assert all([row.rid for row in rows] == [0] for rows in deltas.values())
+
+
 class TestMetrics:
     def test_snapshot_and_render(self):
         with EventPipeline(
