@@ -1,0 +1,173 @@
+"""Batched-throughput benchmark: the columnar batch fast path vs the
+per-event probe on the Figure 10(i) band-join workload.
+
+Shared by the ``repro bench`` CLI verb and ``benchmarks/
+test_batch_fastpath.py``: both build the paper's largest Fig-10(i) point
+(20k band joins, stabbing number ~60, real-valued keys, narrow windows),
+replay the same R-arrival stream through ``BJSSI.process_r`` one event at a
+time and through ``BJSSI.process_r_batch`` at several batch sizes, and
+report events/second.  Probes do not install state, so warmup passes and
+best-of-``repeats`` timing are sound.
+
+The resulting record (written to ``BENCH_batch_fastpath.json``) is the
+first point of the perf trajectory the ROADMAP calls for; it carries
+interpreter/platform metadata and the fastpath kernel in use so numbers
+from different machines stay comparable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.harness import (
+    bench_env,
+    measure_batched_throughput,
+    measure_throughput,
+)
+from repro.fastpath import KERNEL
+from repro.operators.band_join import BJSSI
+from repro.workload import (
+    WorkloadParams,
+    ZipfSampler,
+    make_band_join_queries,
+    make_tables,
+    r_insert_events,
+)
+
+DEFAULT_BATCH_SIZES = (16, 64, 256)
+
+
+def fig10i_band_params() -> WorkloadParams:
+    """The Figure 10(i) band-join workload: real-valued keys (no equality
+    collisions), broad S.B spread, narrow band windows (mirrors
+    ``benchmarks/test_fig10i_bj_scaling.band_params``)."""
+    base = WorkloadParams(
+        seed=2006,
+        table_size=10_000,
+        query_count=10_000,
+        join_key_grid=50,
+        s_b_sigma=1_000.0,
+        range_a_mid_sigma=2_000.0,
+        range_a_len_mean=200.0,
+        range_a_len_sigma=50.0,
+        range_c_len_mean=8.0,
+        range_c_len_sigma=2.0,
+        band_len_mean=120.0,
+        band_len_sigma=40.0,
+    )
+    return dataclasses.replace(
+        base.scaled(),
+        integer_valued=False,
+        join_key_grid=None,
+        s_b_sigma=3_500.0,
+        band_len_mean=0.02,
+        band_len_sigma=0.005,
+    )
+
+
+def band_queries_with_tau(
+    params: WorkloadParams, count: int, tau: int, seed: int, zipf_beta: Optional[float] = 1.0
+) -> List:
+    """Band joins whose windows form ~tau stabbing groups (bands live on
+    the centered difference domain)."""
+    half = params.domain_width / 2.0
+    anchors = [-half / 2 + half * (i + 1) / (tau + 1) for i in range(tau)]
+    sampler = ZipfSampler(tau, zipf_beta) if zipf_beta else None
+    return make_band_join_queries(
+        params,
+        count,
+        rng=random.Random(seed),
+        band_anchors=anchors,
+        anchor_sampler=sampler,
+    )
+
+
+def run_band_batch_benchmark(
+    *,
+    query_count: int = 20_000,
+    tau: int = 60,
+    event_count: int = 200,
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    repeats: int = 5,
+    warmup: int = 1,
+    seed: int = 9,
+) -> Dict[str, object]:
+    """Measure per-event vs batched band-join probe throughput; returns the
+    benchmark record (events/second, speedups, workload and environment)."""
+    params = fig10i_band_params()
+    table_r, table_s = make_tables(params)
+    rng = random.Random(seed)
+    events = [table_r.new_row(a, b) for a, b in r_insert_events(params, event_count, rng)]
+    queries = band_queries_with_tau(params, query_count, tau, seed=50 + query_count)
+    strategy = BJSSI(table_s, table_r)
+    for query in queries:
+        strategy.add_query(query)
+
+    # Guard the timing with a delta-identity check on the first chunk.
+    probe = events[: max(batch_sizes)]
+    assert strategy.process_r_batch(probe) == [strategy.process_r(r) for r in probe], (
+        "batch fast path diverged from the per-event probe"
+    )
+
+    # Interleave the timed rounds (per-event, then each batch size, per
+    # round) so scheduler/frequency noise hits both paths alike; report the
+    # best round of each, as measure_throughput does.
+    for __ in range(warmup):
+        for r in events:
+            strategy.process_r(r)
+    per_event = 0.0
+    batched: Dict[str, float] = {str(size): 0.0 for size in batch_sizes}
+    for round_no in range(repeats):
+        per_event = max(
+            per_event, measure_throughput(strategy.process_r, events, repeats=1)
+        )
+        for batch_size in batch_sizes:
+            eps = measure_batched_throughput(
+                strategy.process_r_batch,
+                events,
+                batch_size=batch_size,
+                repeats=1,
+                warmup=warmup if round_no == 0 else 0,
+            )
+            batched[str(batch_size)] = max(batched[str(batch_size)], eps)
+    speedups = {size: eps / per_event for size, eps in batched.items()}
+    return {
+        "tag": "batch_fastpath_band",
+        "workload": "fig10i",
+        "query_count": query_count,
+        "tau": tau,
+        "event_count": event_count,
+        "table_size": params.table_size,
+        "batch_sizes": list(batch_sizes),
+        "repeats": repeats,
+        "warmup": warmup,
+        "seed": seed,
+        "kernel": KERNEL,
+        "per_event_eps": per_event,
+        "batched_eps": batched,
+        "speedup": speedups,
+        "env": bench_env(),
+    }
+
+
+def write_bench_json(path: str, record: Dict[str, object]) -> None:
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True, default=float)
+        handle.write("\n")
+
+
+def format_record(record: Dict[str, object]) -> str:
+    lines = [
+        f"batch fast path [{record['kernel']}] — fig10i band join, "
+        f"{record['query_count']} queries, tau={record['tau']}, "
+        f"{record['event_count']} events",
+        f"  per-event: {record['per_event_eps']:,.0f} events/s",
+    ]
+    for size, eps in record["batched_eps"].items():
+        lines.append(
+            f"  batch={size:>4}: {eps:,.0f} events/s  ({record['speedup'][size]:.2f}x)"
+        )
+    return "\n".join(lines)

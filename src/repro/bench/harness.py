@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import json
 import os
+import platform
+import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 
 @dataclass
@@ -25,32 +27,96 @@ class Series:
     label: str
     xs: List[float] = field(default_factory=list)
     ys: List[float] = field(default_factory=list)
+    # First-occurrence index per x, so y_at is O(1) instead of list.index's
+    # O(n) scan (sweeps call it once per assertion per point).
+    _pos: Dict[float, int] = field(default_factory=dict, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._reindex()
+
+    def _reindex(self) -> None:
+        self._pos = {}
+        for i, x in enumerate(self.xs):
+            self._pos.setdefault(x, i)
 
     def add(self, x: float, y: float) -> None:
         self.xs.append(x)
         self.ys.append(y)
+        self._pos.setdefault(x, len(self.xs) - 1)
 
     def y_at(self, x: float) -> float:
-        return self.ys[self.xs.index(x)]
+        idx = self._pos.get(x)
+        if idx is None:
+            # xs may have been extended directly; re-derive before giving up.
+            self._reindex()
+            idx = self._pos.get(x)
+            if idx is None:
+                raise ValueError(f"{x!r} is not in series {self.label!r}")
+        return self.ys[idx]
 
 
 def measure_throughput(
-    process: Callable[[object], object], events: Sequence[object], *, repeats: int = 1
+    process: Callable[[object], object],
+    events: Sequence[object],
+    *,
+    repeats: int = 1,
+    warmup: int = 0,
 ) -> float:
     """Replay ``events`` through ``process`` and return events/second.
 
-    With ``repeats`` > 1 the best of the runs is reported, which damps
-    scheduler noise in shape assertions.
+    ``warmup`` untimed passes run first (caches, lazy structures, JIT-free
+    but allocator-warm state); with ``repeats`` > 1 the best of the timed
+    runs is reported, which damps scheduler noise in shape assertions.
+    Warmup passes replay the same events, so only use them with probe-only
+    ``process`` callables that do not install state.
     """
     if not events:
         raise ValueError("need at least one event")
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    for __ in range(warmup):
+        for event in events:
+            process(event)
     best = 0.0
     for __ in range(repeats):
         start = time.perf_counter()
         for event in events:
             process(event)
+        elapsed = time.perf_counter() - start
+        best = max(best, len(events) / max(elapsed, 1e-12))
+    return best
+
+
+def measure_batched_throughput(
+    process_batch: Callable[[Sequence[object]], object],
+    events: Sequence[object],
+    *,
+    batch_size: int,
+    repeats: int = 1,
+    warmup: int = 0,
+) -> float:
+    """Replay ``events`` in ``batch_size`` chunks through ``process_batch``
+    and return events/second (same warmup/best-of-repeats protocol as
+    :func:`measure_throughput`)."""
+    if not events:
+        raise ValueError("need at least one event")
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be >= 0")
+    chunks = [events[i : i + batch_size] for i in range(0, len(events), batch_size)]
+    for __ in range(warmup):
+        for chunk in chunks:
+            process_batch(chunk)
+    best = 0.0
+    for __ in range(repeats):
+        start = time.perf_counter()
+        for chunk in chunks:
+            process_batch(chunk)
         elapsed = time.perf_counter() - start
         best = max(best, len(events) / max(elapsed, 1e-12))
     return best
@@ -99,14 +165,27 @@ def print_figure(
         print("  ".join(row))
 
 
+def bench_env() -> Dict[str, object]:
+    """Interpreter/platform metadata stamped into every benchmark record,
+    so BENCH_*.json numbers from different machines stay comparable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "gil_enabled": getattr(sys, "_is_gil_enabled", lambda: True)(),
+    }
+
+
 def emit_json(tag: str, payload: dict) -> None:
     """Emit one machine-readable benchmark record.
 
     Prints a single ``BENCH-JSON`` line (grep-friendly in pytest output) and,
     when the ``REPRO_BENCH_JSON`` env var names a file, appends the record
-    there as JSON-lines, so sweeps can be collected across runs.
+    there as JSON-lines, so sweeps can be collected across runs.  Records
+    carry :func:`bench_env` metadata under ``env``.
     """
-    record = {"tag": tag, **payload}
+    record = {"tag": tag, "env": bench_env(), **payload}
     line = json.dumps(record, sort_keys=True, default=float)
     print(f"BENCH-JSON {line}")
     path = os.environ.get("REPRO_BENCH_JSON")

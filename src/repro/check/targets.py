@@ -377,6 +377,138 @@ class EngineTarget(FuzzTarget):
         )
 
 
+class FastpathTarget(FuzzTarget):
+    """Exercises the columnar batch fast path: data events are deferred into
+    a pending buffer and flushed through
+    :meth:`ShardedContinuousQuerySystem.apply_batch`, whose per-event deltas
+    must match both the per-event reference system and the model's
+    nested-loop oracle.
+
+    Oracle deltas are captured *at op arrival* (the runner applies the op to
+    the model first, so the oracle sees exactly the state the batched system
+    will later replay against); query churn flushes the buffer so
+    subscriptions take effect in stream order.
+    """
+
+    name = "fastpath"
+    kinds = ENGINE_KINDS
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        alpha: Optional[float] = 0.2,
+        epsilon: float = 1.0,
+        max_batch: int = 24,
+    ) -> None:
+        self.batched = ShardedContinuousQuerySystem(
+            num_shards=num_shards, alpha=alpha, epsilon=epsilon
+        )
+        self.reference = ContinuousQuerySystem(alpha=alpha, epsilon=epsilon)
+        self.max_batch = max_batch
+        self.flushes = 0
+        # Pending (event, label, reference delta, oracle delta); delta
+        # entries are None for deletes, which produce no results.
+        self._pending: List[tuple] = []
+        self._r_rows: Dict[int, RTuple] = {}
+        self._s_rows: Dict[int, STuple] = {}
+        self._queries: Dict[int, object] = {}
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        kind, key = op.kind, op.key
+        if kind == op_mod.INSERT_R:
+            row = RTuple(key, op.values[0], op.values[1])
+            self._r_rows[key] = row
+            got_reference = normalize_deltas(self.reference.insert_r_row(row))
+            want = model.oracle_r_insert_deltas(row.a, row.b)
+            self._defer(
+                DataEvent(EventKind.INSERT, "R", row),
+                f"insert_r #{key}",
+                got_reference,
+                want,
+            )
+        elif kind == op_mod.INSERT_S:
+            row = STuple(key, op.values[0], op.values[1])
+            self._s_rows[key] = row
+            got_reference = normalize_deltas(self.reference.insert_s_row(row))
+            want = model.oracle_s_insert_deltas(row.b, row.c)
+            self._defer(
+                DataEvent(EventKind.INSERT, "S", row),
+                f"insert_s #{key}",
+                got_reference,
+                want,
+            )
+        elif kind == op_mod.DELETE_R:
+            row = self._r_rows.pop(key)
+            self.reference.delete_r(row)
+            self._defer(DataEvent(EventKind.DELETE, "R", row), f"delete_r #{key}", None, None)
+        elif kind == op_mod.DELETE_S:
+            row = self._s_rows.pop(key)
+            self.reference.delete_s(row)
+            self._defer(DataEvent(EventKind.DELETE, "S", row), f"delete_s #{key}", None, None)
+        elif kind == op_mod.SUB_BAND:
+            self.flush()
+            query = BandJoinQuery(Interval(op.values[0], op.values[1]), qid=key)
+            self._queries[key] = query
+            self.batched.subscribe(query)
+            self.reference.subscribe(query)
+        elif kind == op_mod.SUB_SELECT:
+            self.flush()
+            query = SelectJoinQuery(
+                Interval(op.values[0], op.values[1]),
+                Interval(op.values[2], op.values[3]),
+                qid=key,
+            )
+            self._queries[key] = query
+            self.batched.subscribe(query)
+            self.reference.subscribe(query)
+        elif kind == op_mod.UNSUB:
+            self.flush()
+            query = self._queries.pop(key)
+            self.batched.unsubscribe(query)
+            self.reference.unsubscribe(query)
+
+    def _defer(self, event, label, got_reference, want) -> None:
+        self._pending.append((event, label, got_reference, want))
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        self.flushes += 1
+        deltas = self.batched.apply_batch([entry[0] for entry in pending])
+        for (event, label, got_reference, want), delta in zip(pending, deltas):
+            got_batched = normalize_deltas(delta)
+            if want is None:
+                expect(
+                    not got_batched,
+                    self.name,
+                    f"{label}: delete produced results {got_batched}",
+                )
+                continue
+            check_delta_equivalence(
+                self.name, label, got_batched, got_reference, want
+            )
+
+    def check(self, model: ModelState) -> None:
+        self.flush()
+        n_r, n_s = len(model.r_rows), len(model.s_rows)
+        expect(
+            len(self.reference.table_r) == n_r and len(self.reference.table_s) == n_s,
+            self.name,
+            f"reference tables hold {len(self.reference.table_r)}R/"
+            f"{len(self.reference.table_s)}S, model {n_r}R/{n_s}S",
+        )
+        for shard in self.batched.shards:
+            expect(
+                len(shard.table_r) == n_r and len(shard.table_s_band) == n_s,
+                self.name,
+                f"shard {shard.index} replicas hold {len(shard.table_r)}R/"
+                f"{len(shard.table_s_band)}S after flush, model {n_r}R/{n_s}S",
+            )
+
+
 # -- registry ----------------------------------------------------------------
 
 TARGET_FACTORIES: Dict[str, Callable[[], FuzzTarget]] = {
@@ -386,6 +518,15 @@ TARGET_FACTORIES: Dict[str, Callable[[], FuzzTarget]] = {
     "tracker": TrackerTarget,
     "batcher": BatcherTarget,
     "sharded": EngineTarget,
+    "fastpath": FastpathTarget,
 }
 
-DEFAULT_TARGETS = ("lazy", "refined", "multidim", "tracker", "batcher", "sharded")
+DEFAULT_TARGETS = (
+    "lazy",
+    "refined",
+    "multidim",
+    "tracker",
+    "batcher",
+    "sharded",
+    "fastpath",
+)

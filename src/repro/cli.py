@@ -16,7 +16,10 @@ Self-contained utilities that do not require the repository checkout:
   through the sharded+batched runtime pipeline, asserting result-delta
   equivalence against the unsharded system and reporting throughput;
 * ``serve``     — run the runtime pipeline as a long-lived loop over a
-  synthetic stream, printing periodic metric snapshots.
+  synthetic stream, printing periodic metric snapshots;
+* ``bench``     — run the batched-throughput benchmark (columnar batch fast
+  path vs per-event probing on the Fig-10(i) band-join workload) and
+  optionally write the ``BENCH_batch_fastpath.json`` record.
 
 Figure regeneration itself lives in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only`` from a checkout).
@@ -44,6 +47,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.operators", "BJ-*/SJ-* strategies, hotspot processing, extensions"),
         ("repro.histogram", "EQW-HIST, SSI-HIST, OPTIMAL"),
         ("repro.workload", "Table 1 generators, Zipf popularity"),
+        ("repro.fastpath", "columnar batch probes: flat snapshots, vectorized sort-merge kernels"),
         ("repro.runtime", "sharded micro-batched pipeline: routing, backpressure, metrics, replay"),
         ("repro.check", "differential fuzzing: brute-force oracles, invariant probes, shrinking"),
     ]:
@@ -311,6 +315,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.batch_fastpath import (
+        format_record,
+        run_band_batch_benchmark,
+        write_bench_json,
+    )
+
+    record = run_band_batch_benchmark(
+        query_count=args.queries,
+        tau=args.tau,
+        event_count=args.events,
+        batch_sizes=tuple(args.batch_sizes),
+        repeats=args.repeats,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    print(format_record(record))
+    if args.out:
+        write_bench_json(args.out, record)
+        print(f"record written to {args.out}")
+    return 0
+
+
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--events", type=int, default=5_000, help="data events to generate")
     parser.add_argument("--queries", type=int, default=200, help="initial subscriptions")
@@ -363,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--targets",
         default=None,
         help="comma-separated target subset (default: all of "
-        "lazy,refined,multidim,tracker,batcher,sharded)",
+        "lazy,refined,multidim,tracker,batcher,sharded,fastpath)",
     )
     fuzz.add_argument(
         "--shrink",
@@ -402,6 +429,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flush a partial batch after this many seconds")
     serve.add_argument("--queue-capacity", type=int, default=1024)
     serve.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser(
+        "bench", help="batched vs per-event band-join throughput (batch fast path)"
+    )
+    bench.add_argument("--queries", type=int, default=20_000, help="registered band joins")
+    bench.add_argument("--tau", type=int, default=60, help="target stabbing number")
+    bench.add_argument("--events", type=int, default=200, help="R arrivals to probe")
+    bench.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[16, 64, 256], metavar="N"
+    )
+    bench.add_argument("--repeats", type=int, default=3, help="timed passes (best taken)")
+    bench.add_argument("--warmup", type=int, default=1, help="untimed warmup passes")
+    bench.add_argument("--seed", type=int, default=9)
+    bench.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the benchmark record as JSON (e.g. BENCH_batch_fastpath.json)",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

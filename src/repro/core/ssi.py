@@ -15,7 +15,7 @@ everything after a reconstruction stage.  The join processors iterate
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generic, Iterator, Tuple, TypeVar
+from typing import Any, Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.core.partition_base import (
     DynamicGroup,
@@ -55,13 +55,16 @@ class StabbingSetIndex(Generic[T, S]):
         self._remove = remove_item
         self._structures: Dict[int, S] = {}
         self._group_refs: Dict[int, Any] = {}
+        self._snapshot: Optional[Tuple[List[float], List[S]]] = None
         partition.add_listener(self)
         self.rebuild_count = 0
+        self.snapshot_builds = 0
         self._bootstrap()
 
     def _bootstrap(self) -> None:
         self._structures = {}
         self._group_refs = {}
+        self._snapshot = None
         for group in self._partition.groups:
             structure = self._make()
             for item in group:
@@ -70,20 +73,29 @@ class StabbingSetIndex(Generic[T, S]):
             self._group_refs[id(group)] = group
 
     # -- partition listener callbacks ---------------------------------------
+    #
+    # A group's stabbing point only ever changes through these callbacks
+    # (membership change, group creation/destruction, or a full rebuild), so
+    # invalidating the dense snapshot here is sufficient for it never to go
+    # stale.
 
     def on_group_created(self, group: DynamicGroup[T]) -> None:
         self._structures[id(group)] = self._make()
         self._group_refs[id(group)] = group
+        self._snapshot = None
 
     def on_group_destroyed(self, group: DynamicGroup[T]) -> None:
         self._structures.pop(id(group), None)
         self._group_refs.pop(id(group), None)
+        self._snapshot = None
 
     def on_item_added(self, group: DynamicGroup[T], item: T) -> None:
         self._add(self._structures[id(group)], item)
+        self._snapshot = None
 
     def on_item_removed(self, group: DynamicGroup[T], item: T) -> None:
         self._remove(self._structures[id(group)], item)
+        self._snapshot = None
 
     def on_rebuilt(self, partition: DynamicStabbingPartitionBase[T]) -> None:
         self.rebuild_count += 1
@@ -106,14 +118,35 @@ class StabbingSetIndex(Generic[T, S]):
     def structure_of(self, group: Any) -> S:
         return self._structures[id(group)]
 
+    def group_table(self) -> Tuple[List[float], List[S]]:
+        """Dense snapshot of the live groups: parallel lists of stabbing
+        points and per-group structures.
+
+        Built lazily and cached; every partition listener callback
+        invalidates it, so the cache is patched exactly as often as the
+        partition actually changes rather than per probe.  Callers must not
+        mutate the returned lists.
+        """
+        snapshot = self._snapshot
+        if snapshot is None:
+            points: List[float] = []
+            structures: List[S] = []
+            for key, group in self._group_refs.items():
+                points.append(group.stabbing_point)
+                structures.append(self._structures[key])
+            snapshot = (points, structures)
+            self._snapshot = snapshot
+            self.snapshot_builds += 1
+        return snapshot
+
     def groups(self) -> Iterator[Tuple[float, S]]:
         """Iterate (stabbing point, per-group structure) pairs.
 
         This is the loop every SSI join processor runs per incoming tuple;
         its length is the stabbing number tau, not the number of queries.
         """
-        for key, group in self._group_refs.items():
-            yield group.stabbing_point, self._structures[key]
+        points, structures = self.group_table()
+        return zip(points, structures)
 
     def group_count(self) -> int:
         return len(self._structures)

@@ -208,6 +208,8 @@ class BPlusTree(Generic[V]):
         self._size = 0
         self.probe_count = 0
         self.scan_steps = 0
+        self.mutation_count = 0
+        self._flat_cache: Optional[Tuple[int, List[Any], List[V]]] = None
 
     # -- lookup ------------------------------------------------------------
 
@@ -302,6 +304,31 @@ class BPlusTree(Generic[V]):
     def items(self) -> Iterator[Tuple[Any, V]]:
         return self.irange()
 
+    def flat_snapshot(self) -> Tuple[List[Any], List[V]]:
+        """Parallel (keys, values) lists of every entry in key order.
+
+        Built by one walk of the leaf chain and cached until the next
+        structural update (``mutation_count`` tags the version), so a batch
+        of probes pays the O(n) flattening once.  The batch fast path runs
+        ``searchsorted``/``bisect`` directly on the flat key column instead
+        of descending the tree per probe.  Callers must not mutate the
+        returned lists.
+        """
+        cache = self._flat_cache
+        if cache is not None and cache[0] == self.mutation_count:
+            return cache[1], cache[2]
+        keys: List[Any] = []
+        values: List[V] = []
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        while node is not None:
+            keys.extend(node.keys)
+            values.extend(node.values)
+            node = node.next
+        self._flat_cache = (self.mutation_count, keys, values)
+        return keys, values
+
     # -- insertion -----------------------------------------------------------
 
     def insert(self, key: Any, value: V) -> None:
@@ -313,6 +340,7 @@ class BPlusTree(Generic[V]):
             new_root.children = [self._root, right]
             self._root = new_root
         self._size += 1
+        self.mutation_count += 1
 
     def _insert(self, node: Any, key: Any, value: V) -> Optional[Tuple[Any, Any]]:
         if isinstance(node, _Leaf):
@@ -371,6 +399,7 @@ class BPlusTree(Generic[V]):
         if isinstance(self._root, _Internal) and len(self._root.children) == 1:
             self._root = self._root.children[0]
         self._size -= 1
+        self.mutation_count += 1
         return removed  # type: ignore[return-value]
 
     def _remove(self, node: Any, key: Any, value: Optional[V]) -> Any:

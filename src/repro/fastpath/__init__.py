@@ -1,0 +1,35 @@
+"""Columnar batch fast path for the SSI join operators.
+
+The per-event SSI probes pay Python interpreter overhead per *tuple* that
+the paper's cost model charges per *group*: every arrival re-walks the
+group dictionary, re-derives each stabbing point, and allocates a fresh
+``Interval`` per affected query.  This package amortizes that overhead over
+a micro-batch:
+
+* :mod:`repro.fastpath.kernels` — batched ``searchsorted`` over the
+  columnar endpoint arrays, backed by numpy when it is importable and by a
+  pure-Python ``bisect`` loop otherwise (selected once at import time);
+* :mod:`repro.fastpath.band` — the sort-merge batch probe for band joins:
+  arrivals are sorted once by join key, then merged against every SSI
+  group in a single pass over the dense group table;
+* :mod:`repro.fastpath.select` — the batched per-group probe for
+  equality-joins-with-selections (composite-index probe + R-tree stabs).
+
+Every batch probe is **delta-identical** to running the per-event probe
+once per tuple: the same queries are affected, the same result rows are
+enumerated, and the same floating-point expressions produce the bounds
+(``repro fuzz --targets fastpath`` checks this differentially).
+"""
+
+from repro.fastpath.kernels import KERNEL, count_le
+from repro.fastpath.band import batch_probe_band_r, batch_probe_band_s
+from repro.fastpath.select import batch_probe_select_r, batch_probe_select_s
+
+__all__ = [
+    "KERNEL",
+    "count_le",
+    "batch_probe_band_r",
+    "batch_probe_band_s",
+    "batch_probe_select_r",
+    "batch_probe_select_s",
+]

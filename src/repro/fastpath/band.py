@@ -1,0 +1,185 @@
+"""Sort-merge batch probe for band joins (batched BJ-SSI, Section 3.1).
+
+The per-event probe pays per-group dispatch once per arriving tuple: a
+B-tree descent per (group, tuple), an ``Interval`` allocation and a cursor
+clone per affected query, and a leaf walk per enumeration.  The batch probe
+amortizes all of it over a micro-batch using flat columns:
+
+* the S(B) index is flattened once per batch into parallel (keys, values)
+  columns (:meth:`~repro.dstruct.btree.BPlusTree.flat_snapshot`, cached on
+  the tree until it mutates);
+* per group, the ``surrounding`` probes for the whole batch collapse into
+  one vectorized ``searchsorted`` of the shifted join keys against the flat
+  key column (succ = first index with key >= probe, pred = the one before —
+  exactly the cursor pair the per-event probe derives);
+* STEP 1 (find affected queries) becomes one ``searchsorted`` per endpoint
+  column over the group's columnar ``array('d')`` endpoint orders — the
+  per-event linear scan with an early ``break`` counts exactly the prefix
+  ``bisect_right`` returns;
+* STEP 2 (enumerate results) becomes a contiguous slice of the flat value
+  column: the per-event outward leaf walk collects precisely the entries
+  with ``window.lo <= key <= window.hi`` (the probe key ``p_j + b`` lies
+  inside the instantiated window because the stabbing point lies inside the
+  band), i.e. ``values[bisect_left(keys, lo) : bisect_right(keys, hi)]``
+  in the same ascending-key order.
+
+Every bound evaluates to the exact IEEE double the per-event probe
+computes (``pred.key - r.b``, ``band.lo + r.b``; ``b - succ.key`` equals
+``-(succ.key - b)`` bit for bit), so batched deltas — affected queries,
+result rows, and their order — are identical to running the per-event
+probe once per tuple against the same table state.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.fastpath.kernels import _MIN_VECTOR, _np
+
+
+def batch_probe_band_r(by_b, rows, points, structures, results) -> None:
+    """Probe a batch of R-tuples against every band-join group.
+
+    ``rows`` is the micro-batch (any order); ``points``/``structures`` the
+    dense group table; ``results`` a parallel list of per-row dicts, updated
+    in place.  All rows are probed against the *same* S-table state, so this
+    is only valid for a run of R-inserts with no interleaved S-change.
+    """
+    _batch_probe(by_b, rows, points, structures, results, r_side=True)
+
+
+def batch_probe_band_s(by_b, rows, points, structures, results) -> None:
+    """Symmetric batch probe for S-tuples against R(B): the probe key is
+    ``s.b - p_j`` and the two endpoint orders swap roles, exactly as in the
+    per-event ``probe_band_group_s``."""
+    _batch_probe(by_b, rows, points, structures, results, r_side=False)
+
+
+def _batch_probe(by_b, rows, points, structures, results, *, r_side: bool) -> None:
+    if not rows or not points:
+        return
+    keys, values = by_b.flat_snapshot()
+    m = len(keys)
+    if m == 0:
+        return  # the probed table is empty: no results possible
+    order = sorted(range(len(rows)), key=lambda i: rows[i].b)
+    bs = [rows[i].b for i in order]
+    use_np = _np is not None and len(bs) >= _MIN_VECTOR
+    if use_np:
+        kb = _np.asarray(keys, dtype=_np.float64)
+        bv = _np.asarray(bs, dtype=_np.float64)
+    for point, structure in zip(points, structures):
+        by_lo = structure.by_lo
+        if not by_lo:
+            continue
+        by_hi_desc = structure.by_hi_desc
+        lo_keys = structure.lo_keys
+        neg_hi_keys = structure.neg_hi_keys
+        hi_by_lo = structure.hi_by_lo
+        lo_by_hi = structure.lo_by_hi
+        # Phases 1+2: succ index (first flat key >= probe) and the STEP-1
+        # affected-prefix lengths for every row of the batch at once.  The
+        # first prefix scans the endpoint order the probe's *pred* cursor
+        # bounds, the second the order its *succ* cursor bounds.
+        if use_np:
+            probe = point + bv if r_side else bv - point
+            sv = _np.searchsorted(kb, probe, side="left")
+            pred_k = kb[_np.maximum(sv - 1, 0)]
+            succ_k = kb[_np.minimum(sv, m - 1)]
+            if r_side:
+                first_col = _np.frombuffer(lo_keys, dtype=_np.float64)
+                second_col = _np.frombuffer(neg_hi_keys, dtype=_np.float64)
+                first_bounds = pred_k - bv  # s1 - b, matched by lo <= bound
+                second_bounds = bv - succ_k  # -(s2 - b), neg-hi column
+            else:
+                first_col = _np.frombuffer(neg_hi_keys, dtype=_np.float64)
+                second_col = _np.frombuffer(lo_keys, dtype=_np.float64)
+                first_bounds = pred_k - bv  # -(s.b - r1), neg-hi column
+                second_bounds = bv - succ_k  # s.b - r2, matched by lo <= bound
+            n1v = _np.where(sv > 0, _np.searchsorted(first_col, first_bounds, side="right"), 0)
+            n2v = _np.where(sv < m, _np.searchsorted(second_col, second_bounds, side="right"), 0)
+            active = _np.nonzero(n1v | n2v)[0].tolist()
+            if not active:
+                continue
+            n1l = n1v.tolist()
+            n2l = n2v.tolist()
+            b1l = first_bounds.tolist()
+        else:
+            n1l = []
+            n2l = []
+            b1l = []
+            active = []
+            first_col = lo_keys if r_side else neg_hi_keys
+            second_col = neg_hi_keys if r_side else lo_keys
+            for j, b in enumerate(bs):
+                sidx = bisect_left(keys, (point + b) if r_side else (b - point))
+                b1 = keys[sidx - 1] - b if sidx else 0.0
+                n1 = bisect_right(first_col, b1) if sidx else 0
+                n2 = bisect_right(second_col, b - keys[sidx]) if sidx < m else 0
+                n1l.append(n1)
+                n2l.append(n2)
+                b1l.append(b1)
+                if n1 or n2:
+                    active.append(j)
+            if not active:
+                continue
+        # Phase 3: gather (row, query) windows for the affected queries.
+        # The pred-side prefix comes first (per-event dedup order); a
+        # succ-side entry duplicates a pred-side one exactly when its other
+        # endpoint also clears the pred-side bound, so dedup is a columnar
+        # threshold test instead of a qid set.
+        targets = []
+        w_lo = []
+        w_hi = []
+        t_append = targets.append
+        lo_append = w_lo.append
+        hi_append = w_hi.append
+        if r_side:
+            for j in active:
+                n1 = n1l[j]
+                n2 = n2l[j]
+                b = bs[j]
+                res = results[order[j]]
+                for k in range(n1):
+                    t_append((res, by_lo[k]))
+                    lo_append(lo_keys[k] + b)
+                    hi_append(hi_by_lo[k] + b)
+                if n2:
+                    bound1 = b1l[j]  # in the by_lo prefix iff lo <= bound1
+                    for k in range(n2):
+                        lo = lo_by_hi[k]
+                        if n1 and lo <= bound1:
+                            continue
+                        t_append((res, by_hi_desc[k]))
+                        lo_append(lo + b)
+                        hi_append(b - neg_hi_keys[k])  # band.hi + b
+        else:
+            for j in active:
+                n1 = n1l[j]
+                n2 = n2l[j]
+                b = bs[j]
+                res = results[order[j]]
+                for k in range(n1):
+                    t_append((res, by_hi_desc[k]))
+                    lo_append(b + neg_hi_keys[k])  # b - band.hi
+                    hi_append(b - lo_by_hi[k])
+                if n2:
+                    neg_b1 = -b1l[j]  # in the by_hi prefix iff hi >= -bound1
+                    for k in range(n2):
+                        hi = hi_by_lo[k]
+                        if n1 and hi >= neg_b1:
+                            continue
+                        t_append((res, by_lo[k]))
+                        lo_append(b - hi)
+                        hi_append(b - lo_keys[k])
+        # ... and enumerate each as one contiguous slice of the flat column.
+        if use_np and len(targets) >= _MIN_VECTOR:
+            starts = _np.searchsorted(kb, _np.asarray(w_lo), side="left").tolist()
+            ends = _np.searchsorted(kb, _np.asarray(w_hi), side="right").tolist()
+        else:
+            starts = [bisect_left(keys, x) for x in w_lo]
+            ends = [bisect_right(keys, x) for x in w_hi]
+        for (res, query), start, end in zip(targets, starts, ends):
+            hits = values[start:end]
+            assert hits, "affected band join produced no result"
+            res[query] = hits

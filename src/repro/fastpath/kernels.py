@@ -1,0 +1,50 @@
+"""Batched array kernels with an optional numpy backend.
+
+The batch probes reduce each group's STEP-1 scan to "how many leading
+entries of a sorted endpoint column are <= bound", evaluated for a whole
+micro-batch of bounds at once.  With numpy available that is a single
+vectorized ``searchsorted`` over the group's ``array('d')`` column (zero
+copy via the buffer protocol); without it, a ``bisect`` loop gives the
+same counts.
+
+The backend is selected once at import time.  ``REPRO_FASTPATH_KERNEL``
+forces a choice: ``numpy`` (fall back silently if numpy is missing, since
+the container may not ship it), ``python``, or ``auto`` (the default).
+``KERNEL`` names the backend actually in use so benchmarks can record it.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_right
+from typing import List, Sequence
+
+_np = None
+_choice = os.environ.get("REPRO_FASTPATH_KERNEL", "auto").strip().lower()
+if _choice not in ("python",):
+    try:  # pragma: no cover - exercised indirectly via KERNEL
+        import numpy as _np  # type: ignore
+    except ImportError:  # pragma: no cover - numpy is usually present
+        _np = None
+
+KERNEL = "numpy" if _np is not None else "python"
+
+# Below this many bounds the numpy call overhead (array conversion, ufunc
+# dispatch) exceeds the bisect loop it replaces.
+_MIN_VECTOR = 8
+
+
+def count_le(keys: Sequence[float], bounds: Sequence[float]) -> List[int]:
+    """For each bound, the number of leading entries of sorted ``keys``
+    that are <= that bound (i.e. ``bisect_right`` per bound).
+
+    ``keys`` is typically a group's ``array('d')`` endpoint column; the
+    result indexes a prefix of the parallel query list.
+    """
+    if _np is not None and len(bounds) >= _MIN_VECTOR and len(keys):
+        return _np.searchsorted(
+            _np.frombuffer(keys, dtype=_np.float64),
+            _np.asarray(bounds, dtype=_np.float64),
+            side="right",
+        ).tolist()
+    return [bisect_right(keys, bound) for bound in bounds]

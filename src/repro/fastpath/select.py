@@ -1,0 +1,97 @@
+"""Batched SJ-SSI probe (Section 3.2) over the dense group table.
+
+The select-join probe has no columnar STEP-1 scan to vectorize (affected
+queries come from at most two R-tree stabs), so the batch win here is
+amortizing per-group dispatch: the micro-batch is sorted once by join key,
+the dense group table is walked once, and per (group, row) the leftward
+composite-index cursor is hoisted once instead of cloned per affected
+query.  The probe logic — composite B-tree ``surrounding``, q1/q2
+straddle tests, R-tree stabs, outward leaf walks — matches the per-event
+``probe_select_group_r``/``probe_select_group_s`` expression for
+expression, so batched deltas are identical.
+"""
+
+from __future__ import annotations
+
+
+def batch_probe_select_r(by_bc, rows, points, rtrees, results) -> None:
+    """Probe a batch of R-tuples against every rangeC group.
+
+    ``results`` is a parallel list of per-row dicts, updated in place.  All
+    rows are probed against the same S(B, C) state, so this is only valid
+    for a run of R-inserts with no interleaved S-change.
+    """
+    if not rows or not points:
+        return
+    order = sorted(range(len(rows)), key=lambda i: (rows[i].b, rows[i].a))
+    for point, rtree in zip(points, rtrees):
+        for i in order:
+            row = rows[i]
+            b = row.b
+            pred, succ = by_bc.surrounding((b, point))
+            q1 = pred.value if pred.valid and pred.key[0] == b else None
+            q2 = succ.value if succ.valid and succ.key[0] == b else None
+            if q1 is None and q2 is None:
+                continue  # nothing joins with this row near the point
+            affected = {}
+            if q1 is not None:
+                for __, query in rtree.stab(q1.c, row.a):
+                    affected[query.qid] = query
+            if q2 is not None and (q1 is None or q2.c != q1.c):
+                for __, query in rtree.stab(q2.c, row.a):
+                    affected.setdefault(query.qid, query)
+            if not affected:
+                continue
+            if succ.valid:
+                left = succ.clone()
+                left.retreat()
+            else:
+                left = pred
+            left_valid = left.valid
+            res = results[i]
+            for query in affected.values():
+                range_c = query.range_c
+                hits = left.collect_backward_prefix_ge(b, range_c.lo) if left_valid else []
+                if succ.valid:
+                    hits.extend(succ.collect_forward_prefix_le(b, range_c.hi))
+                assert hits, "affected select-join produced no result"
+                res[query] = hits
+
+
+def batch_probe_select_s(by_ba, rows, points, rtrees, results) -> None:
+    """Symmetric batch probe for S-tuples against R(B, A) (SSI on rangeA)."""
+    if not rows or not points:
+        return
+    order = sorted(range(len(rows)), key=lambda i: (rows[i].b, rows[i].c))
+    for point, rtree in zip(points, rtrees):
+        for i in order:
+            row = rows[i]
+            b = row.b
+            pred, succ = by_ba.surrounding((b, point))
+            q1 = pred.value if pred.valid and pred.key[0] == b else None
+            q2 = succ.value if succ.valid and succ.key[0] == b else None
+            if q1 is None and q2 is None:
+                continue
+            affected = {}
+            if q1 is not None:
+                for __, query in rtree.stab(row.c, q1.a):
+                    affected[query.qid] = query
+            if q2 is not None and (q1 is None or q2.a != q1.a):
+                for __, query in rtree.stab(row.c, q2.a):
+                    affected.setdefault(query.qid, query)
+            if not affected:
+                continue
+            if succ.valid:
+                left = succ.clone()
+                left.retreat()
+            else:
+                left = pred
+            left_valid = left.valid
+            res = results[i]
+            for query in affected.values():
+                range_a = query.range_a
+                hits = left.collect_backward_prefix_ge(b, range_a.lo) if left_valid else []
+                if succ.valid:
+                    hits.extend(succ.collect_forward_prefix_le(b, range_a.hi))
+                assert hits, "affected select-join produced no result"
+                res[query] = hits

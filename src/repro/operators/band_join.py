@@ -27,7 +27,9 @@ of them.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.intervals import Interval
 from repro.core.lazy_partition import LazyStabbingPartition
@@ -206,21 +208,52 @@ class BJMergeJoin(BandJoinStrategy):
 
 class _BandGroupIndex:
     """Per-group SSI structure: member windows in ascending-left-endpoint
-    and descending-right-endpoint order (the sequences I^l_j and I^r_j)."""
+    and descending-right-endpoint order (the sequences I^l_j and I^r_j).
 
-    __slots__ = ("by_lo", "by_hi_desc")
+    Stored columnar: plain query lists parallel to ``array('d')`` endpoint
+    columns (left endpoints ascending; right endpoints negated so they too
+    sort ascending).  The per-event probes iterate the query lists exactly
+    as they iterated the former :class:`SortedKeyList`; the batch fast path
+    runs vectorized ``searchsorted`` directly over the key columns.
+    """
+
+    __slots__ = ("by_lo", "lo_keys", "hi_by_lo", "by_hi_desc", "neg_hi_keys", "lo_by_hi")
 
     def __init__(self) -> None:
-        self.by_lo: SortedKeyList[BandJoinQuery] = SortedKeyList(key=lambda q: q.band.lo)
-        self.by_hi_desc: SortedKeyList[BandJoinQuery] = SortedKeyList(key=lambda q: -q.band.hi)
+        self.by_lo: List[BandJoinQuery] = []
+        self.lo_keys = array("d")
+        self.hi_by_lo = array("d")  # band.hi, parallel to by_lo
+        self.by_hi_desc: List[BandJoinQuery] = []
+        self.neg_hi_keys = array("d")
+        self.lo_by_hi = array("d")  # band.lo, parallel to by_hi_desc
 
     def add(self, query: BandJoinQuery) -> None:
-        self.by_lo.add(query)
-        self.by_hi_desc.add(query)
+        lo = query.band.lo
+        hi = query.band.hi
+        idx = bisect_right(self.lo_keys, lo)
+        self.by_lo.insert(idx, query)
+        self.lo_keys.insert(idx, lo)
+        self.hi_by_lo.insert(idx, hi)
+        idx = bisect_right(self.neg_hi_keys, -hi)
+        self.by_hi_desc.insert(idx, query)
+        self.neg_hi_keys.insert(idx, -hi)
+        self.lo_by_hi.insert(idx, lo)
 
     def remove(self, query: BandJoinQuery) -> None:
-        self.by_lo.remove(query)
-        self.by_hi_desc.remove(query)
+        self._remove(self.lo_keys, self.by_lo, self.hi_by_lo, query.band.lo, query)
+        self._remove(self.neg_hi_keys, self.by_hi_desc, self.lo_by_hi, -query.band.hi, query)
+
+    @staticmethod
+    def _remove(keys, queries, other_keys, key: float, query: BandJoinQuery) -> None:
+        idx = bisect_left(keys, key)
+        while idx < len(keys) and keys[idx] == key:
+            if queries[idx] is query:
+                del queries[idx]
+                del keys[idx]
+                del other_keys[idx]
+                return
+            idx += 1
+        raise ValueError(f"query not found: {query!r}")
 
 
 class BJSSI(BandJoinStrategy):
@@ -284,6 +317,26 @@ class BJSSI(BandJoinStrategy):
         results: RBandResults = {}
         for point, structure in self._ssi.groups():
             probe_band_group_s(self.table_r.by_b, s, point, structure, results)
+        return results
+
+    def process_r_batch(self, rs: Sequence[RTuple]) -> List[BandResults]:
+        """Batch fast path: probe a run of R-tuples against the current S
+        state in one pass over the group table.  Delta-identical to calling
+        :meth:`process_r` per tuple (against unchanged tables)."""
+        from repro.fastpath.band import batch_probe_band_r
+
+        results: List[BandResults] = [{} for _ in rs]
+        points, structures = self._ssi.group_table()
+        batch_probe_band_r(self.table_s.by_b, rs, points, structures, results)
+        return results
+
+    def process_s_batch(self, ss: Sequence[STuple]) -> List[RBandResults]:
+        """Symmetric batch fast path for a run of S-tuples."""
+        from repro.fastpath.band import batch_probe_band_s
+
+        results: List[RBandResults] = [{} for _ in ss]
+        points, structures = self._ssi.group_table()
+        batch_probe_band_s(self.table_r.by_b, ss, points, structures, results)
         return results
 
 

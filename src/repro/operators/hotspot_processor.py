@@ -18,7 +18,7 @@ demotion via the tracker's listener callbacks.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.hotspot_tracker import HotspotTracker
 from repro.core.partition_base import DynamicGroup
@@ -36,7 +36,11 @@ from repro.operators.band_join import (
     _BandGroupIndex,
     probe_band_group_r,
 )
-from repro.operators.select_join import SelectResults, probe_select_group_r
+from repro.operators.select_join import (
+    RSelectResults,
+    SelectResults,
+    probe_select_group_r,
+)
 
 
 class HotspotSelectJoinProcessor:
@@ -151,6 +155,48 @@ class HotspotSelectJoinProcessor:
             hits = cur.collect_forward_prefix_le(s.b, query.range_a.hi) if cur.valid else []
             if hits:
                 results[query] = hits
+        return results
+
+    def process_r_batch(self, rs: Sequence[RTuple]) -> List[SelectResults]:
+        """Batch fast path: the hotspot groups take the batched SSI probe;
+        the scattered remainder runs SJ-SelectFirst with per-query state
+        hoisted out of the row loop.  Delta-identical to per-event
+        :meth:`process_r` against unchanged tables."""
+        from repro.fastpath.select import batch_probe_select_r
+
+        results: List[SelectResults] = [{} for _ in rs]
+        groups = self.tracker.hotspot_groups
+        if groups:
+            points = [group.stabbing_point for group in groups]
+            rtrees = [self._hot_rtrees[id(group)] for group in groups]
+            batch_probe_select_r(self.table_s.by_bc, rs, points, rtrees, results)
+        by_bc = self.table_s.by_bc
+        for i, r in enumerate(rs):
+            res = results[i]
+            for __, query in self._scattered_a.iter_stab(r.a):
+                cur = by_bc.cursor_ge((r.b, query.range_c.lo))
+                hits = cur.collect_forward_prefix_le(r.b, query.range_c.hi) if cur.valid else []
+                if hits:
+                    res[query] = hits
+        return results
+
+    def process_s_batch(self, ss: Sequence[STuple]) -> List[RSelectResults]:
+        """Batch S-arrival processing: queries outer, rows inner, so the
+        per-query range checks and attribute lookups are paid once per
+        batch instead of once per tuple."""
+        results: List[RSelectResults] = [{} for _ in ss]
+        by_ba = self.table_r.by_ba
+        for query in self._queries.values():
+            range_c = query.range_c
+            a_lo = query.range_a.lo
+            a_hi = query.range_a.hi
+            for i, s in enumerate(ss):
+                if not range_c.contains(s.c):
+                    continue
+                cur = by_ba.cursor_ge((s.b, a_lo))
+                hits = cur.collect_forward_prefix_le(s.b, a_hi) if cur.valid else []
+                if hits:
+                    results[i][query] = hits
         return results
 
     def validate(self) -> None:
@@ -282,6 +328,44 @@ class HotspotBandJoinProcessor:
             hits = self.table_r.by_b.range_values(window.lo, window.hi)
             if hits:
                 results[query] = hits
+        return results
+
+    def process_r_batch(self, rs: Sequence[RTuple]) -> List[BandResults]:
+        """Batch fast path: hotspot groups take the batched BJ-SSI probe;
+        scattered queries run their window scans with per-query state
+        hoisted.  Delta-identical to per-event :meth:`process_r` against
+        unchanged tables."""
+        from repro.fastpath.band import batch_probe_band_r
+
+        results: List[BandResults] = [{} for _ in rs]
+        groups = self.tracker.hotspot_groups
+        if groups:
+            points = [group.stabbing_point for group in groups]
+            structures = [self._hot_indexes[id(group)] for group in groups]
+            batch_probe_band_r(self.table_s.by_b, rs, points, structures, results)
+        by_b = self.table_s.by_b
+        for query in self._scattered.values():
+            band = query.band
+            lo = band.lo
+            hi = band.hi
+            for i, r in enumerate(rs):
+                hits = by_b.range_values(lo + r.b, hi + r.b)
+                if hits:
+                    results[i][query] = hits
+        return results
+
+    def process_s_batch(self, ss: Sequence[STuple]) -> List:
+        """Batch S-arrival processing: queries outer, rows inner."""
+        results: List[Dict] = [{} for _ in ss]
+        by_b = self.table_r.by_b
+        for query in self._queries.values():
+            band = query.band
+            lo = band.lo
+            hi = band.hi
+            for i, s in enumerate(ss):
+                hits = by_b.range_values(s.b - hi, s.b - lo)
+                if hits:
+                    results[i][query] = hits
         return results
 
     def validate(self) -> None:

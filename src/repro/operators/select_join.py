@@ -26,7 +26,7 @@ All strategies support the symmetric arrival of S-tuples; SJ-SSI keeps the
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.lazy_partition import LazyStabbingPartition
 from repro.core.partition_base import DynamicStabbingPartitionBase
@@ -290,6 +290,28 @@ class SJSSI(SelectJoinStrategy):
         results: RSelectResults = {}
         for point, rtree in self._ssi_a.groups():
             probe_select_group_s(self.table_r.by_ba, s, point, rtree, results)
+        return results
+
+    def process_r_batch(self, rs: Sequence[RTuple]) -> List[SelectResults]:
+        """Batch fast path: probe a run of R-tuples against the current S
+        state in one pass over the rangeC group table.  Delta-identical to
+        calling :meth:`process_r` per tuple (against unchanged tables)."""
+        from repro.fastpath.select import batch_probe_select_r
+
+        results: List[SelectResults] = [{} for _ in rs]
+        points, rtrees = self._ssi_c.group_table()
+        batch_probe_select_r(self.table_s.by_bc, rs, points, rtrees, results)
+        return results
+
+    def process_s_batch(self, ss: Sequence[STuple]) -> List[RSelectResults]:
+        """Symmetric batch fast path for a run of S-tuples."""
+        if self._ssi_a is None:
+            raise RuntimeError("symmetric processing disabled for this SJSSI")
+        from repro.fastpath.select import batch_probe_select_s
+
+        results: List[RSelectResults] = [{} for _ in ss]
+        points, rtrees = self._ssi_a.group_table()
+        batch_probe_select_s(self.table_r.by_ba, ss, points, rtrees, results)
         return results
 
 

@@ -28,7 +28,7 @@ def _row_key(event: DataEvent) -> Tuple[str, int]:
     return (event.relation, rid)
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchEntry:
     """One pending event, tagged with its global sequence number and the
     select-plane routing flags the router computed at submission."""
@@ -39,7 +39,7 @@ class BatchEntry:
     select_state: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchStats:
     """Lifetime coalescing accounting for one batcher."""
 

@@ -74,7 +74,7 @@ def scaled_alpha(alpha: Optional[float], num_shards: int) -> Optional[float]:
     return min(1.0, alpha * num_shards)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardRange:
     """One contiguous slice of a routing domain (for introspection; the
     router itself routes by bisecting the boundary list, so the outermost
@@ -85,7 +85,7 @@ class ShardRange:
     hi: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventRoute:
     """Where a data event goes.
 
@@ -323,12 +323,100 @@ class Shard:
     ) -> List[Tuple[int, Dict[object, list]]]:
         """Apply ``(seq, event, select_probe, select_state)`` entries in
         order, returning per-event deltas tagged with their sequence
-        numbers (the pipeline merges them across shards by seq)."""
+        numbers (the pipeline merges them across shards by seq).
+
+        Runs of consecutive same-relation INSERTs take the operators'
+        batch fast path: an R-arrival probe reads only S-side state and
+        vice versa, so every row in such a run sees exactly the table state
+        the per-event path would have shown it, and the run can be probed
+        in one pass before its rows are installed.  Deletes (no deltas,
+        table mutations) and relation switches are run boundaries applied
+        singly.
+        """
         out: List[Tuple[int, Dict[object, list]]] = []
-        for seq, event, select_probe, select_state in entries:
-            deltas = self.apply(
-                event, select_probe=select_probe, select_state=select_state
-            )
+        i = 0
+        n = len(entries)
+        while i < n:
+            seq, event, select_probe, select_state = entries[i]
+            if event.kind is not EventKind.INSERT:
+                out.append(
+                    (seq, self.apply(event, select_probe=select_probe, select_state=select_state))
+                )
+                i += 1
+                continue
+            relation = event.relation
+            j = i + 1
+            while j < n:
+                nxt = entries[j][1]
+                if nxt.kind is not EventKind.INSERT or nxt.relation != relation:
+                    break
+                j += 1
+            if j - i == 1:
+                out.append(
+                    (seq, self.apply(event, select_probe=select_probe, select_state=select_state))
+                )
+            elif relation == "R":
+                out.extend(self._apply_r_insert_run(entries[i:j]))
+            else:
+                out.extend(self._apply_s_insert_run(entries[i:j]))
+            i = j
+        return out
+
+    def _apply_r_insert_run(
+        self, entries: Sequence[Tuple[int, DataEvent, bool, bool]]
+    ) -> List[Tuple[int, Dict[object, list]]]:
+        """Probe a run of R-inserts against the (unchanging) S state in one
+        batch, then install the rows in arrival order."""
+        rows = [entry[1].row for entry in entries]
+        band_batch = getattr(self.band, "process_r_batch", None)
+        if band_batch is not None:
+            band_parts = band_batch(rows)
+        else:
+            band_parts = [self.band.process_r(row) for row in rows]
+        select_batch = getattr(self.select, "process_r_batch", None)
+        if select_batch is not None:
+            select_parts = select_batch(rows)
+        else:
+            select_parts = [self.select.process_r(row) for row in rows]
+        out: List[Tuple[int, Dict[object, list]]] = []
+        for entry, band_d, select_d in zip(entries, band_parts, select_parts):
+            deltas: Dict[object, list] = dict(band_d)
+            deltas.update(select_d)
+            self.table_r.insert(entry[1].row)
+            out.append((entry[0], deltas))
+        return out
+
+    def _apply_s_insert_run(
+        self, entries: Sequence[Tuple[int, DataEvent, bool, bool]]
+    ) -> List[Tuple[int, Dict[object, list]]]:
+        """Symmetric run application for S-inserts; the select plane is
+        probed only for the rows whose ``select_probe`` flag is set (rows
+        owned by this shard's C-slice)."""
+        rows = [entry[1].row for entry in entries]
+        band_batch = getattr(self.band, "process_s_batch", None)
+        if band_batch is not None:
+            band_parts = band_batch(rows)
+        else:
+            band_parts = [self.band.process_s(row) for row in rows]
+        select_parts: List[Dict[object, list]] = [{} for _ in rows]
+        probe_idx = [k for k, entry in enumerate(entries) if entry[2]]
+        if probe_idx:
+            probe_rows = [rows[k] for k in probe_idx]
+            select_batch = getattr(self.select, "process_s_batch", None)
+            if select_batch is not None:
+                probed = select_batch(probe_rows)
+            else:
+                probed = [self.select.process_s(row) for row in probe_rows]
+            for k, part in zip(probe_idx, probed):
+                select_parts[k] = part
+        out: List[Tuple[int, Dict[object, list]]] = []
+        for k, (seq, event, __, select_state) in enumerate(entries):
+            deltas: Dict[object, list] = dict(band_parts[k])
+            deltas.update(select_parts[k])
+            row = event.row
+            self.table_s_band.insert(row)
+            if select_state:
+                self.table_s_select.insert(row)
             out.append((seq, deltas))
         return out
 
@@ -444,6 +532,37 @@ class ShardedContinuousQuerySystem:
         deltas = merge_deltas(parts)
         self._dispatch(event.row, deltas)
         return deltas
+
+    def apply_batch(self, events: Sequence[DataEvent]) -> List[Dict[object, list]]:
+        """Route a micro-batch through every affected shard's batch fast
+        path and merge the per-shard deltas per event, in arrival order.
+
+        Delta-identical to calling :meth:`apply` per event: each shard
+        receives its entries in sequence order, so run segmentation inside
+        :meth:`Shard.apply_batch` sees the same event interleaving the
+        per-event path would.
+        """
+        per_shard: List[List[Tuple[int, DataEvent, bool, bool]]] = [
+            [] for _ in self.shards
+        ]
+        for seq, event in enumerate(events):
+            route = self.router.route_event(event)
+            self.router.note_event(route)
+            for index in route.shards:
+                select_probe, select_state = route.flags(index, event.relation)
+                per_shard[index].append((seq, event, select_probe, select_state))
+        parts_by_seq: List[List[Dict[object, list]]] = [[] for _ in events]
+        for index, entries in enumerate(per_shard):
+            if not entries:
+                continue
+            for seq, deltas in self.shards[index].apply_batch(entries):
+                parts_by_seq[seq].append(deltas)
+        out: List[Dict[object, list]] = []
+        for event, parts in zip(events, parts_by_seq):
+            deltas = merge_deltas(parts)
+            self._dispatch(event.row, deltas)
+            out.append(deltas)
+        return out
 
     # Facade-compatible convenience constructors around ``apply``.
 

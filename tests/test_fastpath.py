@@ -1,0 +1,288 @@
+"""Tests for the columnar batch fast path: every batched entry point must be
+delta-identical to its per-event counterpart — same affected queries, same
+result rows, same order — on both the numpy and pure-Python kernels."""
+
+import random
+
+import pytest
+
+from repro.check import FuzzConfig, fuzz
+from repro.core.intervals import Interval
+from repro.engine.events import DataEvent, EventKind
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.system import ContinuousQuerySystem
+from repro.engine.table import TableR, TableS
+from repro.fastpath import KERNEL, count_le
+from repro.fastpath import kernels as kernel_mod
+from repro.operators.band_join import BJSSI
+from repro.operators.hotspot_processor import (
+    HotspotBandJoinProcessor,
+    HotspotSelectJoinProcessor,
+)
+from repro.operators.select_join import SJSSI
+from repro.runtime.sharding import ShardedContinuousQuerySystem
+
+BATCH_SIZES = (1, 2, 7, 8, 23, 120)
+
+
+@pytest.fixture(params=["native", "python"])
+def kernel(request, monkeypatch):
+    """Run each test under the imported kernel and with numpy disabled.
+
+    ``_np`` is bound per consuming module at import time, so patch each one
+    (not just ``kernels``) to force the scalar fallback everywhere.
+    """
+    if request.param == "python":
+        from repro.fastpath import band as band_mod
+
+        monkeypatch.setattr(kernel_mod, "_np", None)
+        monkeypatch.setattr(band_mod, "_np", None)
+    return request.param
+
+
+def make_tables(rng, n_s=300, n_r=300):
+    table_s = TableS()
+    table_r = TableR()
+    for __ in range(n_s):
+        table_s.add(rng.uniform(0, 100), rng.uniform(0, 100))
+    for __ in range(n_r):
+        table_r.add(rng.uniform(0, 100), rng.uniform(0, 100))
+    return table_s, table_r
+
+
+def band_queries(rng, count):
+    queries = []
+    for __ in range(count):
+        lo = rng.uniform(-60, 60)
+        queries.append(BandJoinQuery(Interval(lo, lo + rng.uniform(0, 8))))
+    return queries
+
+
+def select_queries(rng, count):
+    queries = []
+    for __ in range(count):
+        a_lo = rng.uniform(0, 90)
+        c_lo = rng.uniform(0, 90)
+        queries.append(
+            SelectJoinQuery(
+                Interval(a_lo, a_lo + rng.uniform(0, 20)),
+                Interval(c_lo, c_lo + rng.uniform(0, 20)),
+            )
+        )
+    return queries
+
+
+def assert_batches_match(process_batch, process_one, rows):
+    for size in BATCH_SIZES:
+        chunk = rows[:size]
+        assert process_batch(chunk) == [process_one(row) for row in chunk], (
+            f"batch size {size} diverged"
+        )
+
+
+class TestKernels:
+    def test_kernel_selection(self):
+        assert KERNEL in ("numpy", "python")
+
+    def test_count_le_matches_bisect(self, kernel):
+        from array import array
+        from bisect import bisect_right
+
+        rng = random.Random(0)
+        keys = array("d", sorted(rng.uniform(0, 10) for __ in range(50)))
+        bounds = [rng.uniform(-1, 11) for __ in range(20)] + [keys[3], keys[10]]
+        assert count_le(keys, bounds) == [bisect_right(keys, b) for b in bounds]
+
+    def test_count_le_empty(self, kernel):
+        from array import array
+
+        assert count_le(array("d"), [1.0, 2.0]) == [0, 0]
+        assert count_le(array("d", [1.0]), []) == []
+
+
+class TestBandBatch:
+    def test_r_and_s_sides_match_per_event(self, kernel):
+        rng = random.Random(1)
+        table_s, table_r = make_tables(rng)
+        strategy = BJSSI(table_s, table_r)
+        for query in band_queries(rng, 400):
+            strategy.add_query(query)
+        rs = [table_r.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(120)]
+        ss = [table_s.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(120)]
+        assert_batches_match(strategy.process_r_batch, strategy.process_r, rs)
+        assert_batches_match(strategy.process_s_batch, strategy.process_s, ss)
+
+    def test_batch_against_empty_tables(self, kernel):
+        strategy = BJSSI(TableS(), TableR())
+        strategy.add_query(BandJoinQuery(Interval(-1, 1)))
+        r = strategy.table_r.new_row(5.0, 5.0)
+        assert strategy.process_r_batch([r]) == [{}]
+        assert strategy.process_r_batch([]) == []
+
+    def test_batch_after_mutations_and_query_churn(self, kernel):
+        rng = random.Random(2)
+        table_s, table_r = make_tables(rng, n_s=150, n_r=150)
+        strategy = BJSSI(table_s, table_r)
+        queries = band_queries(rng, 200)
+        for query in queries:
+            strategy.add_query(query)
+        rs = [table_r.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(60)]
+        assert_batches_match(strategy.process_r_batch, strategy.process_r, rs)
+        # Mutate the probed table and the query set; snapshots must refresh.
+        for row in rs[:30]:
+            table_r.insert(row)
+        for __ in range(40):
+            table_s.add(rng.uniform(0, 100), rng.uniform(0, 100))
+        for query in queries[::3]:
+            strategy.remove_query(query)
+        assert_batches_match(strategy.process_r_batch, strategy.process_r, rs)
+        ss = [table_s.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(60)]
+        assert_batches_match(strategy.process_s_batch, strategy.process_s, ss)
+
+    def test_result_order_is_preserved(self, kernel):
+        """Batched result lists must keep the per-event enumeration order
+        (ascending join key), not just the same set of rows."""
+        table_s = TableS()
+        rows = [table_s.add(float(b), 0.0) for b in (5, 3, 9, 1, 7)]
+        assert rows  # silence unused warning; insertion order is scrambled
+        strategy = BJSSI(table_s, TableR())
+        strategy.add_query(BandJoinQuery(Interval(-10, 10)))
+        r = strategy.table_r.new_row(0.0, 0.0)
+        [batched] = strategy.process_r_batch([r])
+        per_event = strategy.process_r(r)
+        (b_rows,) = batched.values()
+        (e_rows,) = per_event.values()
+        assert [s.b for s in b_rows] == [s.b for s in e_rows] == [1, 3, 5, 7, 9]
+
+
+class TestSelectBatch:
+    def test_r_and_s_sides_match_per_event(self, kernel):
+        rng = random.Random(3)
+        table_s, table_r = make_tables(rng)
+        strategy = SJSSI(table_s, table_r)
+        for query in select_queries(rng, 300):
+            strategy.add_query(query)
+        rs = [table_r.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(120)]
+        ss = [table_s.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(120)]
+        assert_batches_match(strategy.process_r_batch, strategy.process_r, rs)
+        assert_batches_match(strategy.process_s_batch, strategy.process_s, ss)
+
+    def test_asymmetric_sjssi_rejects_s_batches(self, kernel):
+        strategy = SJSSI(TableS(), TableR(), symmetric=False)
+        s = strategy.table_s.new_row(1.0, 1.0)
+        with pytest.raises(RuntimeError):
+            strategy.process_s_batch([s])
+
+
+class TestHotspotBatch:
+    def test_band_processor_matches_per_event(self, kernel):
+        rng = random.Random(4)
+        table_s, table_r = make_tables(rng)
+        processor = HotspotBandJoinProcessor(table_s, table_r, alpha=0.05)
+        for query in band_queries(rng, 300):
+            processor.add_query(query)
+        assert len(processor.tracker.hotspot_groups) > 0, "want both probe paths live"
+        rs = [table_r.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(80)]
+        ss = [table_s.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(80)]
+        assert_batches_match(processor.process_r_batch, processor.process_r, rs)
+        assert_batches_match(processor.process_s_batch, processor.process_s, ss)
+
+    def test_select_processor_matches_per_event(self, kernel):
+        rng = random.Random(5)
+        table_s, table_r = make_tables(rng)
+        processor = HotspotSelectJoinProcessor(table_s, table_r, alpha=0.05)
+        for query in select_queries(rng, 300):
+            processor.add_query(query)
+        assert len(processor.tracker.hotspot_groups) > 0
+        rs = [table_r.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(80)]
+        ss = [table_s.new_row(rng.uniform(0, 100), rng.uniform(0, 100)) for __ in range(80)]
+        assert_batches_match(processor.process_r_batch, processor.process_r, rs)
+        assert_batches_match(processor.process_s_batch, processor.process_s, ss)
+
+
+def ordered_view(deltas):
+    """qid -> row ids in result order: unlike ``normalize_deltas`` this keeps
+    the enumeration order, so it also catches ordering regressions."""
+    from repro.engine.table import STuple
+
+    return {
+        q.qid: [row.sid if isinstance(row, STuple) else row.rid for row in rows]
+        for q, rows in deltas.items()
+        if rows
+    }
+
+
+class TestShardedBatch:
+    def _stream(self, rng, count):
+        events = []
+        live_r, live_s = [], []
+        rid = sid = 0
+        for __ in range(count):
+            roll = rng.random()
+            if roll < 0.4 or not live_r and not live_s:
+                from repro.engine.table import RTuple
+
+                row = RTuple(rid, rng.uniform(0, 100), rng.uniform(0, 100))
+                rid += 1
+                live_r.append(row)
+                events.append(DataEvent(EventKind.INSERT, "R", row))
+            elif roll < 0.8:
+                from repro.engine.table import STuple
+
+                row = STuple(sid, rng.uniform(0, 100), rng.uniform(0, 100))
+                sid += 1
+                live_s.append(row)
+                events.append(DataEvent(EventKind.INSERT, "S", row))
+            elif roll < 0.9 and live_r:
+                events.append(
+                    DataEvent(EventKind.DELETE, "R", live_r.pop(rng.randrange(len(live_r))))
+                )
+            elif live_s:
+                events.append(
+                    DataEvent(EventKind.DELETE, "S", live_s.pop(rng.randrange(len(live_s))))
+                )
+        return events
+
+    @pytest.mark.parametrize("alpha", [0.05, None])
+    def test_apply_batch_matches_per_event_system(self, kernel, alpha):
+        rng = random.Random(6)
+        batched = ShardedContinuousQuerySystem(num_shards=3, alpha=alpha)
+        reference = ContinuousQuerySystem(alpha=alpha)
+        for query in band_queries(rng, 60) + select_queries(rng, 60):
+            batched.subscribe(query)
+            reference.subscribe(query)
+        events = self._stream(rng, 400)
+        want = []
+        for event in events:
+            if event.kind is EventKind.INSERT:
+                if event.relation == "R":
+                    want.append(ordered_view(reference.insert_r_row(event.row)))
+                else:
+                    want.append(ordered_view(reference.insert_s_row(event.row)))
+            else:
+                if event.relation == "R":
+                    reference.delete_r(event.row)
+                else:
+                    reference.delete_s(event.row)
+                want.append({})
+        got = []
+        for start in range(0, len(events), 37):
+            for delta in batched.apply_batch(events[start : start + 37]):
+                got.append(ordered_view(delta))
+        assert got == want
+
+    def test_apply_batch_empty_and_singleton(self, kernel):
+        system = ShardedContinuousQuerySystem(num_shards=2, alpha=0.1)
+        assert system.apply_batch([]) == []
+        system.subscribe(BandJoinQuery(Interval(-5, 5)))
+        from repro.engine.table import STuple
+
+        row = STuple(0, 3.0, 3.0)
+        [delta] = system.apply_batch([DataEvent(EventKind.INSERT, "S", row)])
+        assert delta == {}  # no R rows yet, so no results
+
+
+class TestFastpathFuzzTarget:
+    def test_fuzz_smoke(self):
+        report = fuzz(FuzzConfig(seed=17, n_ops=400), targets=["fastpath"], shrink=False)
+        assert report.ok, report.outcome.divergence

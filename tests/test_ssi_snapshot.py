@@ -1,0 +1,125 @@
+"""Tests for the SSI's dense group-table snapshot: the cached parallel
+(points, structures) arrays the batch fast path iterates must always agree
+with the live partition, and every mutation path must invalidate them."""
+
+import random
+
+from repro.core.intervals import Interval
+from repro.core.lazy_partition import LazyStabbingPartition
+from repro.core.refined_partition import RefinedStabbingPartition
+from repro.core.ssi import StabbingSetIndex
+
+
+def make_ssi(partition):
+    return StabbingSetIndex(
+        partition,
+        make_structure=set,
+        add_item=lambda s, item: s.add(item),
+        remove_item=lambda s, item: s.discard(item),
+    )
+
+
+def assert_snapshot_synchronized(ssi):
+    points, structures = ssi.group_table()
+    assert len(points) == len(structures) == ssi.group_count()
+    live = {group.stabbing_point: ssi.structure_of(group) for group in ssi.partition.groups}
+    assert len(live) == len(points), "duplicate stabbing points in group table"
+    for point, structure in zip(points, structures):
+        assert live[point] is structure, "snapshot structure is not the live one"
+
+
+class TestGroupTableCache:
+    def test_snapshot_matches_groups_iteration(self):
+        partition = LazyStabbingPartition([Interval(0, 10), Interval(20, 30)])
+        ssi = make_ssi(partition)
+        points, structures = ssi.group_table()
+        assert list(zip(points, structures)) == list(ssi.groups())
+        assert_snapshot_synchronized(ssi)
+
+    def test_snapshot_is_cached_until_mutation(self):
+        partition = LazyStabbingPartition([Interval(0, 10), Interval(20, 30)])
+        ssi = make_ssi(partition)
+        first = ssi.group_table()
+        builds = ssi.snapshot_builds
+        assert ssi.group_table() is first
+        assert ssi.snapshot_builds == builds  # pure reads never rebuild
+        for __ in ssi.groups():
+            pass
+        assert ssi.snapshot_builds == builds
+
+    def test_insert_invalidates(self):
+        partition = LazyStabbingPartition(epsilon=100.0)
+        ssi = make_ssi(partition)
+        a = Interval(0, 10)
+        ssi.insert(a)
+        before = ssi.group_table()
+        # A disjoint interval forces a new group; same-group inserts only
+        # mutate an existing structure but must still refresh the table.
+        b = Interval(50, 60)
+        ssi.insert(b)
+        after = ssi.group_table()
+        assert after is not before
+        assert len(after[0]) == 2
+        assert_snapshot_synchronized(ssi)
+
+    def test_delete_invalidates(self):
+        partition = LazyStabbingPartition(epsilon=100.0)
+        ssi = make_ssi(partition)
+        a, b = Interval(0, 10), Interval(50, 60)
+        ssi.insert(a)
+        ssi.insert(b)
+        before = ssi.group_table()
+        ssi.delete(b)
+        after = ssi.group_table()
+        assert after is not before
+        assert len(after[0]) == 1
+        assert_snapshot_synchronized(ssi)
+
+    def test_same_group_insert_invalidates(self):
+        partition = LazyStabbingPartition(epsilon=100.0)
+        ssi = make_ssi(partition)
+        a, b = Interval(0, 10), Interval(5, 15)
+        ssi.insert(a)
+        points, structures = ssi.group_table()
+        assert len(points) == 1
+        ssi.insert(b)  # joins the existing group: on_item_added only
+        assert b in ssi.group_table()[1][0]
+        assert_snapshot_synchronized(ssi)
+
+    def test_stale_snapshot_impossible_after_rebuild(self):
+        """Regression: reconstruction replaces every group object; a snapshot
+        surviving on_rebuilt would hand the batch path dead structures."""
+        rng = random.Random(4)
+        partition = LazyStabbingPartition(epsilon=0.5, trigger="simple")
+        ssi = make_ssi(partition)
+        live = []
+        rebuilds_seen = 0
+        for step in range(300):
+            lo = rng.uniform(0, 100)
+            interval = Interval(lo, lo + rng.uniform(0, 10))
+            ssi.insert(interval)
+            live.append(interval)
+            if rng.random() < 0.4:
+                ssi.delete(live.pop(rng.randrange(len(live))))
+            if ssi.rebuild_count > rebuilds_seen:
+                rebuilds_seen = ssi.rebuild_count
+                assert_snapshot_synchronized(ssi)
+            if step % 7 == 0:
+                assert_snapshot_synchronized(ssi)
+        assert rebuilds_seen > 0, "sweep never triggered a reconstruction"
+
+    def test_refined_partition_rotations_keep_snapshot_fresh(self):
+        rng = random.Random(5)
+        partition = RefinedStabbingPartition(epsilon=1.0, seed=6)
+        ssi = make_ssi(partition)
+        live = []
+        for step in range(200):
+            lo = rng.uniform(0, 100)
+            interval = Interval(lo, lo + rng.uniform(0, 10))
+            ssi.insert(interval)
+            live.append(interval)
+            if rng.random() < 0.4:
+                ssi.delete(live.pop(rng.randrange(len(live))))
+            if step % 5 == 0:
+                assert_snapshot_synchronized(ssi)
+        assert ssi.rebuild_count > 0
