@@ -1,0 +1,105 @@
+"""Baseline file with a ratchet: pre-existing debt is tolerated, growth is not.
+
+The baseline maps finding *fingerprints* (rule + path + message, no line
+numbers — see :attr:`Finding.fingerprint`) to occurrence counts.  A lint
+run fails only on findings beyond the baselined count for their
+fingerprint; when debt is paid down, ``--update-baseline`` shrinks the
+file, and the ratchet makes the lower count the new ceiling.  The file is
+committed next to the code so review sees debt changes as diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.analysis.engine import Finding
+
+__all__ = ["Baseline", "BaselineDelta", "DEFAULT_BASELINE_NAME"]
+
+#: Where ``repro lint`` looks for a baseline when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+@dataclass
+class BaselineDelta:
+    """Outcome of checking findings against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    #: fingerprints whose baselined count exceeds the current count —
+    #: paid-down debt the ratchet should reclaim via --update-baseline.
+    stale: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+class Baseline:
+    """A fingerprint -> allowed-count table with JSON persistence."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: Dict[str, int] | None = None) -> None:
+        self.counts: Dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise ValueError(f"unsupported baseline file {path}")
+        counts = data.get("findings", {})
+        if not isinstance(counts, dict):
+            raise ValueError(f"malformed baseline file {path}")
+        return cls({str(k): int(v) for k, v in counts.items()})
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(dict(Counter(f.fingerprint for f in findings)))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "comment": (
+                "repro lint baseline: existing debt, keyed by finding "
+                "fingerprint. The ratchet only ever lets counts shrink; "
+                "regenerate with `repro lint --update-baseline`."
+            ),
+            "findings": {k: self.counts[k] for k in sorted(self.counts)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def check(self, findings: Sequence[Finding]) -> BaselineDelta:
+        """Split findings into baselined vs new, and report stale debt."""
+        delta = BaselineDelta()
+        seen: Counter[str] = Counter()
+        for f in findings:
+            seen[f.fingerprint] += 1
+            if seen[f.fingerprint] <= self.counts.get(f.fingerprint, 0):
+                delta.baselined.append(f)
+            else:
+                delta.new.append(f)
+        for fingerprint, allowed in self.counts.items():
+            if seen[fingerprint] < allowed:
+                delta.stale[fingerprint] = allowed - seen[fingerprint]
+        return delta
+
+    def ratchet(self, findings: Sequence[Finding]) -> "Baseline":
+        """The updated baseline after a run.  The ratchet: a fingerprint's
+        count never grows (current > baselined keeps the baselined ceiling,
+        so regressions stay failing even after an update); counts shrink to
+        the current value when debt is paid down, and fingerprints no longer
+        seen drop out.  Genuinely new fingerprints are absorbed only by this
+        explicit update — never implicitly during a check run."""
+        current = Counter(f.fingerprint for f in findings)
+        merged: Dict[str, int] = {}
+        for fingerprint, count in current.items():
+            allowed = self.counts.get(fingerprint)
+            merged[fingerprint] = count if allowed is None else min(count, allowed)
+        return Baseline(merged)

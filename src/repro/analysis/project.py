@@ -1,0 +1,120 @@
+"""Project contract tables consumed by the lint rules.
+
+Rules in :mod:`repro.analysis.rules` are generic AST visitors; everything
+that encodes *this* codebase's architecture — which planes must stay
+deterministic for replay equivalence, where numpy may be touched, which
+modules are allocation hot paths — is declared here, in one reviewable
+place.  Paths are in ``module_path`` form (from the ``repro/`` package
+root down, forward slashes), matching :attr:`LintContext.module_path`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = [
+    "DETERMINISM_SCOPE",
+    "NUMPY_IMPORT_ALLOWLIST",
+    "KERNEL_HANDLE_MODULE",
+    "LOCK_DISCIPLINE_SCOPE",
+    "SNAPSHOT_METHODS",
+    "FLOAT_EQ_ALLOWLIST",
+    "CANONICAL_COMPARATORS",
+    "HOTPATH_MODULES",
+    "in_scope",
+]
+
+#: RA001 — the replay-equivalence plane.  ``repro.check`` differential
+#: fuzzing and ``runtime.replay`` both assume that feeding the same event
+#: stream twice yields byte-identical deltas; any wall-clock read, shared
+#: global RNG use, or set-order-dependent iteration here silently breaks
+#: that.  Seeded ``random.Random(seed)`` instances are fine (the treap's
+#: priorities are drawn from one).
+DETERMINISM_SCOPE: Tuple[str, ...] = (
+    "repro/core/",
+    "repro/operators/",
+    "repro/runtime/replay.py",
+)
+
+#: RA002 — the only modules allowed to import numpy.  ``fastpath/kernels``
+#: owns the import-once handle (gated by ``REPRO_FASTPATH_KERNEL``) and
+#: ``histogram/kmeans`` vectorizes Lloyd iterations; everything else must
+#: call through the public kernel API so the pure-python fallback stays a
+#: one-switch decision.
+NUMPY_IMPORT_ALLOWLIST: FrozenSet[str] = frozenset(
+    {
+        "repro/fastpath/kernels.py",
+        "repro/histogram/kmeans.py",
+    }
+)
+
+#: RA002 also bans importing the private ``_np`` handle out of this module;
+#: consumers use :func:`repro.fastpath.kernels.get_numpy` instead.
+KERNEL_HANDLE_MODULE = "repro.fastpath.kernels"
+
+#: RA003 — packages whose classes are used across threads; attributes
+#: written under ``with self._lock`` must never be touched outside one.
+LOCK_DISCIPLINE_SCOPE: Tuple[str, ...] = ("repro/runtime/",)
+
+#: RA004 — methods returning cached, shared snapshots.  Their return values
+#: are reused across calls (``StabbingSetIndex.group_table`` until a
+#: partition callback invalidates it, ``BPlusTree.flat_snapshot`` until the
+#: tree mutates), so callers mutating them corrupt every later reader.
+SNAPSHOT_METHODS: FrozenSet[str] = frozenset({"group_table", "flat_snapshot"})
+
+#: RA005 — modules allowed to compare ``.lo``/``.hi`` with ``==``/``!=``,
+#: each with the exactness argument that justifies it.  The rule points
+#: everyone else at the canonical comparators in ``repro.core.intervals``
+#: (``endpoints_equal`` / ``same_interval``).
+#:
+#: The argument that makes those comparators correct (and that any new
+#: allowlist entry must reproduce): interval endpoints in this codebase are
+#: only ever *copied*, never derived by arithmetic — ``Interval`` is frozen,
+#: and values such as ``DynamicGroup._max_lo`` / ``_min_hi`` are assigned
+#: verbatim from a member interval's ``lo``/``hi`` (see
+#: ``core/partition_base.py``), so an ``==`` there compares bit-identical
+#: IEEE doubles and is exact.  Derived quantities (``s.b - r.b``, shifted
+#: windows) must never be equality-compared against endpoints.
+FLOAT_EQ_ALLOWLIST: Dict[str, str] = {
+    "repro/core/intervals.py": (
+        "home of the canonical comparators; the helpers themselves must "
+        "spell out the raw == they encapsulate"
+    ),
+}
+
+#: Names of the canonical comparator helpers (for the RA005 message).
+CANONICAL_COMPARATORS: Tuple[str, ...] = ("endpoints_equal", "same_interval")
+
+#: RA006 — modules on the per-event/per-key hot path, where instances are
+#: created in bulk or attribute access dominates; classes here must declare
+#: ``__slots__`` (or be ``@dataclass(slots=True)``) so a stray attribute
+#: typo fails loudly and per-instance dicts don't bloat resident memory.
+HOTPATH_MODULES: FrozenSet[str] = frozenset(
+    {
+        "repro/core/intervals.py",
+        "repro/core/partition_base.py",
+        "repro/dstruct/btree.py",
+        "repro/dstruct/treap.py",
+        "repro/dstruct/sorted_list.py",
+        "repro/dstruct/interval_tree.py",
+        "repro/dstruct/interval_skip_list.py",
+        "repro/dstruct/rtree.py",
+        "repro/fastpath/kernels.py",
+        "repro/fastpath/band.py",
+        "repro/fastpath/select.py",
+        "repro/runtime/batching.py",
+        "repro/runtime/metrics.py",
+    }
+)
+
+
+def in_scope(module_path: str, scope: Tuple[str, ...]) -> bool:
+    """True if ``module_path`` falls under any prefix (or exact file) in
+    ``scope``."""
+    for entry in scope:
+        if entry.endswith("/"):
+            if module_path.startswith(entry):
+                return True
+        elif module_path == entry:
+            return True
+    return False

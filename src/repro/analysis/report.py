@@ -1,0 +1,87 @@
+"""Rendering lint results: human terminal output and machine JSON.
+
+The JSON document is the CI artifact (uploaded by the ``lint`` job), so
+its shape is part of the tool's contract: ``findings`` carries every
+finding with its baselined flag, ``summary`` the counts the gate is
+decided on, ``rules`` the catalog the run used.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.baseline import BaselineDelta
+from repro.analysis.engine import Severity, rule_catalog
+
+__all__ = ["render_human", "render_json", "render_catalog", "summarize"]
+
+
+def summarize(delta: BaselineDelta) -> Dict[str, int]:
+    new_errors = sum(1 for f in delta.new if f.severity is Severity.ERROR)
+    return {
+        "new": len(delta.new),
+        "new_errors": new_errors,
+        "new_warnings": len(delta.new) - new_errors,
+        "baselined": len(delta.baselined),
+        "stale_baseline_entries": len(delta.stale),
+    }
+
+
+def render_human(delta: BaselineDelta) -> str:
+    """Compiler-style lines for new findings, then a one-line summary."""
+    lines: List[str] = [f.render() for f in delta.new]
+    summary = summarize(delta)
+    if delta.baselined:
+        lines.append(f"({summary['baselined']} pre-existing finding(s) baselined)")
+    if delta.stale:
+        total = sum(delta.stale.values())
+        lines.append(
+            f"baseline is stale: {total} finding(s) fixed — run "
+            "`repro lint --update-baseline` to ratchet the debt down"
+        )
+    if delta.new:
+        lines.append(
+            f"{summary['new']} new finding(s) "
+            f"({summary['new_errors']} error(s), {summary['new_warnings']} warning(s))"
+        )
+    else:
+        lines.append("lint clean")
+    return "\n".join(lines)
+
+
+def render_json(delta: BaselineDelta, files_checked: int) -> str:
+    findings: List[Dict[str, object]] = []
+    for f in delta.new:
+        entry = f.to_json()
+        entry["baselined"] = False
+        findings.append(entry)
+    for f in delta.baselined:
+        entry = f.to_json()
+        entry["baselined"] = True
+        findings.append(entry)
+    findings.sort(
+        key=lambda e: (str(e["path"]), int(str(e["line"])), str(e["rule"]))
+    )
+    payload: Dict[str, object] = {
+        "tool": "repro lint",
+        "version": 1,
+        "files_checked": files_checked,
+        "summary": summarize(delta),
+        "stale_baseline": delta.stale,
+        "rules": rule_catalog(),
+        "findings": findings,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_catalog(fmt: str = "human") -> str:
+    """The ``--list-rules`` output."""
+    catalog = rule_catalog()
+    if fmt == "json":
+        return json.dumps({"rules": catalog}, indent=2)
+    lines: List[str] = []
+    for entry in catalog:
+        lines.append(f"{entry['code']}  {entry['name']}  [{entry['severity']}]")
+        lines.append(f"       {entry['description']}")
+    return "\n".join(lines)

@@ -50,9 +50,19 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.fastpath", "columnar batch probes: flat snapshots, vectorized sort-merge kernels"),
         ("repro.runtime", "sharded micro-batched pipeline: routing, backpressure, metrics, replay"),
         ("repro.check", "differential fuzzing: brute-force oracles, invariant probes, shrinking"),
+        ("repro.analysis", _analysis_summary()),
     ]:
         print(f"  {name:<16} {what}")
     return 0
+
+
+def _analysis_summary() -> str:
+    from repro.analysis import rule_catalog
+
+    return (
+        "project-aware static analysis: invariant lint engine "
+        f"({len(rule_catalog())} rules), baseline ratchet, typing gate"
+    )
 
 
 def _cmd_zipf(args: argparse.Namespace) -> int:
@@ -338,6 +348,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+        all_rules,
+        lint_paths,
+        render_catalog,
+        render_human,
+        render_json,
+    )
+    from repro.analysis.engine import iter_python_files
+
+    if args.list_rules:
+        print(render_catalog("json" if args.format == "json" else "human"))
+        return 0
+
+    root = Path(args.root).resolve()
+    raw_paths = args.paths or ["src/repro"]
+    paths = [Path(p) if Path(p).is_absolute() else root / p for p in raw_paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"no such path: {', '.join(str(p) for p in missing)}", file=sys.stderr)
+        return 2
+
+    select = args.select.split(",") if args.select else None
+    try:
+        rules = all_rules(select)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    findings = lint_paths(paths, root, rules)
+    files_checked = sum(1 for _ in iter_python_files(paths))
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE_NAME
+    )
+    baseline = Baseline.load(baseline_path) if baseline_path.exists() else Baseline()
+    if args.update_baseline:
+        updated = baseline.ratchet(findings)
+        updated.save(baseline_path)
+        print(
+            f"baseline written to {baseline_path} "
+            f"({len(updated.counts)} fingerprint(s))"
+        )
+        return 0
+    delta = baseline.check(findings)
+
+    if args.format == "json":
+        print(render_json(delta, files_checked))
+    else:
+        print(render_human(delta))
+    return 0 if delta.ok else 1
+
+
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--events", type=int, default=5_000, help="data events to generate")
     parser.add_argument("--queries", type=int, default=200, help="initial subscriptions")
@@ -447,6 +513,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the benchmark record as JSON (e.g. BENCH_batch_fastpath.json)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-aware static analysis: invariant rules RA001-RA006 "
+        "plus hygiene, with noqa suppression and a baseline ratchet",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro under --root)",
+    )
+    lint.add_argument("--root", default=".", help="repository root for relative paths")
+    lint.add_argument("--format", choices=["human", "json"], default="human")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    lint.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file (default: <root>/.repro-lint-baseline.json if present)",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the ratcheted baseline (counts only ever shrink) and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -2,7 +2,12 @@
 maintenance, hotspot tracking, and the stabbing set index (SSI) framework.
 """
 
-from repro.core.intervals import Interval, common_intersection
+from repro.core.intervals import (
+    Interval,
+    common_intersection,
+    endpoints_equal,
+    same_interval,
+)
 from repro.core.stabbing import (
     StabbingGroup,
     StabbingPartition,
@@ -17,6 +22,8 @@ from repro.core.ssi import StabbingSetIndex
 __all__ = [
     "Interval",
     "common_intersection",
+    "endpoints_equal",
+    "same_interval",
     "StabbingGroup",
     "StabbingPartition",
     "canonical_stabbing_partition",

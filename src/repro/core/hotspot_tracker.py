@@ -30,7 +30,12 @@ from typing import Callable, Dict, Generic, List, Optional, Protocol
 
 from repro.core.intervals import Interval
 from repro.core.lazy_partition import LazyStabbingPartition
-from repro.core.partition_base import DynamicGroup, DynamicStabbingPartitionBase, T
+from repro.core.partition_base import (
+    DynamicGroup,
+    DynamicStabbingPartitionBase,
+    StabbingGroupView,
+    T,
+)
 from repro.core.stabbing import identity_interval
 
 
@@ -136,7 +141,7 @@ class HotspotTracker(Generic[T]):
         self._n += 1
         self.update_count += 1
         interval = self._interval_of(item)
-        target = None
+        target: Optional[DynamicGroup[T]] = None
         for group in self._hot:
             if group.would_remain_stabbed(interval):
                 target = group
@@ -185,7 +190,7 @@ class HotspotTracker(Generic[T]):
 
     def _promote_one(self) -> bool:
         threshold = self._alpha * self._n
-        candidate = None
+        candidate: Optional[StabbingGroupView[T]] = None
         for group in self._scattered.groups:
             if group.size >= threshold:
                 candidate = group
@@ -208,7 +213,7 @@ class HotspotTracker(Generic[T]):
 
     def _demote_one(self) -> bool:
         threshold = (self._alpha / 2.0) * self._n
-        candidate = None
+        candidate: Optional[DynamicGroup[T]] = None
         for group in self._hot:
             if group.size < threshold:
                 candidate = group

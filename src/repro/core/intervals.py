@@ -74,6 +74,28 @@ class Interval:
         return f"[{self.lo:g}, {self.hi:g}]"
 
 
+def endpoints_equal(a: float, b: float) -> bool:
+    """Canonical equality for interval endpoints (lint rule RA005).
+
+    This is deliberately *exact* IEEE equality, not a tolerance test.  It
+    is sound because endpoints in this codebase are only ever **copied**,
+    never derived by arithmetic: ``Interval`` is frozen, and cached values
+    such as ``DynamicGroup._max_lo`` / ``_min_hi`` are assigned verbatim
+    from a member interval's ``lo``/``hi``, so the comparison is between
+    bit-identical doubles.  Derived quantities (``s.b - r.b``, shifted
+    windows) must not be compared with this helper — use an interval
+    membership test instead, whose ``<=`` bounds are well-defined under
+    rounding.
+    """
+    return a == b
+
+
+def same_interval(a: Interval, b: Interval) -> bool:
+    """Canonical value equality for two intervals (both endpoints copied
+    from the same provenance; see :func:`endpoints_equal`)."""
+    return endpoints_equal(a.lo, b.lo) and endpoints_equal(a.hi, b.hi)
+
+
 def common_intersection(intervals: Iterable[Interval]) -> Optional[Interval]:
     """Return the common intersection of ``intervals`` (None if empty).
 

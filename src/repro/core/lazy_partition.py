@@ -23,11 +23,11 @@ groups, which the property tests verify against the canonical partition.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.core.intervals import Interval
 from repro.core.partition_base import DynamicGroup, DynamicStabbingPartitionBase
-from repro.core.stabbing import canonical_stabbing_partition, identity_interval
+from repro.core.stabbing import StabbingPartition, canonical_stabbing_partition, identity_interval
 from repro.core.partition_base import T
 
 
@@ -90,7 +90,7 @@ class LazyStabbingPartition(DynamicStabbingPartitionBase[T]):
         if id(item) in self._group_of:
             raise ValueError("item already present")
         interval = self._interval_of(item)
-        target = None
+        target: Optional[DynamicGroup[T]] = None
         if self._reuse:
             for group in self._groups:
                 if group.would_remain_stabbed(interval):
@@ -207,7 +207,7 @@ class LazyStabbingPartition(DynamicStabbingPartitionBase[T]):
             ((iv.lo, iv.hi) for iv in map(interval_of, items))
         )
         tau = 0
-        hi = None
+        hi: Optional[float] = None
         for lo, item_hi in intervals:
             if hi is None or lo > hi:
                 tau += 1
@@ -219,7 +219,7 @@ class LazyStabbingPartition(DynamicStabbingPartitionBase[T]):
     def _rebuild(self, items: List[T]) -> None:
         self._install(canonical_stabbing_partition(items, self._interval_of))
 
-    def _install(self, canonical) -> None:
+    def _install(self, canonical: StabbingPartition[T]) -> None:
         self._groups = []
         self._group_of = {}
         for static_group in canonical.groups:

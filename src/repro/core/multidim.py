@@ -25,7 +25,22 @@ Section 3-style group processing for multi-attribute subscriptions lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Generic,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+if TYPE_CHECKING:
+    from repro.core.intervals import Interval
 
 T = TypeVar("T")
 
@@ -73,7 +88,7 @@ class Box:
         return tuple((a + b) / 2.0 for a, b in zip(self.lo, self.hi))
 
     @staticmethod
-    def from_intervals(*ranges) -> "Box":
+    def from_intervals(*ranges: "Interval") -> "Box":
         """Build a box from per-dimension Interval objects."""
         return Box(tuple(r.lo for r in ranges), tuple(r.hi for r in ranges))
 
@@ -184,7 +199,7 @@ def sweep_box_partition(
     return groups
 
 
-class DynamicBoxPartition:
+class DynamicBoxPartition(Generic[T]):
     """Lazy (Section 2.3 style) maintenance of a box stabbing partition.
 
     The ``(1 + eps)`` budget is measured against the sweep heuristic's
@@ -233,7 +248,7 @@ class DynamicBoxPartition:
         if id(item) in self._group_of:
             raise ValueError("item already present")
         box = self._box_of(item)
-        target = None
+        target: Optional[BoxGroup[T]] = None
         for group in self._groups:
             if group.would_remain_stabbed(box):
                 target = group

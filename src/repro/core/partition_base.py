@@ -15,11 +15,41 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generic, Iterable, Iterator, List, Optional, Protocol, TypeVar
 
-from repro.core.intervals import Interval
+from repro.core.intervals import Interval, endpoints_equal
 from repro.core.stabbing import identity_interval
 from repro.dstruct.sorted_list import SortedKeyList
 
 T = TypeVar("T")
+
+
+class StabbingGroupView(Protocol[T]):
+    """Structural interface of a maintained stabbing group.
+
+    Both maintainers expose groups through this shape — the endpoint-
+    multiset :class:`DynamicGroup` here and the treap-backed
+    ``RefinedGroup`` of the Appendix B algorithm — so listeners and the
+    SSI layer are typed against the protocol, not a concrete class.
+    """
+
+    @property
+    def size(self) -> int: ...
+
+    @property
+    def items(self) -> List[T]: ...
+
+    @property
+    def common(self) -> Optional[Interval]: ...
+
+    @property
+    def stabbing_point(self) -> float: ...
+
+    def add(self, item: T) -> None: ...
+
+    def remove(self, item: T) -> None: ...
+
+    def __iter__(self) -> Iterator[T]: ...
+
+    def __len__(self) -> int: ...
 
 
 class PartitionListener(Protocol[T]):
@@ -30,13 +60,13 @@ class PartitionListener(Protocol[T]):
     partition's current groups.
     """
 
-    def on_group_created(self, group: "DynamicGroup[T]") -> None: ...
+    def on_group_created(self, group: "StabbingGroupView[T]") -> None: ...
 
-    def on_group_destroyed(self, group: "DynamicGroup[T]") -> None: ...
+    def on_group_destroyed(self, group: "StabbingGroupView[T]") -> None: ...
 
-    def on_item_added(self, group: "DynamicGroup[T]", item: T) -> None: ...
+    def on_item_added(self, group: "StabbingGroupView[T]", item: T) -> None: ...
 
-    def on_item_removed(self, group: "DynamicGroup[T]", item: T) -> None: ...
+    def on_item_removed(self, group: "StabbingGroupView[T]", item: T) -> None: ...
 
     def on_rebuilt(self, partition: "DynamicStabbingPartitionBase[T]") -> None: ...
 
@@ -85,9 +115,13 @@ class DynamicGroup(Generic[T]):
             self._max_lo = float("-inf")
             self._min_hi = float("inf")
         else:
-            if interval.lo == self._max_lo:
+            # Exact comparisons are sound here: _max_lo/_min_hi are copied
+            # verbatim from member endpoints, so a departing member can only
+            # have *been* the cached extreme if its endpoint is bit-identical
+            # to it (see endpoints_equal for the full argument).
+            if endpoints_equal(interval.lo, self._max_lo):
                 self._max_lo = self._los[len(self._los) - 1]
-            if interval.hi == self._min_hi:
+            if endpoints_equal(interval.hi, self._min_hi):
                 self._min_hi = self._his[0]
 
     def __contains__(self, item: T) -> bool:
@@ -133,6 +167,8 @@ class DynamicGroup(Generic[T]):
 class DynamicStabbingPartitionBase(Generic[T]):
     """Common state and listener plumbing for both maintenance strategies."""
 
+    __slots__ = ("_interval_of", "_listeners", "reconstruction_count", "update_count")
+
     def __init__(self, interval_of: Callable[[T], Interval] = identity_interval):
         self._interval_of = interval_of
         self._listeners: List[PartitionListener[T]] = []
@@ -148,19 +184,19 @@ class DynamicStabbingPartitionBase(Generic[T]):
     def remove_listener(self, listener: PartitionListener[T]) -> None:
         self._listeners.remove(listener)
 
-    def _notify_group_created(self, group: DynamicGroup[T]) -> None:
+    def _notify_group_created(self, group: StabbingGroupView[T]) -> None:
         for listener in self._listeners:
             listener.on_group_created(group)
 
-    def _notify_group_destroyed(self, group: DynamicGroup[T]) -> None:
+    def _notify_group_destroyed(self, group: StabbingGroupView[T]) -> None:
         for listener in self._listeners:
             listener.on_group_destroyed(group)
 
-    def _notify_item_added(self, group: DynamicGroup[T], item: T) -> None:
+    def _notify_item_added(self, group: StabbingGroupView[T], item: T) -> None:
         for listener in self._listeners:
             listener.on_item_added(group, item)
 
-    def _notify_item_removed(self, group: DynamicGroup[T], item: T) -> None:
+    def _notify_item_removed(self, group: StabbingGroupView[T], item: T) -> None:
         for listener in self._listeners:
             listener.on_item_removed(group, item)
 
@@ -177,7 +213,7 @@ class DynamicStabbingPartitionBase(Generic[T]):
         raise NotImplementedError
 
     @property
-    def groups(self) -> Iterable[DynamicGroup[T]]:
+    def groups(self) -> Iterable[StabbingGroupView[T]]:
         raise NotImplementedError
 
     @property

@@ -30,7 +30,7 @@ the trees; the structural tree work is the faithful O(tau0 log n) algorithm.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Generic, Iterator, List, Optional
 
 from repro.core.intervals import Interval, common_intersection
 from repro.core.partition_base import DynamicStabbingPartitionBase, T
@@ -44,7 +44,7 @@ def _intersect(a: Optional[Interval], b: Optional[Interval]) -> Optional[Interva
     return a.intersect(b)
 
 
-class RefinedGroup:
+class RefinedGroup(Generic[T]):
     """A stabbing group backed by a left-endpoint-ordered, intersection-
     augmented treap.  Duck-type compatible with
     :class:`~repro.core.partition_base.DynamicGroup`.
@@ -52,7 +52,7 @@ class RefinedGroup:
 
     __slots__ = ("treap", "fresh", "_interval_of")
 
-    def __init__(self, treap: Treap, interval_of: Callable[[T], Interval], fresh: bool):
+    def __init__(self, treap: Treap[T], interval_of: Callable[[T], Interval], fresh: bool):
         self.treap = treap
         self.fresh = fresh
         self._interval_of = interval_of
@@ -87,7 +87,7 @@ class RefinedGroup:
     def remove(self, item: T) -> None:
         self.treap.remove(self._interval_of(item).lo, match=lambda it: it is item)
 
-    def split_prefix(self, x: float) -> Treap:
+    def split_prefix(self, x: float) -> Treap[T]:
         """Split off (and return) the members whose left endpoint is <= x."""
         return self.treap.split(x, after_equal=True)
 
@@ -108,8 +108,8 @@ class RefinedStabbingPartition(DynamicStabbingPartitionBase[T]):
             raise ValueError("epsilon must be positive")
         self._epsilon = epsilon
         self._rng = random.Random(seed)
-        self._groups: List[RefinedGroup] = []
-        self._group_of: Dict[int, RefinedGroup] = {}
+        self._groups: List[RefinedGroup[T]] = []
+        self._group_of: Dict[int, RefinedGroup[T]] = {}
         self._tau0 = 0
         self._updates_since_recon = 0
         # Tree-operation counters backing the O(tau0 log n) claim in tests.
@@ -125,13 +125,13 @@ class RefinedStabbingPartition(DynamicStabbingPartitionBase[T]):
         return self._epsilon
 
     @property
-    def groups(self) -> List[RefinedGroup]:
+    def groups(self) -> List[RefinedGroup[T]]:
         return list(self._groups)
 
     def __len__(self) -> int:
         return len(self._groups)
 
-    def group_of(self, item: T) -> RefinedGroup:
+    def group_of(self, item: T) -> RefinedGroup[T]:
         return self._group_of[id(item)]
 
     def __contains__(self, item: T) -> bool:
@@ -195,7 +195,7 @@ class RefinedStabbingPartition(DynamicStabbingPartitionBase[T]):
 
     # -- internals --------------------------------------------------------------
 
-    def _new_treap(self) -> Treap:
+    def _new_treap(self) -> Treap[T]:
         return Treap(aggregate=(self._interval_of, _intersect), rng=self._rng)
 
     def _after_update(self) -> None:
@@ -244,8 +244,8 @@ class RefinedStabbingPartition(DynamicStabbingPartitionBase[T]):
         processed: Dict[int, bool] = {id(g): False for g in order}
         next_original = 0
 
-        emitted: List[RefinedGroup] = []
-        tu: Treap = self._new_treap()
+        emitted: List[RefinedGroup[T]] = []
+        tu: Treap[T] = self._new_treap()
         pending: List[T] = []
         gamma: Optional[Interval] = None
 
@@ -258,7 +258,7 @@ class RefinedStabbingPartition(DynamicStabbingPartitionBase[T]):
             tu = self._new_treap()
             pending = []
 
-        def absorb_split_prefix(group: RefinedGroup) -> None:
+        def absorb_split_prefix(group: RefinedGroup[T]) -> None:
             """SPLIT ``group`` at r(gamma) and absorb the prefix into A."""
             nonlocal gamma
             assert gamma is not None
@@ -321,7 +321,7 @@ class RefinedStabbingPartition(DynamicStabbingPartitionBase[T]):
 
         self._install(emitted)
 
-    def _install(self, groups: List[RefinedGroup]) -> None:
+    def _install(self, groups: List[RefinedGroup[T]]) -> None:
         self._groups = groups
         self._group_of = {}
         for group in groups:

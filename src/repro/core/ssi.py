@@ -18,8 +18,8 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.core.partition_base import (
-    DynamicGroup,
     DynamicStabbingPartitionBase,
+    StabbingGroupView,
     T,
 )
 
@@ -54,7 +54,7 @@ class StabbingSetIndex(Generic[T, S]):
         self._add = add_item
         self._remove = remove_item
         self._structures: Dict[int, S] = {}
-        self._group_refs: Dict[int, Any] = {}
+        self._group_refs: Dict[int, StabbingGroupView[T]] = {}
         self._snapshot: Optional[Tuple[List[float], List[S]]] = None
         partition.add_listener(self)
         self.rebuild_count = 0
@@ -79,21 +79,21 @@ class StabbingSetIndex(Generic[T, S]):
     # invalidating the dense snapshot here is sufficient for it never to go
     # stale.
 
-    def on_group_created(self, group: DynamicGroup[T]) -> None:
+    def on_group_created(self, group: StabbingGroupView[T]) -> None:
         self._structures[id(group)] = self._make()
         self._group_refs[id(group)] = group
         self._snapshot = None
 
-    def on_group_destroyed(self, group: DynamicGroup[T]) -> None:
+    def on_group_destroyed(self, group: StabbingGroupView[T]) -> None:
         self._structures.pop(id(group), None)
         self._group_refs.pop(id(group), None)
         self._snapshot = None
 
-    def on_item_added(self, group: DynamicGroup[T], item: T) -> None:
+    def on_item_added(self, group: StabbingGroupView[T], item: T) -> None:
         self._add(self._structures[id(group)], item)
         self._snapshot = None
 
-    def on_item_removed(self, group: DynamicGroup[T], item: T) -> None:
+    def on_item_removed(self, group: StabbingGroupView[T], item: T) -> None:
         self._remove(self._structures[id(group)], item)
         self._snapshot = None
 

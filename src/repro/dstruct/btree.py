@@ -25,7 +25,7 @@ Design notes
 from __future__ import annotations
 
 import bisect
-from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Any, Generic, Iterator, List, Optional, Set, Tuple, TypeVar
 
 V = TypeVar("V")
 
@@ -198,6 +198,17 @@ class Cursor(Generic[V]):
 
 class BPlusTree(Generic[V]):
     """B+ tree mapping totally-ordered keys to values, duplicates allowed."""
+
+    __slots__ = (
+        "_max_keys",
+        "_min_keys",
+        "_root",
+        "_size",
+        "probe_count",
+        "scan_steps",
+        "mutation_count",
+        "_flat_cache",
+    )
 
     def __init__(self, order: int = DEFAULT_ORDER):
         if order < 4:
@@ -522,7 +533,7 @@ class BPlusTree(Generic[V]):
                 return depth
             assert len(node.children) == len(node.keys) + 1
             assert node.keys == sorted(node.keys)
-            depths = set()
+            depths: Set[int] = set()
             bounds = [lo] + list(node.keys) + [hi]
             for i, child in enumerate(node.children):
                 depths.add(_walk(child, bounds[i], bounds[i + 1], depth + 1))
@@ -547,6 +558,8 @@ class BPlusTree(Generic[V]):
 
 
 class _Missing:
+    __slots__ = ()
+
     def __repr__(self) -> str:  # pragma: no cover
         return "<missing>"
 

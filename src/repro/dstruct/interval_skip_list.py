@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Generic, Iterator, List, Optional, Set, Tuple, TypeVar
 
-from repro.core.intervals import Interval
+from repro.core.intervals import Interval, endpoints_equal
 
 P = TypeVar("P")
 
@@ -63,6 +63,8 @@ class _Node(Generic[P]):
 class IntervalSkipList(Generic[P]):
     """Dynamic interval set supporting O(log n + out) expected stabbing."""
 
+    __slots__ = ("_rng", "_p", "_head", "_level", "_size", "_entries")
+
     def __init__(self, rng: Optional[random.Random] = None, p: float = 0.5):
         self._rng = rng if rng is not None else random.Random()
         self._p = p
@@ -84,8 +86,10 @@ class IntervalSkipList(Generic[P]):
         update: List[_Node[P]] = [self._head] * self._level
         node = self._head
         for i in range(self._level - 1, -1, -1):
-            while node.forward[i] is not None and node.forward[i].key < key:
-                node = node.forward[i]
+            nxt = node.forward[i]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[i]
             update[i] = node
         return update
 
@@ -193,7 +197,13 @@ class IntervalSkipList(Generic[P]):
     def insert(self, interval: Interval, payload: P) -> None:
         entry = _Entry(interval, payload)
         lo_node = self._insert_node(interval.lo)
-        hi_node = self._insert_node(interval.hi) if interval.hi != interval.lo else lo_node
+        # degenerate [x, x] intervals share one node; both endpoints are
+        # verbatim copies, so the canonical exact comparator applies
+        hi_node = (
+            self._insert_node(interval.hi)
+            if not endpoints_equal(interval.hi, interval.lo)
+            else lo_node
+        )
         lo_node.owners.add(entry)
         hi_node.owners.add(entry)
         self._place_marks(entry)
@@ -230,10 +240,11 @@ class IntervalSkipList(Generic[P]):
         found: Set[_Entry[P]] = set()
         node = self._head
         for i in range(self._level - 1, -1, -1):
-            while node.forward[i] is not None and node.forward[i].key < x:
-                node = node.forward[i]
-            # The edge we are about to descend from strictly spans x.
             nxt = node.forward[i]
+            while nxt is not None and nxt.key < x:
+                node = nxt
+                nxt = node.forward[i]
+            # The edge we are about to descend from strictly spans x.
             if nxt is not None and nxt.key > x:
                 found |= node.edge_marks[i]
         candidate = node.forward[0]

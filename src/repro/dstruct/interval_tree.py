@@ -39,6 +39,8 @@ class _Node(Generic[P]):
 class IntervalTree(Generic[P]):
     """Treap-balanced augmented interval tree with O(log n + out) stabbing."""
 
+    __slots__ = ("_root", "_rng")
+
     def __init__(self, rng: Optional[random.Random] = None):
         self._root: Optional[_Node[P]] = None
         self._rng = rng if rng is not None else random.Random()

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Any, Generic, Iterator, List, Optional, Set, Tuple, TypeVar
 
 P = TypeVar("P")
 
@@ -85,6 +85,8 @@ class RTree(Generic[P]):
     indexes.
     """
 
+    __slots__ = ("_max", "_min", "_root", "_size", "node_visits")
+
     def __init__(self, max_entries: int = 16):
         if max_entries < 4:
             raise ValueError("max_entries must be >= 4")
@@ -143,7 +145,7 @@ class RTree(Generic[P]):
 
     def _choose_leaf(self, node: _RNode[P], rect: Rect) -> _RNode[P]:
         while not node.leaf:
-            best = None
+            best: Optional[_RNode[P]] = None
             best_key = (math.inf, math.inf)
             for entry_rect, child in node.entries:
                 key = (entry_rect.enlargement(rect), entry_rect.area)
@@ -303,7 +305,7 @@ class RTree(Generic[P]):
 
         def _walk(node: _RNode[P], depth: int) -> Tuple[int, int]:
             count = 0
-            depths = set()
+            depths: Set[int] = set()
             if node is not self._root:
                 assert len(node.entries) >= self._min, "underfull node"
             assert len(node.entries) <= self._max, "overfull node"

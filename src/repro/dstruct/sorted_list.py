@@ -29,6 +29,8 @@ class SortedKeyList(Generic[T]):
     (new items go after existing equals).
     """
 
+    __slots__ = ("_key", "_items", "_keys")
+
     def __init__(self, items: Iterable[T] = (), *, key: Callable[[T], Any] = lambda x: x):
         self._key = key
         self._items: List[T] = sorted(items, key=key)

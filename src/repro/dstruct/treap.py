@@ -51,6 +51,8 @@ class Treap(Generic[V]):
         deterministic shapes in tests.
     """
 
+    __slots__ = ("_root", "_rng", "_lift", "_combine")
+
     def __init__(
         self,
         *,
@@ -59,6 +61,8 @@ class Treap(Generic[V]):
     ):
         self._root: Optional[_Node[V]] = None
         self._rng = rng if rng is not None else random.Random()
+        self._lift: Optional[Callable[[V], Any]]
+        self._combine: Optional[Callable[[Any, Any], Any]]
         if aggregate is not None:
             self._lift, self._combine = aggregate
         else:
@@ -248,6 +252,8 @@ class IntervalTreap(Treap[Interval]):
     endpoint ``x`` peels off exactly the member intervals whose left endpoints
     lie at or before ``x``.
     """
+
+    __slots__ = ()
 
     def __init__(self, rng: Optional[random.Random] = None):
         super().__init__(aggregate=(lambda iv: iv, _intersect_aggs), rng=rng)

@@ -21,13 +21,19 @@ enumerated, and the same floating-point expressions produce the bounds
 (``repro fuzz --targets fastpath`` checks this differentially).
 """
 
-from repro.fastpath.kernels import KERNEL, count_le
+from repro.fastpath.kernels import KERNEL, MIN_VECTOR, count_le, get_numpy
 from repro.fastpath.band import batch_probe_band_r, batch_probe_band_s
 from repro.fastpath.select import batch_probe_select_r, batch_probe_select_s
 
+# numpy is deliberately not imported here (or anywhere else in this
+# package): all access goes through repro.fastpath.kernels — the one
+# module on lint rule RA002's allowlist — via get_numpy()/MIN_VECTOR.
+
 __all__ = [
     "KERNEL",
+    "MIN_VECTOR",
     "count_le",
+    "get_numpy",
     "batch_probe_band_r",
     "batch_probe_band_s",
     "batch_probe_select_r",

@@ -33,11 +33,18 @@ probe once per tuple against the same table state.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from typing import Any, Dict, List, Sequence, Tuple
 
-from repro.fastpath.kernels import _MIN_VECTOR, _np
+from repro.fastpath.kernels import MIN_VECTOR, get_numpy
 
 
-def batch_probe_band_r(by_b, rows, points, structures, results) -> None:
+def batch_probe_band_r(
+    by_b: Any,
+    rows: Sequence[Any],
+    points: Sequence[float],
+    structures: Sequence[Any],
+    results: List[Dict[Any, List[Any]]],
+) -> None:
     """Probe a batch of R-tuples against every band-join group.
 
     ``rows`` is the micro-batch (any order); ``points``/``structures`` the
@@ -48,14 +55,28 @@ def batch_probe_band_r(by_b, rows, points, structures, results) -> None:
     _batch_probe(by_b, rows, points, structures, results, r_side=True)
 
 
-def batch_probe_band_s(by_b, rows, points, structures, results) -> None:
+def batch_probe_band_s(
+    by_b: Any,
+    rows: Sequence[Any],
+    points: Sequence[float],
+    structures: Sequence[Any],
+    results: List[Dict[Any, List[Any]]],
+) -> None:
     """Symmetric batch probe for S-tuples against R(B): the probe key is
     ``s.b - p_j`` and the two endpoint orders swap roles, exactly as in the
     per-event ``probe_band_group_s``."""
     _batch_probe(by_b, rows, points, structures, results, r_side=False)
 
 
-def _batch_probe(by_b, rows, points, structures, results, *, r_side: bool) -> None:
+def _batch_probe(
+    by_b: Any,
+    rows: Sequence[Any],
+    points: Sequence[float],
+    structures: Sequence[Any],
+    results: List[Dict[Any, List[Any]]],
+    *,
+    r_side: bool,
+) -> None:
     if not rows or not points:
         return
     keys, values = by_b.flat_snapshot()
@@ -64,7 +85,8 @@ def _batch_probe(by_b, rows, points, structures, results, *, r_side: bool) -> No
         return  # the probed table is empty: no results possible
     order = sorted(range(len(rows)), key=lambda i: rows[i].b)
     bs = [rows[i].b for i in order]
-    use_np = _np is not None and len(bs) >= _MIN_VECTOR
+    _np = get_numpy()
+    use_np = _np is not None and len(bs) >= MIN_VECTOR
     if use_np:
         kb = _np.asarray(keys, dtype=_np.float64)
         bv = _np.asarray(bs, dtype=_np.float64)
@@ -128,9 +150,9 @@ def _batch_probe(by_b, rows, points, structures, results, *, r_side: bool) -> No
         # succ-side entry duplicates a pred-side one exactly when its other
         # endpoint also clears the pred-side bound, so dedup is a columnar
         # threshold test instead of a qid set.
-        targets = []
-        w_lo = []
-        w_hi = []
+        targets: List[Tuple[Dict[Any, List[Any]], Any]] = []
+        w_lo: List[float] = []
+        w_hi: List[float] = []
         t_append = targets.append
         lo_append = w_lo.append
         hi_append = w_hi.append
@@ -173,7 +195,7 @@ def _batch_probe(by_b, rows, points, structures, results, *, r_side: bool) -> No
                         lo_append(b - hi)
                         hi_append(b - lo_keys[k])
         # ... and enumerate each as one contiguous slice of the flat column.
-        if use_np and len(targets) >= _MIN_VECTOR:
+        if use_np and len(targets) >= MIN_VECTOR:
             starts = _np.searchsorted(kb, _np.asarray(w_lo), side="left").tolist()
             ends = _np.searchsorted(kb, _np.asarray(w_hi), side="right").tolist()
         else:

@@ -11,27 +11,44 @@ The backend is selected once at import time.  ``REPRO_FASTPATH_KERNEL``
 forces a choice: ``numpy`` (fall back silently if numpy is missing, since
 the container may not ship it), ``python``, or ``auto`` (the default).
 ``KERNEL`` names the backend actually in use so benchmarks can record it.
+
+This module is the **only** fastpath module allowed to import numpy (lint
+rule RA002): consumers obtain the handle via :func:`get_numpy` and the
+vectorization threshold via :data:`MIN_VECTOR`, so swapping or disabling
+the backend stays a one-module decision.
 """
 
 from __future__ import annotations
 
 import os
 from bisect import bisect_right
-from typing import List, Sequence
+from typing import Any, List, Optional, Sequence
 
-_np = None
+__all__ = ["KERNEL", "MIN_VECTOR", "count_le", "get_numpy"]
+
+_np: Optional[Any] = None
 _choice = os.environ.get("REPRO_FASTPATH_KERNEL", "auto").strip().lower()
 if _choice not in ("python",):
     try:  # pragma: no cover - exercised indirectly via KERNEL
-        import numpy as _np  # type: ignore
+        import numpy as _np  # type: ignore[no-redef]
     except ImportError:  # pragma: no cover - numpy is usually present
         _np = None
 
 KERNEL = "numpy" if _np is not None else "python"
 
-# Below this many bounds the numpy call overhead (array conversion, ufunc
-# dispatch) exceeds the bisect loop it replaces.
-_MIN_VECTOR = 8
+#: Below this many bounds the numpy call overhead (array conversion, ufunc
+#: dispatch) exceeds the bisect loop it replaces.
+MIN_VECTOR = 8
+
+
+def get_numpy() -> Optional[Any]:
+    """The sanctioned numpy handle, or None when the pure-python backend is
+    active (numpy missing or ``REPRO_FASTPATH_KERNEL=python``).
+
+    Read at call time, not import time, so tests can force the scalar
+    fallback by patching this module's ``_np`` alone.
+    """
+    return _np
 
 
 def count_le(keys: Sequence[float], bounds: Sequence[float]) -> List[int]:
@@ -41,10 +58,11 @@ def count_le(keys: Sequence[float], bounds: Sequence[float]) -> List[int]:
     ``keys`` is typically a group's ``array('d')`` endpoint column; the
     result indexes a prefix of the parallel query list.
     """
-    if _np is not None and len(bounds) >= _MIN_VECTOR and len(keys):
-        return _np.searchsorted(
+    if _np is not None and len(bounds) >= MIN_VECTOR and len(keys):
+        counts: List[int] = _np.searchsorted(
             _np.frombuffer(keys, dtype=_np.float64),
             _np.asarray(bounds, dtype=_np.float64),
             side="right",
         ).tolist()
+        return counts
     return [bisect_right(keys, bound) for bound in bounds]

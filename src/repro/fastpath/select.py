@@ -13,8 +13,16 @@ expression, so batched deltas are identical.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List, Sequence
 
-def batch_probe_select_r(by_bc, rows, points, rtrees, results) -> None:
+
+def batch_probe_select_r(
+    by_bc: Any,
+    rows: Sequence[Any],
+    points: Sequence[float],
+    rtrees: Sequence[Any],
+    results: List[Dict[Any, List[Any]]],
+) -> None:
     """Probe a batch of R-tuples against every rangeC group.
 
     ``results`` is a parallel list of per-row dicts, updated in place.  All
@@ -33,7 +41,7 @@ def batch_probe_select_r(by_bc, rows, points, rtrees, results) -> None:
             q2 = succ.value if succ.valid and succ.key[0] == b else None
             if q1 is None and q2 is None:
                 continue  # nothing joins with this row near the point
-            affected = {}
+            affected: Dict[Any, Any] = {}
             if q1 is not None:
                 for __, query in rtree.stab(q1.c, row.a):
                     affected[query.qid] = query
@@ -58,7 +66,13 @@ def batch_probe_select_r(by_bc, rows, points, rtrees, results) -> None:
                 res[query] = hits
 
 
-def batch_probe_select_s(by_ba, rows, points, rtrees, results) -> None:
+def batch_probe_select_s(
+    by_ba: Any,
+    rows: Sequence[Any],
+    points: Sequence[float],
+    rtrees: Sequence[Any],
+    results: List[Dict[Any, List[Any]]],
+) -> None:
     """Symmetric batch probe for S-tuples against R(B, A) (SSI on rangeA)."""
     if not rows or not points:
         return
@@ -72,7 +86,7 @@ def batch_probe_select_s(by_ba, rows, points, rtrees, results) -> None:
             q2 = succ.value if succ.valid and succ.key[0] == b else None
             if q1 is None and q2 is None:
                 continue
-            affected = {}
+            affected: Dict[Any, Any] = {}
             if q1 is not None:
                 for __, query in rtree.stab(row.c, q1.a):
                     affected[query.qid] = query

@@ -16,7 +16,7 @@ cancelled — it must reach the shards to remove installed state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.engine.events import DataEvent, EventKind
 
@@ -59,6 +59,8 @@ class MicroBatcher:
     cancelling insert+delete pairs that are both still pending.
     """
 
+    __slots__ = ("max_batch", "_pending", "stats")
+
     def __init__(self, max_batch: int = 64):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -94,7 +96,7 @@ class MicroBatcher:
         relative order of all surviving events is untouched.
         """
         pending_inserts: Dict[Tuple[str, int], int] = {}
-        cancelled_positions: set = set()
+        cancelled_positions: Set[int] = set()
         pairs: List[Tuple[int, int]] = []
         for pos, entry in enumerate(self._pending):
             key = _row_key(entry.event)

@@ -6,6 +6,13 @@ Histograms bucket observations by powers of two, which is precise enough
 for the latency/batch-size distributions the runtime reports and keeps
 ``observe`` allocation-free.
 
+Lock discipline (enforced statically by lint rule RA003): every field
+written under ``self._lock`` is also *read* under it.  Readers either
+return a single value from inside the lock or copy the fields into locals
+under the lock and compute outside it — multi-field reads without the
+lock can observe torn snapshots (e.g. a ``_sum`` that includes an
+observation ``_count`` does not).
+
 ``MetricsRegistry.snapshot()`` returns a plain nested dict (JSON-friendly);
 ``render()`` formats it as aligned text for the CLI.
 """
@@ -13,7 +20,16 @@ for the latency/batch-size distributions the runtime reports and keeps
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "HotspotMetricsListener",
+    "null_registry",
+]
 
 
 class Counter:
@@ -31,7 +47,8 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
 
 class Gauge:
@@ -49,7 +66,23 @@ class Gauge:
 
     @property
     def value(self) -> float:
-        return self._value
+        with self._lock:
+            return self._value
+
+
+def _bucket_quantile(
+    buckets: List[int], count: int, max_value: float, q: float
+) -> float:
+    """Approximate ``q``-quantile (upper bucket bound) from copied state."""
+    if count == 0:
+        return 0.0
+    rank = q * count
+    seen = 0
+    for index, n in enumerate(buckets):
+        seen += n
+        if seen >= rank:
+            return float(2**index) if index else 1.0
+    return max_value
 
 
 class Histogram:
@@ -85,40 +118,47 @@ class Histogram:
             self._min = min(self._min, value)
             self._max = max(self._max, value)
 
+    def _copy_state(self) -> Tuple[List[int], int, float, float, float]:
+        """One consistent (buckets, count, sum, min, max) view."""
+        with self._lock:
+            return (
+                list(self._buckets),
+                self._count,
+                self._sum,
+                self._min,
+                self._max,
+            )
+
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
         """Approximate ``q``-quantile (upper bucket bound)."""
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
-        if self._count == 0:
-            return 0.0
-        rank = q * self._count
-        seen = 0
-        for index, n in enumerate(self._buckets):
-            seen += n
-            if seen >= rank:
-                return float(2**index) if index else 1.0
-        return self._max
+        buckets, count, _, _, max_value = self._copy_state()
+        return _bucket_quantile(buckets, count, max_value, q)
 
     def snapshot(self) -> Dict[str, float]:
-        if self._count == 0:
+        buckets, count, total, min_value, max_value = self._copy_state()
+        if count == 0:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
                     "p50": 0.0, "p99": 0.0}
         return {
-            "count": self._count,
-            "sum": self._sum,
-            "min": self._min,
-            "max": self._max,
-            "mean": self.mean,
-            "p50": self.quantile(0.5),
-            "p99": self.quantile(0.99),
+            "count": count,
+            "sum": total,
+            "min": min_value,
+            "max": max_value,
+            "mean": total / count,
+            "p50": _bucket_quantile(buckets, count, max_value, 0.5),
+            "p99": _bucket_quantile(buckets, count, max_value, 0.99),
         }
 
 
@@ -129,6 +169,8 @@ class MetricsRegistry:
     ``shard/3/latency_us``); creation is idempotent so producers can call
     ``counter(name)`` on the hot path without pre-registration.
     """
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
@@ -154,34 +196,51 @@ class MetricsRegistry:
                 self._histograms[name] = Histogram()
             return self._histograms[name]
 
-    def snapshot(self) -> Dict[str, object]:
+    def _instruments(
+        self,
+    ) -> Tuple[
+        List[Tuple[str, Counter]],
+        List[Tuple[str, Gauge]],
+        List[Tuple[str, Histogram]],
+    ]:
+        """Sorted (name, instrument) views, taken under the registry lock.
+        The instruments themselves are thread-safe, so reading their values
+        after release is fine — only dict membership needs the lock."""
+        with self._lock:
+            return (
+                sorted(self._counters.items()),
+                sorted(self._gauges.items()),
+                sorted(self._histograms.items()),
+            )
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """All metrics as a plain (JSON-serializable) dict."""
+        counters, gauges, histograms = self._instruments()
         return {
-            "counters": {name: c.value for name, c in sorted(self._counters.items())},
-            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
-            "histograms": {
-                name: h.snapshot() for name, h in sorted(self._histograms.items())
-            },
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "histograms": {name: h.snapshot() for name, h in histograms},
         }
 
     def render(self) -> str:
         """Aligned text rendering of the current snapshot."""
-        snap = self.snapshot()
+        counters, gauges, histograms = self._instruments()
         lines: List[str] = []
-        if snap["counters"]:
+        if counters:
             lines.append("counters:")
-            width = max(len(n) for n in snap["counters"])
-            for name, value in snap["counters"].items():
-                lines.append(f"  {name:<{width}}  {value:>12,}")
-        if snap["gauges"]:
+            width = max(len(name) for name, _ in counters)
+            for name, counter in counters:
+                lines.append(f"  {name:<{width}}  {counter.value:>12,}")
+        if gauges:
             lines.append("gauges:")
-            width = max(len(n) for n in snap["gauges"])
-            for name, value in snap["gauges"].items():
-                lines.append(f"  {name:<{width}}  {value:>12,.1f}")
-        if snap["histograms"]:
+            width = max(len(name) for name, _ in gauges)
+            for name, gauge in gauges:
+                lines.append(f"  {name:<{width}}  {gauge.value:>12,.1f}")
+        if histograms:
             lines.append("histograms:")
-            width = max(len(n) for n in snap["histograms"])
-            for name, h in snap["histograms"].items():
+            width = max(len(name) for name, _ in histograms)
+            for name, histogram in histograms:
+                h = histogram.snapshot()
                 lines.append(
                     f"  {name:<{width}}  count={h['count']:<8,} mean={h['mean']:<10.1f}"
                     f" p50={h['p50']:<10.0f} p99={h['p99']:<10.0f} max={h['max']:,.0f}"
@@ -198,20 +257,22 @@ class HotspotMetricsListener:
     workload).
     """
 
+    __slots__ = ("_promotions", "_demotions")
+
     def __init__(self, registry: MetricsRegistry, prefix: str = "runtime") -> None:
         self._promotions = registry.counter(f"{prefix}/hotspot_promotions")
         self._demotions = registry.counter(f"{prefix}/hotspot_demotions")
 
-    def on_promoted(self, group) -> None:
+    def on_promoted(self, group: Any) -> None:
         self._promotions.inc()
 
-    def on_demoted(self, group) -> None:
+    def on_demoted(self, group: Any) -> None:
         self._demotions.inc()
 
-    def on_hot_item_added(self, group, item) -> None:
+    def on_hot_item_added(self, group: Any, item: Any) -> None:
         pass
 
-    def on_hot_item_removed(self, group, item) -> None:
+    def on_hot_item_removed(self, group: Any, item: Any) -> None:
         pass
 
 

@@ -34,7 +34,7 @@ from __future__ import annotations
 import enum
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.engine.events import DataEvent, EventKind, QueryEvent
 from repro.runtime.batching import BatchEntry, MicroBatcher, _row_key
@@ -42,12 +42,17 @@ from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.sharding import (
     DOMAIN_HI,
     DOMAIN_LO,
+    Delta,
     ResultCallback,
     Shard,
+    ShardEntry,
     ShardRouter,
     scaled_alpha,
     merge_deltas,
 )
+
+# Per-shard batch outcome: elapsed seconds plus (seq, deltas) pairs.
+ShardBatchResults = Dict[int, Tuple[float, List[Tuple[int, Delta]]]]
 
 
 class BackpressurePolicy(str, enum.Enum):
@@ -61,24 +66,38 @@ class BackpressurePolicy(str, enum.Enum):
 # -- execution backends ------------------------------------------------------
 
 
+class _Backend(Protocol):
+    """What the pipeline needs from an execution backend."""
+
+    def subscribe(self, indices: Sequence[int], query: Any) -> None: ...
+
+    def unsubscribe(self, indices: Sequence[int], query: Any) -> None: ...
+
+    def apply_shard_batches(
+        self, shard_entries: Dict[int, List[ShardEntry]]
+    ) -> ShardBatchResults: ...
+
+    def close(self) -> None: ...
+
+
 class _InlineBackend:
     """Shards applied sequentially on the calling thread."""
 
     def __init__(self, shards: List[Shard]):
         self.shards = shards
 
-    def subscribe(self, indices: Sequence[int], query) -> None:
+    def subscribe(self, indices: Sequence[int], query: Any) -> None:
         for index in indices:
             self.shards[index].subscribe(query)
 
-    def unsubscribe(self, indices: Sequence[int], query) -> None:
+    def unsubscribe(self, indices: Sequence[int], query: Any) -> None:
         for index in indices:
             self.shards[index].unsubscribe(query)
 
     def apply_shard_batches(
-        self, shard_entries: Dict[int, list]
-    ) -> Dict[int, Tuple[float, List[Tuple[int, dict]]]]:
-        out = {}
+        self, shard_entries: Dict[int, List[ShardEntry]]
+    ) -> ShardBatchResults:
+        out: ShardBatchResults = {}
         for index, entries in shard_entries.items():
             start = time.perf_counter()
             results = self.shards[index].apply_batch(entries)
@@ -103,12 +122,16 @@ class _ThreadBackend(_InlineBackend):
             max_workers=max(1, len(shards)), thread_name_prefix="repro-shard"
         )
 
-    def _timed_apply(self, index: int, entries: list):
+    def _timed_apply(
+        self, index: int, entries: List[ShardEntry]
+    ) -> Tuple[float, List[Tuple[int, Delta]]]:
         start = time.perf_counter()
         results = self.shards[index].apply_batch(entries)
         return time.perf_counter() - start, results
 
-    def apply_shard_batches(self, shard_entries: Dict[int, list]):
+    def apply_shard_batches(
+        self, shard_entries: Dict[int, List[ShardEntry]]
+    ) -> ShardBatchResults:
         futures = {
             index: self._pool.submit(self._timed_apply, index, entries)
             for index, entries in shard_entries.items()
@@ -125,7 +148,7 @@ class _ThreadBackend(_InlineBackend):
 # them by identity, so the worker keeps its own qid -> object registry and
 # unsubscribes by qid.
 _WORKER_SHARD: Optional[Shard] = None
-_WORKER_QUERIES: Dict[int, object] = {}
+_WORKER_QUERIES: Dict[int, Any] = {}
 
 
 def _process_init(index: int, alpha: Optional[float], epsilon: float) -> None:
@@ -134,20 +157,23 @@ def _process_init(index: int, alpha: Optional[float], epsilon: float) -> None:
     _WORKER_QUERIES.clear()
 
 
-def _process_subscribe(query) -> bool:
+def _process_subscribe(query: Any) -> bool:
+    assert _WORKER_SHARD is not None, "worker process not initialized"
     _WORKER_QUERIES[query.qid] = query
     _WORKER_SHARD.subscribe(query)
     return True
 
 
 def _process_unsubscribe(qid: int) -> bool:
+    assert _WORKER_SHARD is not None, "worker process not initialized"
     _WORKER_SHARD.unsubscribe(_WORKER_QUERIES.pop(qid))
     return True
 
 
-def _process_apply(entries: list) -> Tuple[float, List[Tuple[int, dict]]]:
+def _process_apply(entries: List[ShardEntry]) -> Tuple[float, List[Tuple[int, Delta]]]:
+    assert _WORKER_SHARD is not None, "worker process not initialized"
     start = time.perf_counter()
-    out = []
+    out: List[Tuple[int, Delta]] = []
     for seq, deltas in _WORKER_SHARD.apply_batch(entries):
         out.append((seq, {query.qid: rows for query, rows in deltas.items()}))
     return time.perf_counter() - start, out
@@ -165,7 +191,7 @@ class _ProcessBackend:
         num_shards: int,
         alpha: Optional[float],
         epsilon: float,
-        resolve_query: Callable[[int], object],
+        resolve_query: Callable[[int], Any],
     ):
         self._resolve = resolve_query
         self._pools = [
@@ -175,20 +201,22 @@ class _ProcessBackend:
             for i in range(num_shards)
         ]
 
-    def subscribe(self, indices: Sequence[int], query) -> None:
+    def subscribe(self, indices: Sequence[int], query: Any) -> None:
         for index in indices:
             self._pools[index].submit(_process_subscribe, query).result()
 
-    def unsubscribe(self, indices: Sequence[int], query) -> None:
+    def unsubscribe(self, indices: Sequence[int], query: Any) -> None:
         for index in indices:
             self._pools[index].submit(_process_unsubscribe, query.qid).result()
 
-    def apply_shard_batches(self, shard_entries: Dict[int, list]):
+    def apply_shard_batches(
+        self, shard_entries: Dict[int, List[ShardEntry]]
+    ) -> ShardBatchResults:
         futures = {
             index: self._pools[index].submit(_process_apply, entries)
             for index, entries in shard_entries.items()
         }
-        out = {}
+        out: ShardBatchResults = {}
         for index, future in futures.items():
             elapsed, results = future.result()
             out[index] = (
@@ -244,12 +272,12 @@ class EventPipeline:
         self.coalesce = coalesce
         self.mode = mode
         self._batcher = MicroBatcher(max_batch=batch_size)
-        self._queries: Dict[int, object] = {}
+        self._queries: Dict[int, Any] = {}
         self._placements: Dict[int, List[int]] = {}
         self._callbacks: Dict[int, ResultCallback] = {}
         self._seq = 0
         self._oldest_pending_at: Optional[float] = None
-        self._sink: Optional[List[Tuple[int, DataEvent, Dict[object, list]]]] = None
+        self._sink: Optional[List[Tuple[int, DataEvent, Delta]]] = None
         self.dropped_seqs: List[int] = []
         self.rejected_seqs: List[int] = []
         # Rows whose INSERT was refused (evicted by drop-oldest or rejected):
@@ -257,8 +285,9 @@ class EventPipeline:
         # refused too — deleting state that was never installed would corrupt
         # the shards.  A successful re-submit of the insert clears the mark.
         # Assumes surrogate ids are not reused, as with the repo's generators.
-        self._lost_rows: set = set()
+        self._lost_rows: Set[Tuple[str, int]] = set()
         per_shard_alpha = scaled_alpha(alpha, num_shards)
+        self._backend: _Backend
         if mode == "inline":
             self._backend = _InlineBackend(
                 [Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=self.metrics)
@@ -278,7 +307,7 @@ class EventPipeline:
 
     # -- subscriptions (barrier semantics) -----------------------------------
 
-    def subscribe(self, query, on_results: Optional[ResultCallback] = None):
+    def subscribe(self, query: Any, on_results: Optional[ResultCallback] = None) -> Any:
         """Register a continuous query.  Pending data events flush first so
         the subscription observes exactly the prefix of the stream that
         preceded it."""
@@ -294,7 +323,7 @@ class EventPipeline:
             self._callbacks[query.qid] = on_results
         return query
 
-    def unsubscribe(self, query) -> None:
+    def unsubscribe(self, query: Any) -> None:
         self.drain()
         indices = self._placements.pop(query.qid)
         self._backend.unsubscribe(indices, query)
@@ -308,7 +337,7 @@ class EventPipeline:
 
     # -- ingress -------------------------------------------------------------
 
-    def submit(self, event) -> bool:
+    def submit(self, event: object) -> bool:
         """Enqueue one event.  Returns False iff the event was rejected by
         the ``reject`` backpressure policy."""
         if isinstance(event, QueryEvent):
@@ -379,14 +408,14 @@ class EventPipeline:
 
     # -- batch execution -----------------------------------------------------
 
-    def flush(self) -> List[Tuple[int, DataEvent, Dict[object, list]]]:
+    def flush(self) -> List[Tuple[int, DataEvent, Delta]]:
         """Process one pending batch; returns ``(seq, event, deltas)`` in
         arrival order (empty if nothing was pending)."""
         batch = self._batcher.drain(coalesce=self.coalesce)
         if not batch:
             return []
         self._oldest_pending_at = time.monotonic() if len(self._batcher) else None
-        shard_entries: Dict[int, list] = {}
+        shard_entries: Dict[int, List[ShardEntry]] = {}
         for entry in batch:
             route = self.router.route_event(entry.event)
             self.router.note_event(route)
@@ -395,7 +424,7 @@ class EventPipeline:
                 shard_entries.setdefault(index, []).append(
                     (entry.seq, entry.event, select_probe, select_state)
                 )
-        by_seq: Dict[int, List[dict]] = {entry.seq: [] for entry in batch}
+        by_seq: Dict[int, List[Delta]] = {entry.seq: [] for entry in batch}
         for index, (elapsed, results) in sorted(
             self._backend.apply_shard_batches(shard_entries).items()
         ):
@@ -405,7 +434,7 @@ class EventPipeline:
             )
             for seq, deltas in results:
                 by_seq[seq].append(deltas)
-        out: List[Tuple[int, DataEvent, Dict[object, list]]] = []
+        out: List[Tuple[int, DataEvent, Delta]] = []
         results_counter = self.metrics.counter("pipeline/results_produced")
         for entry in batch:
             merged = merge_deltas(by_seq[entry.seq])
@@ -422,23 +451,23 @@ class EventPipeline:
             self._sink.extend(out)
         return out
 
-    def drain(self) -> List[Tuple[int, DataEvent, Dict[object, list]]]:
+    def drain(self) -> List[Tuple[int, DataEvent, Delta]]:
         """Flush until no events are pending."""
-        out: List[Tuple[int, DataEvent, Dict[object, list]]] = []
+        out: List[Tuple[int, DataEvent, Delta]] = []
         while len(self._batcher):
             out.extend(self.flush())
         return out
 
     def run(
-        self, events
-    ) -> List[Tuple[int, DataEvent, Dict[object, list]]]:
+        self, events: Iterable[object]
+    ) -> List[Tuple[int, DataEvent, Delta]]:
         """Submit an event stream, drain, and return every applied event's
         ``(seq, event, deltas)`` in sequence order.
 
         Every flush during the run (batch-size triggers, barriers,
         backpressure blocks) feeds the same collection, so the caller sees
         one ordered result list for the whole stream."""
-        collected: List[Tuple[int, DataEvent, Dict[object, list]]] = []
+        collected: List[Tuple[int, DataEvent, Delta]] = []
         outer_sink, self._sink = self._sink, collected
         try:
             for event in events:
@@ -460,5 +489,5 @@ class EventPipeline:
     def __enter__(self) -> "EventPipeline":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, TypeVar
 
 from repro.engine.events import DataEvent, EventKind, QueryEvent, replay_data_events
 from repro.engine.queries import BandJoinQuery, SelectJoinQuery
@@ -32,6 +32,8 @@ from repro.engine.table import RTuple, STuple
 from repro.runtime.pipeline import BackpressurePolicy, EventPipeline
 from repro.workload.generator import make_band_join_queries, make_select_join_queries
 from repro.workload.params import WorkloadParams
+
+_Row = TypeVar("_Row")
 
 
 @dataclass
@@ -71,7 +73,7 @@ def generate_mixed_stream(
     stream: List[object] = []
     live_queries: List[object] = []
 
-    def new_query():
+    def new_query() -> Any:
         if rng.random() < profile.band_fraction:
             return make_band_join_queries(params, 1, rng)[0]
         return make_select_join_queries(params, 1, rng)[0]
@@ -98,7 +100,7 @@ def generate_mixed_stream(
         x = rng.uniform(params.domain_lo, params.domain_hi)
         return float(round(x)) if params.integer_valued else x
 
-    def pick_victim(live: List[Tuple[int, object]], position: int):
+    def pick_victim(live: List[Tuple[int, _Row]], position: int) -> Optional[_Row]:
         """A deletable row: recent under churn, old otherwise."""
         if rng.random() < profile.churn:
             eligible = [i for i, (at, _) in enumerate(live) if position - at <= profile.recent_window]
@@ -131,15 +133,15 @@ def generate_mixed_stream(
         if victim is not None:
             stream.append(DataEvent(EventKind.DELETE, relation, victim))
         elif relation == "R":
-            row = RTuple(next_rid, attr(), join_key())
+            r_row = RTuple(next_rid, attr(), join_key())
             next_rid += 1
-            live_r.append((position, row))
-            stream.append(DataEvent(EventKind.INSERT, "R", row))
+            live_r.append((position, r_row))
+            stream.append(DataEvent(EventKind.INSERT, "R", r_row))
         else:
-            row = STuple(next_sid, join_key(), attr())
+            s_row = STuple(next_sid, join_key(), attr())
             next_sid += 1
-            live_s.append((position, row))
-            stream.append(DataEvent(EventKind.INSERT, "S", row))
+            live_s.append((position, s_row))
+            stream.append(DataEvent(EventKind.INSERT, "S", s_row))
         position += 1
     return stream
 
@@ -147,7 +149,7 @@ def generate_mixed_stream(
 # -- equivalence -------------------------------------------------------------
 
 
-def normalize_deltas(deltas: Dict[object, list]) -> Dict[int, Tuple[int, ...]]:
+def normalize_deltas(deltas: Dict[Any, List[Any]]) -> Dict[int, Tuple[int, ...]]:
     """Canonical form for comparison: qid -> sorted row ids."""
     out: Dict[int, Tuple[int, ...]] = {}
     for query, rows in deltas.items():
@@ -213,7 +215,7 @@ def run_replay(
     reference_deltas: List[Dict[int, Tuple[int, ...]]] = []
     data_events: List[DataEvent] = []
 
-    def record(event: DataEvent, deltas: dict) -> None:
+    def record(event: DataEvent, deltas: Dict[Any, List[Any]]) -> None:
         normalized = normalize_deltas(deltas)
         reference_deltas.append(normalized)
         data_events.append(event)
@@ -262,7 +264,9 @@ def run_replay(
             got[seq] = normalized
             report.pipeline_results += sum(len(ids) for ids in normalized.values())
 
-        def visible_reference(seq: int, want: Dict[int, Tuple[int, ...]]):
+        def visible_reference(
+            seq: int, want: Dict[int, Tuple[int, ...]]
+        ) -> Dict[int, Tuple[int, ...]]:
             """Reference deltas minus matches against rows coalesced away
             while this event was co-pending with them."""
             event = data_events[seq]
@@ -273,7 +277,7 @@ def run_replay(
             }
             if not hidden:
                 return want
-            out = {}
+            out: Dict[int, Tuple[int, ...]] = {}
             for qid, ids in want.items():
                 kept = tuple(x for x in ids if x not in hidden)
                 if kept:

@@ -37,7 +37,7 @@ from __future__ import annotations
 import itertools
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.events import DataEvent, EventKind
 from repro.engine.queries import BandJoinQuery, SelectJoinQuery
@@ -53,7 +53,11 @@ from repro.runtime.metrics import HotspotMetricsListener, MetricsRegistry
 DOMAIN_LO = 0.0
 DOMAIN_HI = 10_000.0
 
-ResultCallback = Callable[[object, object, list], None]
+# The operator layer (repro.operators / repro.engine) is typed ``Any`` at
+# the shard boundary: queries and rows flow through the runtime opaquely.
+Delta = Dict[Any, List[Any]]
+ShardEntry = Tuple[int, DataEvent, bool, bool]
+ResultCallback = Callable[[Any, Any, List[Any]], None]
 
 
 def scaled_alpha(alpha: Optional[float], num_shards: int) -> Optional[float]:
@@ -164,7 +168,7 @@ class ShardRouter:
         mid = (query.band.lo + query.band.hi) / 2.0
         return bisect_right(self._band_bounds, mid)
 
-    def shards_for_query(self, query) -> List[int]:
+    def shards_for_query(self, query: Any) -> List[int]:
         """All shard indices a subscription registers in.
 
         Select-joins go to every shard their ``rangeC`` overlaps (their
@@ -196,7 +200,7 @@ class ShardRouter:
 
     # -- stats ---------------------------------------------------------------
 
-    def note_query(self, query, indices: Sequence[int], delta: int) -> None:
+    def note_query(self, query: Any, indices: Sequence[int], delta: int) -> None:
         counts = (
             self.select_queries_per_shard
             if isinstance(query, SelectJoinQuery)
@@ -254,6 +258,8 @@ class Shard:
         self.table_r = TableR()
         self.table_s_band = TableS()
         self.table_s_select = TableS()
+        self.band: Any
+        self.select: Any
         if alpha is None:
             self.band = BJSSI(self.table_s_band, self.table_r, epsilon=epsilon)
             self.select = SJSSI(self.table_s_select, self.table_r, epsilon=epsilon)
@@ -271,13 +277,13 @@ class Shard:
 
     # -- subscriptions -------------------------------------------------------
 
-    def subscribe(self, query) -> None:
+    def subscribe(self, query: Any) -> None:
         if isinstance(query, BandJoinQuery):
             self.band.add_query(query)
         else:
             self.select.add_query(query)
 
-    def unsubscribe(self, query) -> None:
+    def unsubscribe(self, query: Any) -> None:
         if isinstance(query, BandJoinQuery):
             self.band.remove_query(query)
         else:
@@ -291,12 +297,12 @@ class Shard:
 
     def apply(
         self, event: DataEvent, *, select_probe: bool = True, select_state: bool = True
-    ) -> Dict[object, list]:
+    ) -> Delta:
         """Apply one data event: probe (insertions), then install/remove
         state.  ``select_probe``/``select_state`` gate the select plane for
         S events routed to other shards' C-slices."""
         row = event.row
-        deltas: Dict[object, list] = {}
+        deltas: Delta = {}
         if event.kind is EventKind.INSERT:
             if event.relation == "R":
                 deltas.update(self.band.process_r(row))
@@ -319,8 +325,8 @@ class Shard:
         return deltas
 
     def apply_batch(
-        self, entries: Sequence[Tuple[int, DataEvent, bool, bool]]
-    ) -> List[Tuple[int, Dict[object, list]]]:
+        self, entries: Sequence[ShardEntry]
+    ) -> List[Tuple[int, Delta]]:
         """Apply ``(seq, event, select_probe, select_state)`` entries in
         order, returning per-event deltas tagged with their sequence
         numbers (the pipeline merges them across shards by seq).
@@ -333,7 +339,7 @@ class Shard:
         table mutations) and relation switches are run boundaries applied
         singly.
         """
-        out: List[Tuple[int, Dict[object, list]]] = []
+        out: List[Tuple[int, Delta]] = []
         i = 0
         n = len(entries)
         while i < n:
@@ -363,8 +369,8 @@ class Shard:
         return out
 
     def _apply_r_insert_run(
-        self, entries: Sequence[Tuple[int, DataEvent, bool, bool]]
-    ) -> List[Tuple[int, Dict[object, list]]]:
+        self, entries: Sequence[ShardEntry]
+    ) -> List[Tuple[int, Delta]]:
         """Probe a run of R-inserts against the (unchanging) S state in one
         batch, then install the rows in arrival order."""
         rows = [entry[1].row for entry in entries]
@@ -378,17 +384,17 @@ class Shard:
             select_parts = select_batch(rows)
         else:
             select_parts = [self.select.process_r(row) for row in rows]
-        out: List[Tuple[int, Dict[object, list]]] = []
+        out: List[Tuple[int, Delta]] = []
         for entry, band_d, select_d in zip(entries, band_parts, select_parts):
-            deltas: Dict[object, list] = dict(band_d)
+            deltas: Delta = dict(band_d)
             deltas.update(select_d)
             self.table_r.insert(entry[1].row)
             out.append((entry[0], deltas))
         return out
 
     def _apply_s_insert_run(
-        self, entries: Sequence[Tuple[int, DataEvent, bool, bool]]
-    ) -> List[Tuple[int, Dict[object, list]]]:
+        self, entries: Sequence[ShardEntry]
+    ) -> List[Tuple[int, Delta]]:
         """Symmetric run application for S-inserts; the select plane is
         probed only for the rows whose ``select_probe`` flag is set (rows
         owned by this shard's C-slice)."""
@@ -398,7 +404,7 @@ class Shard:
             band_parts = band_batch(rows)
         else:
             band_parts = [self.band.process_s(row) for row in rows]
-        select_parts: List[Dict[object, list]] = [{} for _ in rows]
+        select_parts: List[Delta] = [{} for _ in rows]
         probe_idx = [k for k, entry in enumerate(entries) if entry[2]]
         if probe_idx:
             probe_rows = [rows[k] for k in probe_idx]
@@ -409,9 +415,9 @@ class Shard:
                 probed = [self.select.process_s(row) for row in probe_rows]
             for k, part in zip(probe_idx, probed):
                 select_parts[k] = part
-        out: List[Tuple[int, Dict[object, list]]] = []
+        out: List[Tuple[int, Delta]] = []
         for k, (seq, event, __, select_state) in enumerate(entries):
-            deltas: Dict[object, list] = dict(band_parts[k])
+            deltas: Delta = dict(band_parts[k])
             deltas.update(select_parts[k])
             row = event.row
             self.table_s_band.insert(row)
@@ -421,20 +427,20 @@ class Shard:
         return out
 
 
-def _row_sort_key(row) -> tuple:
+def _row_sort_key(row: Any) -> Tuple[float, float, int]:
     if isinstance(row, STuple):
         return (row.b, row.c, row.sid)
     return (row.b, row.a, row.rid)
 
 
-def merge_deltas(parts: Sequence[Dict[object, list]]) -> Dict[object, list]:
+def merge_deltas(parts: Sequence[Delta]) -> Delta:
     """Merge per-shard delta dicts into one, deterministically.
 
     Partial match lists for the same query (a select-join spanning several
     C-slices) are concatenated and sorted by row coordinates, so the merged
     result is independent of shard evaluation order.
     """
-    merged: Dict[object, list] = {}
+    merged: Delta = {}
     for part in parts:
         for query, rows in part.items():
             if not rows:
@@ -478,7 +484,7 @@ class ShardedContinuousQuerySystem:
         ]
         self._placements: Dict[int, List[int]] = {}
         self._callbacks: Dict[int, ResultCallback] = {}
-        self._queries: Dict[int, object] = {}
+        self._queries: Dict[int, Any] = {}
         self._r_ids = itertools.count()
         self._s_ids = itertools.count()
         self.events_processed = 0
@@ -486,7 +492,7 @@ class ShardedContinuousQuerySystem:
 
     # -- subscriptions -------------------------------------------------------
 
-    def subscribe(self, query, on_results: Optional[ResultCallback] = None):
+    def subscribe(self, query: Any, on_results: Optional[ResultCallback] = None) -> Any:
         indices = self.router.shards_for_query(query)
         if query.qid in self._placements:
             raise ValueError(f"duplicate query id {query.qid}")
@@ -499,7 +505,7 @@ class ShardedContinuousQuerySystem:
             self._callbacks[query.qid] = on_results
         return query
 
-    def unsubscribe(self, query) -> None:
+    def unsubscribe(self, query: Any) -> None:
         indices = self._placements.pop(query.qid)
         self._queries.pop(query.qid)
         for index in indices:
@@ -511,17 +517,17 @@ class ShardedContinuousQuerySystem:
     def subscription_count(self) -> int:
         return len(self._placements)
 
-    def query_by_id(self, qid: int):
+    def query_by_id(self, qid: int) -> Any:
         return self._queries[qid]
 
     # -- event application ---------------------------------------------------
 
-    def apply(self, event: DataEvent) -> Dict[object, list]:
+    def apply(self, event: DataEvent) -> Delta:
         """Route one data event through every affected shard and merge the
         per-shard deltas."""
         route = self.router.route_event(event)
         self.router.note_event(route)
-        parts = []
+        parts: List[Delta] = []
         for index in route.shards:
             select_probe, select_state = route.flags(index, event.relation)
             parts.append(
@@ -533,7 +539,7 @@ class ShardedContinuousQuerySystem:
         self._dispatch(event.row, deltas)
         return deltas
 
-    def apply_batch(self, events: Sequence[DataEvent]) -> List[Dict[object, list]]:
+    def apply_batch(self, events: Sequence[DataEvent]) -> List[Delta]:
         """Route a micro-batch through every affected shard's batch fast
         path and merge the per-shard deltas per event, in arrival order.
 
@@ -542,7 +548,7 @@ class ShardedContinuousQuerySystem:
         :meth:`Shard.apply_batch` sees the same event interleaving the
         per-event path would.
         """
-        per_shard: List[List[Tuple[int, DataEvent, bool, bool]]] = [
+        per_shard: List[List[ShardEntry]] = [
             [] for _ in self.shards
         ]
         for seq, event in enumerate(events):
@@ -551,13 +557,13 @@ class ShardedContinuousQuerySystem:
             for index in route.shards:
                 select_probe, select_state = route.flags(index, event.relation)
                 per_shard[index].append((seq, event, select_probe, select_state))
-        parts_by_seq: List[List[Dict[object, list]]] = [[] for _ in events]
+        parts_by_seq: List[List[Delta]] = [[] for _ in events]
         for index, entries in enumerate(per_shard):
             if not entries:
                 continue
             for seq, deltas in self.shards[index].apply_batch(entries):
                 parts_by_seq[seq].append(deltas)
-        out: List[Dict[object, list]] = []
+        out: List[Delta] = []
         for event, parts in zip(events, parts_by_seq):
             deltas = merge_deltas(parts)
             self._dispatch(event.row, deltas)
@@ -566,16 +572,16 @@ class ShardedContinuousQuerySystem:
 
     # Facade-compatible convenience constructors around ``apply``.
 
-    def insert_r(self, a: float, b: float) -> Dict[object, list]:
+    def insert_r(self, a: float, b: float) -> Delta:
         return self.insert_r_row(RTuple(next(self._r_ids), a, b))
 
-    def insert_s(self, b: float, c: float) -> Dict[object, list]:
+    def insert_s(self, b: float, c: float) -> Delta:
         return self.insert_s_row(STuple(next(self._s_ids), b, c))
 
-    def insert_r_row(self, row: RTuple) -> Dict[object, list]:
+    def insert_r_row(self, row: RTuple) -> Delta:
         return self.apply(DataEvent(EventKind.INSERT, "R", row))
 
-    def insert_s_row(self, row: STuple) -> Dict[object, list]:
+    def insert_s_row(self, row: STuple) -> Delta:
         return self.apply(DataEvent(EventKind.INSERT, "S", row))
 
     def delete_r(self, row: RTuple) -> None:
@@ -584,7 +590,7 @@ class ShardedContinuousQuerySystem:
     def delete_s(self, row: STuple) -> None:
         self.apply(DataEvent(EventKind.DELETE, "S", row))
 
-    def _dispatch(self, row, deltas: Dict[object, list]) -> None:
+    def _dispatch(self, row: Any, deltas: Delta) -> None:
         self.events_processed += 1
         for query, matches in deltas.items():
             self.results_produced += len(matches)

@@ -1,0 +1,164 @@
+"""Engine-level tests for the lint framework: registry, suppression,
+fingerprints, baseline ratchet, file walking.  Rule *behaviour* is covered
+per-rule in test_analysis_rules.py; here we exercise the machinery the
+rules plug into."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    Severity,
+    all_rules,
+    lint_paths,
+    lint_source,
+    rule_catalog,
+    render_json,
+)
+from repro.analysis.engine import PARSE_ERROR_RULE, iter_python_files
+
+
+VIRTUAL = "src/repro/core/fake_module.py"
+
+
+def by_rule(findings, code):
+    return [f for f in findings if f.rule == code]
+
+
+class TestRegistry:
+    def test_catalog_contains_all_project_rules(self):
+        codes = {entry["code"] for entry in rule_catalog()}
+        assert {"RA001", "RA002", "RA003", "RA004", "RA005", "RA006"} <= codes
+        assert {"RA101", "RA102", "RA103"} <= codes
+
+    def test_all_rules_sorted_and_instantiated(self):
+        rules = all_rules()
+        codes = [r.code for r in rules]
+        assert codes == sorted(codes)
+        assert all(isinstance(r.severity, Severity) for r in rules)
+
+    def test_select_restricts_and_rejects_unknown(self):
+        only = all_rules(["RA002"])
+        assert [r.code for r in only] == ["RA002"]
+        with pytest.raises(ValueError, match="RA777"):
+            all_rules(["RA777"])
+
+
+class TestSuppression:
+    def test_noqa_with_matching_code_suppresses(self):
+        src = "import numpy  # repro: noqa[RA002]\n"
+        assert lint_source(src, VIRTUAL, all_rules(["RA002"])) == []
+
+    def test_noqa_with_other_code_does_not_suppress(self):
+        src = "import numpy  # repro: noqa[RA001]\n"
+        assert len(by_rule(lint_source(src, VIRTUAL), "RA002")) == 1
+
+    def test_bare_noqa_suppresses_everything(self):
+        src = "import numpy  # repro: noqa\n"
+        assert lint_source(src, VIRTUAL) == []
+
+    def test_noqa_accepts_multiple_codes(self):
+        src = "import numpy  # repro: noqa[RA001, RA002]\n"
+        assert lint_source(src, VIRTUAL, all_rules(["RA002"])) == []
+
+    def test_plain_flake8_noqa_is_not_ours(self):
+        src = "import numpy  # noqa\n"
+        assert len(by_rule(lint_source(src, VIRTUAL), "RA002")) == 1
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_ra000(self):
+        findings = lint_source("def broken(:\n", VIRTUAL)
+        assert [f.rule for f in findings] == [PARSE_ERROR_RULE]
+        assert "syntax error" in findings[0].message
+
+
+class TestFingerprints:
+    def test_fingerprint_excludes_position(self):
+        a = Finding("RA002", "p.py", 1, 0, "msg")
+        b = Finding("RA002", "p.py", 99, 4, "msg")
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != Finding("RA001", "p.py", 1, 0, "msg").fingerprint
+
+
+class TestBaseline:
+    def _finding(self, msg="import of numpy outside the kernel allowlist", n=1):
+        return [Finding("RA002", VIRTUAL, i + 1, 0, msg) for i in range(n)]
+
+    def test_baselined_findings_do_not_fail(self):
+        findings = self._finding(n=2)
+        baseline = Baseline.from_findings(findings)
+        delta = baseline.check(findings)
+        assert delta.ok and len(delta.baselined) == 2 and not delta.new
+
+    def test_count_beyond_baseline_fails(self):
+        baseline = Baseline.from_findings(self._finding(n=1))
+        delta = baseline.check(self._finding(n=2))
+        assert not delta.ok and len(delta.new) == 1 and len(delta.baselined) == 1
+
+    def test_ratchet_never_grows_a_count(self):
+        baseline = Baseline.from_findings(self._finding(n=1))
+        updated = baseline.ratchet(self._finding(n=3))
+        # regression stays capped at the old ceiling
+        assert list(updated.counts.values()) == [1]
+
+    def test_ratchet_shrinks_paid_down_debt_and_drops_fixed(self):
+        two = Baseline.from_findings(self._finding(n=2))
+        updated = two.ratchet(self._finding(n=1))
+        assert list(updated.counts.values()) == [1]
+        assert two.ratchet([]).counts == {}
+
+    def test_ratchet_absorbs_new_fingerprints_only_explicitly(self):
+        baseline = Baseline()
+        delta = baseline.check(self._finding(n=1))
+        assert not delta.ok  # a plain check never absorbs
+        updated = baseline.ratchet(self._finding(n=1))
+        assert updated.check(self._finding(n=1)).ok
+
+    def test_stale_entries_reported(self):
+        baseline = Baseline.from_findings(self._finding(n=3))
+        delta = baseline.check(self._finding(n=1))
+        assert delta.ok and sum(delta.stale.values()) == 2
+
+    def test_save_load_roundtrip(self, tmp_path):
+        baseline = Baseline.from_findings(self._finding(n=2))
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        assert Baseline.load(path).counts == baseline.counts
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError):
+            Baseline.load(path)
+
+
+class TestDriver:
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import numpy\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        (pkg / "notes.txt").write_text("import numpy\n")
+        findings = lint_paths([tmp_path / "src"], tmp_path)
+        assert [f.path for f in by_rule(findings, "RA002")] == [
+            "src/repro/core/bad.py"
+        ]
+
+    def test_iter_python_files_dedupes(self, tmp_path):
+        f = tmp_path / "a.py"
+        f.write_text("x = 1\n")
+        files = list(iter_python_files([f, tmp_path]))
+        assert len(files) == 1 and files[0].resolve() == f.resolve()
+
+    def test_render_json_is_the_ci_contract(self):
+        findings = [Finding("RA002", VIRTUAL, 1, 0, "import of numpy")]
+        baseline = Baseline()
+        payload = json.loads(render_json(baseline.check(findings), 5))
+        assert payload["tool"] == "repro lint"
+        assert payload["files_checked"] == 5
+        assert payload["summary"]["new"] == 1
+        assert payload["findings"][0]["baselined"] is False
+        assert {r["code"] for r in payload["rules"]} >= {"RA001", "RA006"}

@@ -1,0 +1,269 @@
+"""Per-rule fixture tests: every project rule must (a) fire on a seeded
+violation, (b) stay quiet on the idiomatic counterpart, (c) be suppressible
+with an inline ``# repro: noqa[CODE]``, and (d) ride the baseline ratchet.
+Fixtures lint in-memory sources under virtual paths, exercising exactly the
+entry point (``lint_source``) production runs use."""
+
+import pytest
+
+from repro.analysis import Baseline, all_rules, lint_source
+
+CORE = "src/repro/core/fake_module.py"
+RUNTIME = "src/repro/runtime/fake_worker.py"
+KERNELS = "src/repro/fastpath/kernels.py"
+HOTPATH = "src/repro/dstruct/treap.py"
+ELSEWHERE = "src/repro/workload/fake_gen.py"
+
+RA003_BAD = """\
+import threading
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.depth = 0
+
+    def push(self):
+        with self._lock:
+            self.depth += 1
+
+    def peek(self):
+        return self.depth
+"""
+
+RA003_GOOD = """\
+import threading
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.depth = 0
+
+    def push(self):
+        with self._lock:
+            self.depth += 1
+
+    def peek(self):
+        with self._lock:
+            return self.depth
+"""
+
+RA004_BAD = """\
+def drain(index):
+    table = index.group_table()
+    table.append(None)
+"""
+
+RA004_GOOD = """\
+def drain(index):
+    table = list(index.group_table())
+    table.append(None)
+"""
+
+# (code, path, firing source, quiet source, substring expected in message)
+CASES = [
+    pytest.param(
+        "RA001",
+        CORE,
+        "import time\nstamp = time.time()\n",
+        "import random\nrng = random.Random(42)\nx = rng.random()\n",
+        "non-deterministic call time.time()",
+        id="RA001-wallclock",
+    ),
+    pytest.param(
+        "RA001",
+        CORE,
+        "import random\nx = random.random()\n",
+        "import random\nrng = random.Random(0)\nx = rng.random()\n",
+        "shared global RNG",
+        id="RA001-global-rng",
+    ),
+    pytest.param(
+        "RA001",
+        CORE,
+        "import random\nrng = random.Random()\n",
+        "import random\nrng = random.Random(7)\n",
+        "without a seed",
+        id="RA001-unseeded",
+    ),
+    pytest.param(
+        "RA001",
+        CORE,
+        "for x in {1, 2, 3}:\n    pass\n",
+        "for x in sorted({1, 2, 3}):\n    pass\n",
+        "hash-order dependent",
+        id="RA001-set-iteration",
+    ),
+    pytest.param(
+        "RA002",
+        CORE,
+        "import numpy as np\n",
+        "from repro.fastpath.kernels import get_numpy\nnp = get_numpy()\n",
+        "outside the kernel allowlist",
+        id="RA002-import",
+    ),
+    pytest.param(
+        "RA002",
+        CORE,
+        "from numpy import ndarray\n",
+        "from repro.fastpath.kernels import get_numpy\n",
+        "outside the kernel allowlist",
+        id="RA002-import-from",
+    ),
+    pytest.param(
+        "RA002",
+        ELSEWHERE,
+        "from repro.fastpath.kernels import _np\n",
+        "from repro.fastpath.kernels import get_numpy\n",
+        "private kernel handle",
+        id="RA002-private-handle",
+    ),
+    pytest.param(
+        "RA003",
+        RUNTIME,
+        RA003_BAD,
+        RA003_GOOD,
+        "lock-guarded but read outside",
+        id="RA003-unguarded-read",
+    ),
+    pytest.param(
+        "RA004",
+        ELSEWHERE,
+        RA004_BAD,
+        RA004_GOOD,
+        "mutates a shared snapshot",
+        id="RA004-append",
+    ),
+    pytest.param(
+        "RA004",
+        ELSEWHERE,
+        "snap = tree.flat_snapshot()\nsnap[0] = None\n",
+        "snap = list(tree.flat_snapshot())\nsnap[0] = None\n",
+        "item assignment into a shared snapshot",
+        id="RA004-setitem",
+    ),
+    pytest.param(
+        "RA005",
+        CORE,
+        "def f(iv, x):\n    return x == iv.hi\n",
+        "from repro.core.intervals import endpoints_equal\n"
+        "def f(iv, x):\n    return endpoints_equal(x, iv.hi)\n",
+        "float equality against .hi",
+        id="RA005-endpoint-eq",
+    ),
+    pytest.param(
+        "RA006",
+        HOTPATH,
+        "class Node:\n    def __init__(self):\n        self.key = 0\n",
+        "class Node:\n    __slots__ = ('key',)\n"
+        "    def __init__(self):\n        self.key = 0\n",
+        "does not declare __slots__",
+        id="RA006-missing-slots",
+    ),
+    pytest.param(
+        "RA101",
+        ELSEWHERE,
+        "def f(xs=[]):\n    return xs\n",
+        "def f(xs=None):\n    return xs or []\n",
+        "mutable default argument",
+        id="RA101-mutable-default",
+    ),
+    pytest.param(
+        "RA102",
+        ELSEWHERE,
+        "try:\n    pass\nexcept:\n    pass\n",
+        "try:\n    pass\nexcept Exception:\n    pass\n",
+        "bare except",
+        id="RA102-bare-except",
+    ),
+    pytest.param(
+        "RA103",
+        ELSEWHERE,
+        "list = [1]\n",
+        "items = [1]\n",
+        "shadows builtin",
+        id="RA103-shadowed-builtin",
+    ),
+]
+
+
+def run(code, path, src):
+    return lint_source(src, path, all_rules([code]))
+
+
+@pytest.mark.parametrize("code,path,bad,good,fragment", CASES)
+class TestEveryRule:
+    def test_fires_on_violation(self, code, path, bad, good, fragment):
+        findings = run(code, path, bad)
+        assert findings, f"{code} did not fire on its fixture"
+        assert all(f.rule == code for f in findings)
+        assert fragment in findings[0].message
+
+    def test_quiet_on_idiomatic_code(self, code, path, bad, good, fragment):
+        assert run(code, path, good) == []
+
+    def test_noqa_suppresses(self, code, path, bad, good, fragment):
+        findings = run(code, path, bad)
+        lines = bad.splitlines()
+        for f in findings:
+            lines[f.line - 1] += f"  # repro: noqa[{code}]"
+        assert run(code, path, "\n".join(lines) + "\n") == []
+
+    def test_baseline_ratchet_round_trip(self, code, path, bad, good, fragment):
+        findings = run(code, path, bad)
+        # absorbing the debt makes the same run pass ...
+        baseline = Baseline().ratchet(findings)
+        assert baseline.check(findings).ok
+        # ... fixing it leaves stale entries a re-ratchet reclaims ...
+        clean = baseline.check(run(code, path, good))
+        assert clean.ok and clean.stale
+        assert baseline.ratchet([]).counts == {}
+        # ... and doubling the debt still fails against the old ceiling.
+        doubled = findings + findings
+        assert not baseline.check(doubled).ok
+
+
+class TestScoping:
+    """Rules must respect the project contract tables, not fire globally."""
+
+    def test_ra001_only_on_the_replay_plane(self):
+        src = "import time\nstamp = time.time()\n"
+        assert run("RA001", CORE, src)
+        assert run("RA001", "src/repro/operators/fake.py", src)
+        assert run("RA001", "src/repro/runtime/replay.py", src)
+        assert run("RA001", ELSEWHERE, src) == []
+        assert run("RA001", "src/repro/runtime/pipeline.py", src) == []
+
+    def test_ra002_allowlist_may_import_numpy(self):
+        src = "import numpy as np\n"
+        assert run("RA002", KERNELS, src) == []
+        assert run("RA002", "src/repro/histogram/kmeans.py", src) == []
+        assert run("RA002", CORE, src)
+
+    def test_ra003_only_in_runtime(self):
+        assert run("RA003", RUNTIME, RA003_BAD)
+        assert run("RA003", CORE, RA003_BAD) == []
+
+    def test_ra003_init_is_exempt(self):
+        src = RA003_BAD.replace(
+            "    def peek(self):\n        return self.depth\n", ""
+        )
+        assert run("RA003", RUNTIME, src) == []
+
+    def test_ra005_intervals_module_is_allowlisted(self):
+        src = "def f(iv, x):\n    return x == iv.lo\n"
+        assert run("RA005", "src/repro/core/intervals.py", src) == []
+        assert run("RA005", CORE, src)
+
+    def test_ra006_only_on_hotpath_modules(self):
+        src = "class Plain:\n    pass\n"
+        assert run("RA006", HOTPATH, src)
+        assert run("RA006", ELSEWHERE, src) == []
+
+    def test_ra006_exemptions(self):
+        for src in (
+            "from typing import Protocol\nclass View(Protocol):\n    pass\n",
+            "from dataclasses import dataclass\n"
+            "@dataclass(slots=True)\nclass Row:\n    x: int = 0\n",
+            "class BadThingError(Exception):\n    pass\n",
+        ):
+            assert run("RA006", HOTPATH, src) == [], src

@@ -29,14 +29,12 @@ BATCH_SIZES = (1, 2, 7, 8, 23, 120)
 def kernel(request, monkeypatch):
     """Run each test under the imported kernel and with numpy disabled.
 
-    ``_np`` is bound per consuming module at import time, so patch each one
-    (not just ``kernels``) to force the scalar fallback everywhere.
+    Every consumer reads the handle through ``kernels.get_numpy()`` at call
+    time (RA002 kernel isolation), so patching the one module-global in
+    ``kernels`` forces the scalar fallback everywhere.
     """
     if request.param == "python":
-        from repro.fastpath import band as band_mod
-
         monkeypatch.setattr(kernel_mod, "_np", None)
-        monkeypatch.setattr(band_mod, "_np", None)
     return request.param
 
 

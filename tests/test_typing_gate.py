@@ -1,0 +1,52 @@
+"""The strict-typing gate for the hot paths.
+
+``mypy --strict`` must pass on repro.core, repro.dstruct, repro.fastpath,
+repro.runtime, and repro.analysis (configuration in pyproject.toml — the
+runtime override relaxes only ``disallow_untyped_calls``, since the
+runtime deliberately calls the not-yet-annotated operator layer through an
+``Any`` boundary).  mypy is a CI-only dependency; locally the mypy run
+skips when it is not installed, and CI runs mypy directly as well.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STRICT_PACKAGES = (
+    "repro.core",
+    "repro.dstruct",
+    "repro.fastpath",
+    "repro.runtime",
+    "repro.analysis",
+)
+
+
+def test_mypy_config_declares_the_gate():
+    """Independent of mypy being installed: pyproject must keep the strict
+    override covering every gated package (the table CI enforces)."""
+    import tomllib
+
+    config = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    overrides = config["tool"]["mypy"]["overrides"]
+    strict = next(o for o in overrides if o.get("strict"))
+    for pkg in STRICT_PACKAGES:
+        assert f"{pkg}.*" in strict["module"], f"{pkg} fell out of the gate"
+    relaxed = next(
+        o for o in overrides if o.get("disallow_untyped_calls") is False
+    )
+    assert relaxed["module"] == ["repro.runtime.*"], (
+        "only the runtime may call the untyped operator layer"
+    )
+
+
+def test_strict_packages_pass_mypy():
+    pytest.importorskip("mypy", reason="mypy is installed in CI, not the dev image")
+    args = [sys.executable, "-m", "mypy"]
+    for pkg in STRICT_PACKAGES:
+        args += ["-p", pkg]
+    proc = subprocess.run(args, cwd=REPO_ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
