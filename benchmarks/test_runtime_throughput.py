@@ -123,3 +123,53 @@ def test_runtime_throughput_grid():
         f"expected >=2x speedup, got {best / baseline:.2f}x "
         f"({best:,.0f} vs {baseline:,.0f} events/s)"
     )
+
+
+def test_durable_wal_overhead(tmp_path):
+    """Durability tax: the WAL-logged serve path (``fsync=batch``) must stay
+    within 25% of the identical no-WAL configuration.
+
+    The ``batch`` policy amortizes one fsync per drained micro-batch, so the
+    cell runs at batch size 256 (~8 fsyncs for the whole stream); encoding
+    and buffered appends are the remaining per-event cost.
+    """
+    from repro.durability import DurabilityManager
+
+    queries, data_events = build_workload()
+    batch_size = 256
+
+    def run_once(durability):
+        pipeline = EventPipeline(
+            num_shards=4,
+            alpha=ALPHA,
+            batch_size=batch_size,
+            queue_capacity=1024,
+            mode="inline",
+            durability=durability,
+        )
+        if durability is not None:
+            durability.attach(pipeline)
+        for query in queries:
+            pipeline.subscribe(query)
+        start = time.perf_counter()
+        pipeline.run(data_events)
+        rate = len(data_events) / (time.perf_counter() - start)
+        pipeline.close()
+        return rate
+
+    plain = run_once(None)
+    durable = run_once(DurabilityManager(tmp_path / "wal", fsync="batch"))
+    for config, rate in (("no-wal", plain), ("wal-fsync-batch", durable)):
+        emit_json(
+            "durable_wal_overhead",
+            {"config": config, "shards": 4, "batch_size": batch_size,
+             "events": len(data_events), "events_per_sec": rate},
+        )
+    print(
+        f"durability tax at B={batch_size}: {durable:,.0f} vs {plain:,.0f} "
+        f"events/s ({durable / plain:.2f}x)"
+    )
+    assert durable >= 0.75 * plain, (
+        f"WAL overhead exceeds 25%: {durable:,.0f} vs {plain:,.0f} events/s "
+        f"({durable / plain:.2f}x)"
+    )

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Tuple
 
 __all__ = [
     "DETERMINISM_SCOPE",
+    "WALLCLOCK_METADATA_ALLOWLIST",
     "NUMPY_IMPORT_ALLOWLIST",
     "KERNEL_HANDLE_MODULE",
     "LOCK_DISCIPLINE_SCOPE",
@@ -34,7 +35,24 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro/core/",
     "repro/operators/",
     "repro/runtime/replay.py",
+    "repro/durability/",
 )
+
+#: RA001 carve-out — modules inside :data:`DETERMINISM_SCOPE` that may read
+#: wall clocks for *metadata only*, each with the argument that justifies
+#: it.  The carve-out silences only the wall-clock branch of RA001; RNG and
+#: set-iteration findings still fire in these modules.  Any new entry must
+#: reproduce the argument: the timestamp is written into an artifact that
+#: nothing on the recovery/replay path ever reads back (recovery selects
+#: checkpoints by sequence number and validates by CRC — see
+#: ``repro/durability/recovery.py``).
+WALLCLOCK_METADATA_ALLOWLIST: Dict[str, str] = {
+    "repro/durability/checkpoint.py": (
+        "checkpoint manifests record a created_at_unix timestamp for "
+        "operator forensics only; recovery orders and selects checkpoints "
+        "strictly by next_seq and never reads the timestamp"
+    ),
+}
 
 #: RA002 — the only modules allowed to import numpy.  ``fastpath/kernels``
 #: owns the import-once handle (gated by ``REPRO_FASTPATH_KERNEL``) and

@@ -148,9 +148,10 @@ class DeterminismRule(Rule):
     name = "determinism"
     severity = Severity.ERROR
     description = (
-        "replay-critical code (core/, operators/, runtime/replay.py) must not "
-        "read wall clocks, use the shared global RNG or unseeded random.Random(), "
-        "or iterate directly over sets"
+        "replay-critical code (core/, operators/, runtime/replay.py, durability/) "
+        "must not read wall clocks, use the shared global RNG or unseeded "
+        "random.Random(), or iterate directly over sets (wall clocks only: "
+        "modules in WALLCLOCK_METADATA_ALLOWLIST are exempt)"
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
@@ -163,6 +164,13 @@ class DeterminismRule(Rule):
                 if qual is None:
                     continue
                 if qual in _WALLCLOCK_CALLS or qual.startswith("secrets."):
+                    if (
+                        qual in _WALLCLOCK_CALLS
+                        and ctx.module_path in project.WALLCLOCK_METADATA_ALLOWLIST
+                    ):
+                        # Metadata-only carve-out (see project.py): the
+                        # timestamp never feeds recovery or replay decisions.
+                        continue
                     yield ctx.finding(
                         self, node, f"non-deterministic call {qual}() in replay-critical code"
                     )

@@ -14,6 +14,10 @@ the fuzzer convicts it.
 
 from __future__ import annotations
 
+import random
+import shutil
+import tempfile
+from pathlib import Path
 from typing import Callable, Dict, FrozenSet, List, Optional
 
 from repro.check import ops as op_mod
@@ -509,6 +513,189 @@ class FastpathTarget(FuzzTarget):
             )
 
 
+class DurabilityTarget(FuzzTarget):
+    """Crash-injects the durability subsystem and checks exact recovery.
+
+    Engine ops drive a WAL-logged :class:`ShardedContinuousQuerySystem`
+    (``fsync="never"`` — the fuzzer simulates the crash by copying files, so
+    real fsyncs would only slow it down) while a journal records every op
+    with the normalized delta the live system produced.  Because each engine
+    op logs exactly one WAL record, journal index == WAL sequence number.
+
+    Every ``check`` round simulates a crash: flush OS buffers, copy the
+    durability directory aside, truncate the newest WAL segment at a random
+    byte offset (possibly mid-record, possibly mid-header), recover a fresh
+    system from the copy, then re-apply the journal suffix the truncation
+    lost.  The recovered run's deltas must be identical to what the
+    uninterrupted system produced, and its final state must match the
+    model's — any divergence means recovery lost, duplicated, or reordered
+    an event.
+    """
+
+    name = "durability"
+    kinds = ENGINE_KINDS
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        alpha: Optional[float] = 0.2,
+        epsilon: float = 1.0,
+        checkpoint_every: int = 64,
+        crash_seed: int = 0xD0_0D,
+    ) -> None:
+        from repro.durability import DurabilityManager
+
+        self._tmp = tempfile.TemporaryDirectory(prefix="repro-fuzz-durability-")
+        self._wal_dir = Path(self._tmp.name) / "wal"
+        self.manager = DurabilityManager(
+            self._wal_dir, fsync="never", checkpoint_every=checkpoint_every
+        )
+        self.system = ShardedContinuousQuerySystem(
+            num_shards=num_shards,
+            alpha=alpha,
+            epsilon=epsilon,
+            durability=self.manager,
+        )
+        self.manager.attach(self.system)
+        self._rng = random.Random(crash_seed)
+        self._num_shards = num_shards
+        self._alpha = alpha
+        self._epsilon = epsilon
+        # One entry per engine op: (kind, payload, normalized live delta).
+        self._journal: List[tuple] = []
+        self._r_rows: Dict[int, RTuple] = {}
+        self._s_rows: Dict[int, STuple] = {}
+        self._queries: Dict[int, object] = {}
+        self.crashes_simulated = 0
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        kind, key = op.kind, op.key
+        if kind == op_mod.INSERT_R:
+            row = RTuple(key, op.values[0], op.values[1])
+            self._r_rows[key] = row
+            got = normalize_deltas(self.system.insert_r_row(row))
+            want = model.oracle_r_insert_deltas(row.a, row.b)
+            check_delta_equivalence(self.name, f"insert_r #{key}", got, got, want)
+            self._journal.append((kind, row, got))
+        elif kind == op_mod.INSERT_S:
+            row = STuple(key, op.values[0], op.values[1])
+            self._s_rows[key] = row
+            got = normalize_deltas(self.system.insert_s_row(row))
+            want = model.oracle_s_insert_deltas(row.b, row.c)
+            check_delta_equivalence(self.name, f"insert_s #{key}", got, got, want)
+            self._journal.append((kind, row, got))
+        elif kind == op_mod.DELETE_R:
+            row = self._r_rows.pop(key)
+            self.system.delete_r(row)
+            self._journal.append((kind, row, None))
+        elif kind == op_mod.DELETE_S:
+            row = self._s_rows.pop(key)
+            self.system.delete_s(row)
+            self._journal.append((kind, row, None))
+        elif kind == op_mod.SUB_BAND:
+            query = BandJoinQuery(Interval(op.values[0], op.values[1]), qid=key)
+            self._queries[key] = query
+            self.system.subscribe(query)
+            self._journal.append((kind, query, None))
+        elif kind == op_mod.SUB_SELECT:
+            query = SelectJoinQuery(
+                Interval(op.values[0], op.values[1]),
+                Interval(op.values[2], op.values[3]),
+                qid=key,
+            )
+            self._queries[key] = query
+            self.system.subscribe(query)
+            self._journal.append((kind, query, None))
+        elif kind == op_mod.UNSUB:
+            query = self._queries.pop(key)
+            self.system.unsubscribe(query)
+            self._journal.append((kind, query, None))
+
+    # -- crash simulation ----------------------------------------------------
+
+    def _replay_entry(self, system, entry: tuple, index: int) -> None:
+        kind, payload, recorded = entry
+        if kind == op_mod.INSERT_R:
+            got = normalize_deltas(system.insert_r_row(payload))
+            expect(
+                got == recorded,
+                self.name,
+                f"recovered replay of journal[{index}] (insert_r "
+                f"#{payload.rid}) produced {got}, uninterrupted run "
+                f"produced {recorded}",
+            )
+        elif kind == op_mod.INSERT_S:
+            got = normalize_deltas(system.insert_s_row(payload))
+            expect(
+                got == recorded,
+                self.name,
+                f"recovered replay of journal[{index}] (insert_s "
+                f"#{payload.sid}) produced {got}, uninterrupted run "
+                f"produced {recorded}",
+            )
+        elif kind == op_mod.DELETE_R:
+            system.delete_r(payload)
+        elif kind == op_mod.DELETE_S:
+            system.delete_s(payload)
+        elif kind in (op_mod.SUB_BAND, op_mod.SUB_SELECT):
+            system.subscribe(payload)
+        elif kind == op_mod.UNSUB:
+            system.unsubscribe(payload)
+
+    def check(self, model: ModelState) -> None:
+        from repro.durability import recover_system
+        from repro.durability.wal import list_segments
+
+        expect(
+            self.manager.next_seq == len(self._journal),
+            self.name,
+            f"WAL advanced to seq {self.manager.next_seq} after "
+            f"{len(self._journal)} engine op(s); every op must log exactly "
+            "one record",
+        )
+        self.manager.wal.flush()
+        crash_dir = Path(self._tmp.name) / "crash"
+        if crash_dir.exists():
+            shutil.rmtree(crash_dir)
+        shutil.copytree(self._wal_dir, crash_dir)
+        segments = list_segments(crash_dir)
+        if segments:
+            size = segments[-1].stat().st_size
+            cut = self._rng.randrange(size + 1)
+            with open(segments[-1], "r+b") as handle:
+                handle.truncate(cut)
+        self.crashes_simulated += 1
+        recovered, report = recover_system(
+            crash_dir,
+            num_shards=self._num_shards,
+            alpha=self._alpha,
+            epsilon=self._epsilon,
+        )
+        expect(
+            report.next_seq <= len(self._journal),
+            self.name,
+            f"recovery from a truncated WAL claims seq {report.next_seq}, "
+            f"but only {len(self._journal)} op(s) were ever logged",
+        )
+        for index in range(report.next_seq, len(self._journal)):
+            self._replay_entry(recovered, self._journal[index], index)
+        n_r, n_s = len(model.r_rows), len(model.s_rows)
+        expect(
+            len(recovered.shards[0].table_r) == n_r
+            and len(recovered.shards[0].table_s_band) == n_s,
+            self.name,
+            f"after crash-recovery + replay the tables hold "
+            f"{len(recovered.shards[0].table_r)}R/"
+            f"{len(recovered.shards[0].table_s_band)}S, model {n_r}R/{n_s}S",
+        )
+        expect(
+            recovered.subscription_count == model.subscription_count(),
+            self.name,
+            f"after crash-recovery + replay {recovered.subscription_count} "
+            f"subscription(s) live, model {model.subscription_count()}",
+        )
+
+
 # -- registry ----------------------------------------------------------------
 
 TARGET_FACTORIES: Dict[str, Callable[[], FuzzTarget]] = {
@@ -519,6 +706,7 @@ TARGET_FACTORIES: Dict[str, Callable[[], FuzzTarget]] = {
     "batcher": BatcherTarget,
     "sharded": EngineTarget,
     "fastpath": FastpathTarget,
+    "durability": DurabilityTarget,
 }
 
 DEFAULT_TARGETS = (
@@ -529,4 +717,5 @@ DEFAULT_TARGETS = (
     "batcher",
     "sharded",
     "fastpath",
+    "durability",
 )

@@ -16,7 +16,12 @@ Self-contained utilities that do not require the repository checkout:
   through the sharded+batched runtime pipeline, asserting result-delta
   equivalence against the unsharded system and reporting throughput;
 * ``serve``     — run the runtime pipeline as a long-lived loop over a
-  synthetic stream, printing periodic metric snapshots;
+  synthetic stream, printing periodic metric snapshots; with ``--wal-dir``
+  every event is write-ahead logged and checkpointed so an interrupted
+  serve resumes where it stopped (Ctrl-C drains cleanly);
+* ``recover``   — rebuild a sharded system from a WAL directory (newest
+  valid checkpoint + sequence-deduped WAL replay) and report what was
+  restored;
 * ``bench``     — run the batched-throughput benchmark (columnar batch fast
   path vs per-event probing on the Fig-10(i) band-join workload) and
   optionally write the ``BENCH_batch_fastpath.json`` record.
@@ -50,6 +55,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.fastpath", "columnar batch probes: flat snapshots, vectorized sort-merge kernels"),
         ("repro.runtime", "sharded micro-batched pipeline: routing, backpressure, metrics, replay"),
         ("repro.check", "differential fuzzing: brute-force oracles, invariant probes, shrinking"),
+        ("repro.durability", "write-ahead log, checkpoints, crash recovery (serve --wal-dir, recover)"),
         ("repro.analysis", _analysis_summary()),
     ]:
         print(f"  {name:<16} {what}")
@@ -283,13 +289,31 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    import itertools
     import time
+    from pathlib import Path
 
     from repro.engine.events import DataEvent
+    from repro.runtime.metrics import MetricsRegistry
     from repro.runtime.pipeline import EventPipeline
     from repro.runtime.replay import generate_mixed_stream
 
+    metrics = MetricsRegistry()
+    durability = None
+    if args.wal_dir is not None:
+        from repro.durability import DurabilityManager
+
+        if args.policy != "block":
+            print("serve: --wal-dir requires --policy block", file=sys.stderr)
+            return 2
+        if args.mode == "process":
+            print("serve: --wal-dir is not supported with --mode process", file=sys.stderr)
+            return 2
+        durability = DurabilityManager(
+            Path(args.wal_dir),
+            fsync=args.fsync,
+            checkpoint_every=args.checkpoint_every or None,
+            metrics=metrics,
+        )
     pipeline = EventPipeline(
         num_shards=args.shards,
         alpha=args.alpha,
@@ -298,8 +322,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         backpressure=args.policy,
         mode=args.mode,
+        metrics=metrics,
+        durability=durability,
     )
+    resume_at = 0
+    if durability is not None:
+        report = durability.attach(pipeline)
+        print(report.summary())
+        resume_at = report.next_seq
     stream = generate_mixed_stream(_stream_profile_from_args(args))
+    if resume_at:
+        print(f"resuming the deterministic stream at event {resume_at}/{len(stream)}")
     print(
         f"serving {args.events} synthetic events on {args.shards} shard(s) "
         f"(batch={args.batch_size}, policy={args.policy}, mode={args.mode}); "
@@ -307,21 +340,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     start = time.perf_counter()
     served = 0
+    interrupted = False
     try:
-        for event in stream:
-            pipeline.submit(event)
-            if isinstance(event, DataEvent):
-                served += 1
-                if served % args.report_every == 0:
-                    rate = served / max(time.perf_counter() - start, 1e-9)
-                    print(f"\n-- {served} events ({rate:,.0f} events/s) --")
-                    print(pipeline.metrics.render())
-        pipeline.drain()
+        try:
+            for event in stream[resume_at:]:
+                pipeline.submit(event)
+                if isinstance(event, DataEvent):
+                    served += 1
+                    if served % args.report_every == 0:
+                        rate = served / max(time.perf_counter() - start, 1e-9)
+                        print(f"\n-- {served} events ({rate:,.0f} events/s) --")
+                        print(pipeline.metrics.render())
+            pipeline.drain()
+        except KeyboardInterrupt:
+            # Clean shutdown: drain what was accepted (close() below also
+            # syncs the WAL), report, and exit 0 — a durable serve resumes
+            # from here on the next run.
+            interrupted = True
+            print("\ninterrupted — draining pending events", file=sys.stderr)
+            pipeline.drain()
     finally:
         pipeline.close()
     elapsed = max(time.perf_counter() - start, 1e-9)
-    print(f"\nserved {served} events in {elapsed:.2f}s ({served / elapsed:,.0f} events/s)")
+    state = "interrupted after" if interrupted else "served"
+    print(f"\n{state} {served} events in {elapsed:.2f}s ({served / elapsed:,.0f} events/s)")
     print(pipeline.metrics.render())
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.durability import DurabilityError, recover_system
+
+    try:
+        system, report = recover_system(
+            Path(args.wal_dir),
+            num_shards=args.shards,
+            alpha=args.alpha,
+            epsilon=args.epsilon,
+        )
+    except DurabilityError as exc:
+        print(f"recover: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    for name in report.skipped_checkpoints:
+        print(f"  skipped invalid checkpoint: {name}", file=sys.stderr)
+    shard0 = system.shards[0]
+    print(
+        f"recovered state: {len(shard0.table_r)} R row(s), "
+        f"{len(shard0.table_s_band)} S row(s), "
+        f"{system.subscription_count} subscription(s) "
+        f"across {len(system.shards)} shard(s)"
+    )
     return 0
 
 
@@ -456,7 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--targets",
         default=None,
         help="comma-separated target subset (default: all of "
-        "lazy,refined,multidim,tracker,batcher,sharded,fastpath)",
+        "lazy,refined,multidim,tracker,batcher,sharded,fastpath,durability)",
     )
     fuzz.add_argument(
         "--shrink",
@@ -494,7 +565,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-delay", type=float, default=None,
                        help="flush a partial batch after this many seconds")
     serve.add_argument("--queue-capacity", type=int, default=1024)
+    serve.add_argument(
+        "--wal-dir", default=None, metavar="DIR",
+        help="write-ahead log directory: log every event before applying it "
+        "and recover/resume from this directory on startup",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=5_000, metavar="N",
+        help="events between checkpoints when --wal-dir is set (0 disables)",
+    )
+    serve.add_argument(
+        "--fsync", choices=["always", "batch", "never"], default="batch",
+        help="WAL fsync policy: per append, per micro-batch, or OS-buffered",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a sharded system from a WAL directory and report the "
+        "restored state (checkpoint + sequence-deduped WAL replay)",
+    )
+    recover.add_argument(
+        "--wal-dir", required=True, metavar="DIR",
+        help="durability directory written by serve --wal-dir",
+    )
+    recover.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count when no checkpoint manifest records one",
+    )
+    recover.add_argument(
+        "--alpha", type=float, default=0.01,
+        help="hotspot threshold when no checkpoint manifest records one",
+    )
+    recover.add_argument(
+        "--epsilon", type=float, default=1.0,
+        help="SSI epsilon when no checkpoint manifest records one",
+    )
+    recover.set_defaults(func=_cmd_recover)
 
     bench = sub.add_parser(
         "bench", help="batched vs per-event band-join throughput (batch fast path)"

@@ -1,0 +1,185 @@
+"""Versioned binary codec for the durability log and checkpoint snapshots.
+
+Every record the runtime persists — a data event or a subscription change —
+is encoded as one tagged, fixed-layout ``struct`` frame.  The format is
+deliberately *not* pickle: pickle payloads execute code on load, change
+shape across refactors, and cannot be validated byte-by-byte.  A tagged
+struct layout gives a stable on-disk contract the recovery path can
+CRC-check and reject precisely.
+
+Layouts (little-endian; ``q`` = int64, ``d`` = float64)::
+
+    tag 1  INSERT R   <Bqdd>    rid, a, b
+    tag 2  DELETE R   <Bqdd>    rid, a, b
+    tag 3  INSERT S   <Bqdd>    sid, b, c
+    tag 4  DELETE S   <Bqdd>    sid, b, c
+    tag 5  SUB band   <Bqdd>    qid, band.lo, band.hi
+    tag 6  SUB select <Bqdddd>  qid, a.lo, a.hi, c.lo, c.hi
+    tag 7  UNSUB      <Bq>      qid
+
+Rows are frozen dataclasses with value equality, so a row decoded from its
+coordinates deletes the original from any table; queries are reconstructed
+with their original explicit ``qid``, which is how the engine identifies
+subscriptions across the restart boundary.  ``UNSUB`` carries only the qid
+— at replay time the target resolves it against its live subscription set.
+
+``CODEC_VERSION`` is stamped into every WAL segment header and checkpoint
+manifest; decoding refuses payloads from a different major version instead
+of misinterpreting them.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.core.intervals import Interval
+from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.table import RTuple, STuple
+
+__all__ = [
+    "CODEC_VERSION",
+    "CodecError",
+    "DurabilityError",
+    "Unsubscribe",
+    "DecodedRecord",
+    "encode_event",
+    "decode_record",
+    "decode_stream",
+]
+
+CODEC_VERSION = 1
+
+
+class DurabilityError(Exception):
+    """Base class for every durability-subsystem failure."""
+
+
+class CodecError(DurabilityError):
+    """A persisted record does not match the wire format."""
+
+
+TAG_INSERT_R = 1
+TAG_DELETE_R = 2
+TAG_INSERT_S = 3
+TAG_DELETE_S = 4
+TAG_SUB_BAND = 5
+TAG_SUB_SELECT = 6
+TAG_UNSUB = 7
+
+_ROW = struct.Struct("<Bqdd")
+_SUB_BAND = struct.Struct("<Bqdd")
+_SUB_SELECT = struct.Struct("<Bqdddd")
+_UNSUB = struct.Struct("<Bq")
+
+_SIZES = {
+    TAG_INSERT_R: _ROW.size,
+    TAG_DELETE_R: _ROW.size,
+    TAG_INSERT_S: _ROW.size,
+    TAG_DELETE_S: _ROW.size,
+    TAG_SUB_BAND: _SUB_BAND.size,
+    TAG_SUB_SELECT: _SUB_SELECT.size,
+    TAG_UNSUB: _UNSUB.size,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Unsubscribe:
+    """A decoded subscription cancellation.
+
+    The original query object does not survive the restart, so replay
+    resolves ``qid`` against whatever subscription the target currently
+    holds under that id.
+    """
+
+    qid: int
+
+
+DecodedRecord = Union[DataEvent, QueryEvent, Unsubscribe]
+
+
+def encode_event(event: object) -> bytes:
+    """Encode one pipeline event as a self-describing binary record."""
+    if isinstance(event, DataEvent):
+        row = event.row
+        if event.relation == "R":
+            tag = TAG_INSERT_R if event.kind is EventKind.INSERT else TAG_DELETE_R
+            return _ROW.pack(tag, row.rid, row.a, row.b)
+        tag = TAG_INSERT_S if event.kind is EventKind.INSERT else TAG_DELETE_S
+        return _ROW.pack(tag, row.sid, row.b, row.c)
+    if isinstance(event, QueryEvent):
+        query = event.query
+        if event.kind is EventKind.DELETE:
+            return _UNSUB.pack(TAG_UNSUB, query.qid)
+        if isinstance(query, BandJoinQuery):
+            return _SUB_BAND.pack(
+                TAG_SUB_BAND, query.qid, query.band.lo, query.band.hi
+            )
+        if isinstance(query, SelectJoinQuery):
+            return _SUB_SELECT.pack(
+                TAG_SUB_SELECT,
+                query.qid,
+                query.range_a.lo,
+                query.range_a.hi,
+                query.range_c.lo,
+                query.range_c.hi,
+            )
+        raise CodecError(f"unsupported query type: {type(query).__name__}")
+    raise CodecError(f"unsupported event type: {type(event).__name__}")
+
+
+def decode_record(payload: bytes) -> DecodedRecord:
+    """Decode one record payload back into an applicable event."""
+    if not payload:
+        raise CodecError("empty record payload")
+    tag = payload[0]
+    expected = _SIZES.get(tag)
+    if expected is None:
+        raise CodecError(f"unknown record tag {tag}")
+    if len(payload) != expected:
+        raise CodecError(
+            f"record tag {tag} expects {expected} bytes, got {len(payload)}"
+        )
+    if tag in (TAG_INSERT_R, TAG_DELETE_R):
+        __, rid, a, b = _ROW.unpack(payload)
+        kind = EventKind.INSERT if tag == TAG_INSERT_R else EventKind.DELETE
+        return DataEvent(kind, "R", RTuple(rid, a, b))
+    if tag in (TAG_INSERT_S, TAG_DELETE_S):
+        __, sid, b, c = _ROW.unpack(payload)
+        kind = EventKind.INSERT if tag == TAG_INSERT_S else EventKind.DELETE
+        return DataEvent(kind, "S", STuple(sid, b, c))
+    if tag == TAG_SUB_BAND:
+        __, qid, lo, hi = _SUB_BAND.unpack(payload)
+        return QueryEvent(EventKind.INSERT, BandJoinQuery(Interval(lo, hi), qid=qid))
+    if tag == TAG_SUB_SELECT:
+        __, qid, a_lo, a_hi, c_lo, c_hi = _SUB_SELECT.unpack(payload)
+        return QueryEvent(
+            EventKind.INSERT,
+            SelectJoinQuery(Interval(a_lo, a_hi), Interval(c_lo, c_hi), qid=qid),
+        )
+    __, qid = _UNSUB.unpack(payload)
+    return Unsubscribe(qid)
+
+
+def decode_stream(data: bytes) -> List[DecodedRecord]:
+    """Decode a back-to-back concatenation of records (checkpoint snapshot
+    payload).  Raises :class:`CodecError` on any malformed or trailing
+    bytes — snapshots are CRC-protected, so damage is never tolerated."""
+    records: List[DecodedRecord] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        tag = data[offset]
+        expected = _SIZES.get(tag)
+        if expected is None:
+            raise CodecError(f"unknown record tag {tag} at offset {offset}")
+        if offset + expected > total:
+            raise CodecError(
+                f"truncated record (tag {tag}) at offset {offset}: "
+                f"{total - offset} of {expected} bytes"
+            )
+        records.append(decode_record(data[offset : offset + expected]))
+        offset += expected
+    return records

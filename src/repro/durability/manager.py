@@ -1,0 +1,236 @@
+"""`DurabilityManager`: the runtime's one handle on the durability stack.
+
+Wiring contract (both :class:`~repro.runtime.pipeline.EventPipeline` and
+:class:`~repro.runtime.sharding.ShardedContinuousQuerySystem` accept a
+manager at construction):
+
+* **log-before-apply** — the host calls :meth:`log_event` for every
+  submitted event *before* any shard sees it, so the WAL is always a
+  superset of applied state and replaying it can only move state forward;
+* **sync at batch boundaries** — the host calls :meth:`sync` before
+  applying a drained micro-batch, which is what the ``batch`` fsync
+  policy means: every event a shard has applied is already durable;
+* **checkpoint trigger** — after applying events the host checks
+  :attr:`checkpoint_due` and calls :meth:`checkpoint`, which drains the
+  host, snapshots per-shard state atomically, and prunes covered WAL
+  segments.  The trigger is *count-based* (events since last checkpoint),
+  not time-based, keeping the whole subsystem on the deterministic
+  sequence plane.
+
+Metrics (registered under ``durability/``): ``wal_append_seconds``
+(histogram), ``wal_fsync_total`` (counter, incremented by the WAL),
+``checkpoint_duration_seconds`` (histogram), ``checkpoints_total`` and
+``recovered_events_total`` (counters).
+
+A manager must be :meth:`attach`\\ ed before logging: attach recovers any
+existing durable state into the host (with logging suppressed, so replay
+is not re-logged) and opens the WAL for append at the recovered sequence
+number.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.durability.checkpoint import prune_checkpoints, write_checkpoint
+from repro.durability.codec import DurabilityError, encode_event
+from repro.durability.recovery import RecoveryReport, recover_into
+from repro.durability.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
+from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.runtime.metrics import MetricsRegistry
+
+__all__ = ["DurabilityManager"]
+
+
+class DurabilityManager:
+    """Owns one WAL directory and its checkpoints on behalf of a host."""
+
+    def __init__(
+        self,
+        directory: Path,
+        *,
+        fsync: str = "batch",
+        checkpoint_every: Optional[int] = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync_policy = fsync
+        self.checkpoint_every = checkpoint_every
+        self.segment_bytes = segment_bytes
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._append_seconds = self.metrics.histogram("durability/wal_append_seconds")
+        self._checkpoint_seconds = self.metrics.histogram(
+            "durability/checkpoint_duration_seconds"
+        )
+        self._wal: Optional[WriteAheadLog] = None
+        self._replaying = False
+        self._events_since_checkpoint = 0
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, target: Any) -> RecoveryReport:
+        """Recover existing durable state into ``target`` (which must be
+        fresh), then open the WAL for append at the recovered sequence."""
+        if self._wal is not None:
+            raise DurabilityError("manager is already attached")
+        self._replaying = True
+        try:
+            report = recover_into(target, self.directory)
+        finally:
+            self._replaying = False
+        self.metrics.counter("durability/recovered_events_total").inc(
+            report.recovered_events
+        )
+        self._wal = WriteAheadLog(
+            self.directory,
+            start_seq=report.next_seq,
+            fsync=self.fsync_policy,
+            segment_bytes=self.segment_bytes,
+            metrics=self.metrics,
+        )
+        return report
+
+    @property
+    def attached(self) -> bool:
+        return self._wal is not None
+
+    @property
+    def replaying(self) -> bool:
+        return self._replaying
+
+    @property
+    def next_seq(self) -> int:
+        if self._wal is None:
+            raise DurabilityError("manager is not attached")
+        return self._wal.next_seq
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        if self._wal is None:
+            raise DurabilityError("manager is not attached")
+        return self._wal
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._wal is not None:
+            self._wal.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- logging -------------------------------------------------------------
+
+    def log_event(self, event: object) -> Optional[int]:
+        """Append one event to the WAL (log-before-apply); returns its
+        sequence number, or None while recovery replay is in flight (the
+        records being replayed are already durable)."""
+        if self._replaying:
+            return None
+        if self._wal is None:
+            raise DurabilityError("log_event before attach()")
+        payload = encode_event(event)
+        # Timing instrumentation only; nothing downstream reads this clock.
+        start = time.perf_counter()  # repro: noqa[RA001]
+        seq = self._wal.append(payload)
+        self._append_seconds.observe(time.perf_counter() - start)  # repro: noqa[RA001]
+        self._events_since_checkpoint += 1
+        return seq
+
+    def sync(self) -> None:
+        """Durability barrier before a batch is applied (fsync under the
+        ``batch`` policy; no-op under ``never``)."""
+        if self._wal is not None:
+            self._wal.sync()
+
+    # -- checkpointing -------------------------------------------------------
+
+    @property
+    def checkpoint_due(self) -> bool:
+        return (
+            self.checkpoint_every is not None
+            and self._events_since_checkpoint >= self.checkpoint_every
+        )
+
+    def checkpoint(self, source: Any) -> Path:
+        """Snapshot ``source``'s state, publish it atomically, and prune
+        WAL segments and checkpoints it supersedes.
+
+        ``source`` is the attached host: it is drained first (pending
+        micro-batches must reach the shards before the snapshot claims to
+        cover their sequence numbers), then its shard state is partitioned
+        into per-shard payloads along the router's select-plane split.
+        """
+        if self._wal is None:
+            raise DurabilityError("checkpoint before attach()")
+        start = time.perf_counter()  # repro: noqa[RA001]
+        drain = getattr(source, "drain", None)
+        if drain is not None:
+            drain()
+        self._wal.sync()
+        next_seq = self._wal.next_seq
+        path = write_checkpoint(
+            self.directory,
+            next_seq=next_seq,
+            shard_payloads=self._shard_payloads(source),
+            config=self._config_of(source),
+        )
+        prune_checkpoints(self.directory, keep=path)
+        self._wal.prune(next_seq)
+        self._events_since_checkpoint = 0
+        self.metrics.counter("durability/checkpoints_total").inc()
+        elapsed = time.perf_counter() - start  # repro: noqa[RA001]
+        self._checkpoint_seconds.observe(elapsed)
+        return path
+
+    def maybe_checkpoint(self, source: Any) -> Optional[Path]:
+        if self.checkpoint_due:
+            return self.checkpoint(source)
+        return None
+
+    def _shard_payloads(self, source: Any) -> List[bytes]:
+        """Partition live state into per-shard snapshot payloads.
+
+        Shard 0's band plane holds full replicas of both tables, so it is
+        the authoritative row set; the payload partition follows the
+        router's value split (R by ``B``, S by ``C``, queries by first
+        placement shard) purely to bound per-file size — restore unions
+        all files, so the split never has to match a future shard count.
+        """
+        router = source.router
+        shards = source.shards
+        chunks: List[List[bytes]] = [[] for _ in range(router.num_shards)]
+        authoritative = shards[0]
+        for row in sorted(authoritative.table_r, key=lambda r: r.rid):
+            record = encode_event(DataEvent(EventKind.INSERT, "R", row))
+            chunks[router.shard_for_value(row.b)].append(record)
+        for row in sorted(authoritative.table_s_band, key=lambda s: s.sid):
+            record = encode_event(DataEvent(EventKind.INSERT, "S", row))
+            chunks[router.shard_for_value(row.c)].append(record)
+        for qid in sorted(source._queries):
+            query = source._queries[qid]
+            record = encode_event(QueryEvent(EventKind.INSERT, query))
+            chunks[router.shards_for_query(query)[0]].append(record)
+        return [b"".join(chunk) for chunk in chunks]
+
+    @staticmethod
+    def _config_of(source: Any) -> Dict[str, Any]:
+        router = source.router
+        return {
+            "num_shards": router.num_shards,
+            "alpha": getattr(source, "alpha", None),
+            "epsilon": getattr(source, "epsilon", 1.0),
+            "domain_lo": router.domain_lo,
+            "domain_hi": router.domain_hi,
+        }

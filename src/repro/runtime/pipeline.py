@@ -34,7 +34,10 @@ from __future__ import annotations
 import enum
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (durability → runtime)
+    from repro.durability.manager import DurabilityManager
 
 from repro.engine.events import DataEvent, EventKind, QueryEvent
 from repro.runtime.batching import BatchEntry, MicroBatcher, _row_key
@@ -260,9 +263,19 @@ class EventPipeline:
         mode: str = "thread",
         coalesce: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        durability: Optional["DurabilityManager"] = None,
     ):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
+        if durability is not None:
+            # Log-before-apply assumes every logged event is eventually
+            # applied; drop-oldest/reject would let the WAL diverge from
+            # shard state.  Process mode keeps shard state out of reach of
+            # the checkpointer.
+            if BackpressurePolicy(backpressure) is not BackpressurePolicy.BLOCK:
+                raise ValueError("durability requires the 'block' backpressure policy")
+            if mode == "process":
+                raise ValueError("durability is not supported in process mode")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.router = ShardRouter(num_shards, domain_lo=domain_lo, domain_hi=domain_hi)
         self.batch_size = batch_size
@@ -271,6 +284,9 @@ class EventPipeline:
         self.backpressure = BackpressurePolicy(backpressure)
         self.coalesce = coalesce
         self.mode = mode
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.durability = durability
         self._batcher = MicroBatcher(max_batch=batch_size)
         self._queries: Dict[int, Any] = {}
         self._placements: Dict[int, List[int]] = {}
@@ -325,6 +341,9 @@ class EventPipeline:
 
     def unsubscribe(self, query: Any) -> None:
         self.drain()
+        # Resolve by qid: after recovery the registered instance is a decoded
+        # copy, and the engine indexes subscriptions by object identity.
+        query = self._queries.get(query.qid, query)
         indices = self._placements.pop(query.qid)
         self._backend.unsubscribe(indices, query)
         self._queries.pop(query.qid)
@@ -335,17 +354,24 @@ class EventPipeline:
     def subscription_count(self) -> int:
         return len(self._placements)
 
+    def query_by_id(self, qid: int) -> Any:
+        return self._queries[qid]
+
     # -- ingress -------------------------------------------------------------
 
     def submit(self, event: object) -> bool:
         """Enqueue one event.  Returns False iff the event was rejected by
         the ``reject`` backpressure policy."""
+        if self.durability is not None and not self.durability.replaying:
+            # Log-before-apply: the WAL sees the event before any shard.
+            self.durability.log_event(event)
         if isinstance(event, QueryEvent):
             self.metrics.counter("pipeline/query_events").inc()
             if event.kind is EventKind.INSERT:
                 self.subscribe(event.query)
             else:
                 self.unsubscribe(event.query)
+            self._maybe_checkpoint()
             return True
         if not isinstance(event, DataEvent):
             raise TypeError(f"unsupported event type: {type(event).__name__}")
@@ -388,7 +414,12 @@ class EventPipeline:
         self.metrics.histogram("pipeline/queue_depth").observe(len(self._batcher))
         if self._batcher.is_due or self._deadline_exceeded():
             self.flush()
+        self._maybe_checkpoint()
         return True
+
+    def _maybe_checkpoint(self) -> None:
+        if self.durability is not None and self.durability.checkpoint_due:
+            self.durability.checkpoint(self)
 
     def _deadline_exceeded(self) -> bool:
         return (
@@ -414,6 +445,10 @@ class EventPipeline:
         batch = self._batcher.drain(coalesce=self.coalesce)
         if not batch:
             return []
+        if self.durability is not None:
+            # Batch-boundary durability barrier: every event a shard is
+            # about to apply is already on media (fsync policy permitting).
+            self.durability.sync()
         self._oldest_pending_at = time.monotonic() if len(self._batcher) else None
         shard_entries: Dict[int, List[ShardEntry]] = {}
         for entry in batch:
@@ -480,10 +515,21 @@ class EventPipeline:
             self._sink.extend(collected)
         return collected
 
+    @property
+    def shards(self) -> List[Shard]:
+        """The in-process shard list (inline/thread backends; the durable
+        checkpointer snapshots these directly)."""
+        if not isinstance(self._backend, _InlineBackend):
+            raise RuntimeError("shard state is not in-process in process mode")
+        return self._backend.shards
+
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
         self.drain()
+        if self.durability is not None:
+            self.durability.sync()
+            self.durability.close()
         self._backend.close()
 
     def __enter__(self) -> "EventPipeline":

@@ -37,9 +37,12 @@ from __future__ import annotations
 import itertools
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.events import DataEvent, EventKind
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (durability → runtime)
+    from repro.durability.manager import DurabilityManager
+
+from repro.engine.events import DataEvent, EventKind, QueryEvent
 from repro.engine.queries import BandJoinQuery, SelectJoinQuery
 from repro.engine.table import RTuple, STuple, TableR, TableS
 from repro.operators.band_join import BJSSI
@@ -473,10 +476,14 @@ class ShardedContinuousQuerySystem:
         domain_lo: float = DOMAIN_LO,
         domain_hi: float = DOMAIN_HI,
         metrics: Optional[MetricsRegistry] = None,
+        durability: Optional["DurabilityManager"] = None,
     ):
         self.router = ShardRouter(
             num_shards, domain_lo=domain_lo, domain_hi=domain_hi
         )
+        self.alpha = alpha
+        self.epsilon = epsilon
+        self.durability = durability
         per_shard_alpha = scaled_alpha(alpha, num_shards)
         self.shards = [
             Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=metrics)
@@ -496,6 +503,7 @@ class ShardedContinuousQuerySystem:
         indices = self.router.shards_for_query(query)
         if query.qid in self._placements:
             raise ValueError(f"duplicate query id {query.qid}")
+        self._log(QueryEvent(EventKind.INSERT, query))
         for index in indices:
             self.shards[index].subscribe(query)
         self._placements[query.qid] = indices
@@ -506,6 +514,10 @@ class ShardedContinuousQuerySystem:
         return query
 
     def unsubscribe(self, query: Any) -> None:
+        # Resolve by qid: after recovery the registered instance is a decoded
+        # copy, and the engine indexes subscriptions by object identity.
+        query = self._queries.get(query.qid, query)
+        self._log(QueryEvent(EventKind.DELETE, query))
         indices = self._placements.pop(query.qid)
         self._queries.pop(query.qid)
         for index in indices:
@@ -520,11 +532,25 @@ class ShardedContinuousQuerySystem:
     def query_by_id(self, qid: int) -> Any:
         return self._queries[qid]
 
+    # -- durability hooks ----------------------------------------------------
+
+    def _log(self, event: object) -> None:
+        """Log-before-apply when a durability manager is wired in (no-op
+        while recovery replays the WAL back into this system)."""
+        if self.durability is not None and not self.durability.replaying:
+            self.durability.log_event(event)
+
+    def _after_apply(self) -> None:
+        if self.durability is not None and not self.durability.replaying:
+            if self.durability.checkpoint_due:
+                self.durability.checkpoint(self)
+
     # -- event application ---------------------------------------------------
 
     def apply(self, event: DataEvent) -> Delta:
         """Route one data event through every affected shard and merge the
         per-shard deltas."""
+        self._log(event)
         route = self.router.route_event(event)
         self.router.note_event(route)
         parts: List[Delta] = []
@@ -537,6 +563,7 @@ class ShardedContinuousQuerySystem:
             )
         deltas = merge_deltas(parts)
         self._dispatch(event.row, deltas)
+        self._after_apply()
         return deltas
 
     def apply_batch(self, events: Sequence[DataEvent]) -> List[Delta]:
@@ -551,6 +578,10 @@ class ShardedContinuousQuerySystem:
         per_shard: List[List[ShardEntry]] = [
             [] for _ in self.shards
         ]
+        for event in events:
+            self._log(event)
+        if self.durability is not None and not self.durability.replaying:
+            self.durability.sync()
         for seq, event in enumerate(events):
             route = self.router.route_event(event)
             self.router.note_event(route)
@@ -568,6 +599,7 @@ class ShardedContinuousQuerySystem:
             deltas = merge_deltas(parts)
             self._dispatch(event.row, deltas)
             out.append(deltas)
+        self._after_apply()
         return out
 
     # Facade-compatible convenience constructors around ``apply``.

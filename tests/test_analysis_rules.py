@@ -190,6 +190,20 @@ def run(code, path, src):
     return lint_source(src, path, all_rules([code]))
 
 
+CASES.append(
+    pytest.param(
+        "RA001",
+        "src/repro/durability/checkpoint.py",
+        "import random\nx = random.random()\n",
+        # The metadata allowlist exempts exactly the wall-clock branch in
+        # this one module (manifest created_at_unix); RNG still fires.
+        "import time\nstamp = time.time()\n",
+        "shared global RNG",
+        id="RA001-durability-metadata-allowlist",
+    )
+)
+
+
 @pytest.mark.parametrize("code,path,bad,good,fragment", CASES)
 class TestEveryRule:
     def test_fires_on_violation(self, code, path, bad, good, fragment):
@@ -232,6 +246,19 @@ class TestScoping:
         assert run("RA001", "src/repro/runtime/replay.py", src)
         assert run("RA001", ELSEWHERE, src) == []
         assert run("RA001", "src/repro/runtime/pipeline.py", src) == []
+
+    def test_ra001_covers_the_durability_package(self):
+        src = "import time\nstamp = time.time()\n"
+        assert run("RA001", "src/repro/durability/wal.py", src)
+        assert run("RA001", "src/repro/durability/recovery.py", src)
+        assert run("RA001", "src/repro/durability/manager.py", src)
+
+    def test_ra001_metadata_allowlist_exempts_only_wall_clocks(self):
+        checkpoint = "src/repro/durability/checkpoint.py"
+        assert run("RA001", checkpoint, "import time\nx = time.time()\n") == []
+        # Everything else RA001 polices still fires in the allowlisted module.
+        assert run("RA001", checkpoint, "import random\nx = random.random()\n")
+        assert run("RA001", checkpoint, "out = [x for x in {1, 2}]\n")
 
     def test_ra002_allowlist_may_import_numpy(self):
         src = "import numpy as np\n"

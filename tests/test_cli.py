@@ -127,3 +127,62 @@ def test_serve_reports_metrics(capsys):
     out = capsys.readouterr().out
     assert "events/s" in out
     assert "pipeline/events_applied" in out
+
+
+def test_info_lists_durability(capsys):
+    assert main(["info"]) == 0
+    assert "repro.durability" in capsys.readouterr().out
+
+
+def test_serve_wal_then_recover_round_trip(tmp_path, capsys):
+    wal_dir = tmp_path / "wal"
+    assert main([
+        "serve", "--events", "400", "--queries", "20", "--shards", "2",
+        "--report-every", "200", "--wal-dir", str(wal_dir),
+        "--checkpoint-every", "150", "--fsync", "never",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "recovery: no checkpoint" in out          # fresh directory
+    assert "durability/wal_append_seconds" in out
+
+    assert main(["recover", "--wal-dir", str(wal_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "checkpoint@" in out
+    assert "recovered state:" in out
+
+
+def test_serve_wal_resumes_completed_stream(tmp_path, capsys):
+    wal_dir = tmp_path / "wal"
+    args = [
+        "serve", "--events", "300", "--queries", "15", "--shards", "2",
+        "--report-every", "200", "--wal-dir", str(wal_dir), "--fsync", "never",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    # Second run recovers everything and has nothing left to serve.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "resuming the deterministic stream" in out
+    assert "served 0 events" in out
+
+
+def test_serve_wal_rejects_non_block_policy(tmp_path, capsys):
+    assert main([
+        "serve", "--events", "10", "--wal-dir", str(tmp_path / "wal"),
+        "--policy", "reject",
+    ]) == 2
+    assert "requires --policy block" in capsys.readouterr().err
+
+
+def test_recover_empty_directory(tmp_path, capsys):
+    assert main(["recover", "--wal-dir", str(tmp_path / "nothing")]) == 0
+    out = capsys.readouterr().out
+    assert "no checkpoint" in out
+    assert "0 subscription(s)" in out
+
+
+def test_fuzz_durability_target(capsys):
+    assert main([
+        "fuzz", "--ops", "120", "--targets", "durability", "--check-every", "24",
+    ]) == 0
+    assert "zero divergences" in capsys.readouterr().out

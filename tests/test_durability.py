@@ -1,0 +1,584 @@
+"""Durability subsystem: WAL framing, checkpoints, crash recovery.
+
+The acceptance property lives in ``TestKillAndRecover``: an interrupted
+run whose WAL is truncated at an arbitrary byte offset (including
+mid-record) recovers and then produces deltas byte-identical to an
+uninterrupted reference run over the same deterministic stream.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.durability import (
+    CodecError,
+    DurabilityManager,
+    RecoveryError,
+    Unsubscribe,
+    WalCorruptionError,
+    WriteAheadLog,
+    decode_record,
+    decode_stream,
+    encode_event,
+    load_latest_checkpoint,
+    read_wal,
+    recover_into,
+    recover_system,
+    write_checkpoint,
+)
+from repro.durability.wal import list_segments, segment_path
+from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.engine.queries import BandJoinQuery, SelectJoinQuery
+from repro.engine.table import RTuple, STuple
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.pipeline import EventPipeline
+from repro.runtime.replay import (
+    StreamProfile,
+    generate_mixed_stream,
+    normalize_deltas,
+)
+from repro.runtime.sharding import ShardedContinuousQuerySystem
+
+
+def r_insert(rid, a, b):
+    return DataEvent(EventKind.INSERT, "R", RTuple(rid, a, b))
+
+
+def s_insert(sid, b, c):
+    return DataEvent(EventKind.INSERT, "S", STuple(sid, b, c))
+
+
+# -- codec --------------------------------------------------------------------
+
+
+class TestCodec:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            r_insert(7, 1.5, -2.25),
+            DataEvent(EventKind.DELETE, "R", RTuple(7, 1.5, -2.25)),
+            s_insert(9, 3.0, 4.5),
+            DataEvent(EventKind.DELETE, "S", STuple(9, 3.0, 4.5)),
+            QueryEvent(EventKind.INSERT, BandJoinQuery(Interval(-1.0, 2.0), qid=11)),
+            QueryEvent(
+                EventKind.INSERT,
+                SelectJoinQuery(Interval(0.0, 5.0), Interval(2.0, 9.0), qid=12),
+            ),
+        ],
+    )
+    def test_round_trip(self, event):
+        decoded = decode_record(encode_event(event))
+        if isinstance(event, DataEvent):
+            assert decoded == event
+        else:
+            assert isinstance(decoded, QueryEvent)
+            assert decoded.query.qid == event.query.qid
+            assert type(decoded.query) is type(event.query)
+
+    def test_unsubscribe_decodes_to_qid_marker(self):
+        event = QueryEvent(EventKind.DELETE, BandJoinQuery(Interval(0, 1), qid=3))
+        assert decode_record(encode_event(event)) == Unsubscribe(3)
+
+    def test_select_query_ranges_survive(self):
+        query = SelectJoinQuery(Interval(0.25, 5.5), Interval(2.125, 9.75), qid=4)
+        decoded = decode_record(encode_event(QueryEvent(EventKind.INSERT, query)))
+        assert decoded.query.range_a.lo == 0.25 and decoded.query.range_a.hi == 5.5
+        assert decoded.query.range_c.lo == 2.125 and decoded.query.range_c.hi == 9.75
+
+    def test_rejects_unknown_tag(self):
+        with pytest.raises(CodecError):
+            decode_record(bytes([200]) + b"\x00" * 24)
+
+    def test_rejects_wrong_length(self):
+        payload = encode_event(r_insert(1, 0.0, 0.0))
+        with pytest.raises(CodecError):
+            decode_record(payload[:-1])
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(CodecError):
+            decode_record(b"")
+
+    def test_rejects_unsupported_event(self):
+        with pytest.raises(CodecError):
+            encode_event(object())
+
+    def test_stream_round_trip(self):
+        events = [r_insert(1, 1.0, 2.0), s_insert(2, 3.0, 4.0)]
+        blob = b"".join(encode_event(e) for e in events)
+        assert decode_stream(blob) == events
+
+    def test_stream_rejects_trailing_bytes(self):
+        blob = encode_event(r_insert(1, 1.0, 2.0)) + b"\x01"
+        with pytest.raises(CodecError):
+            decode_stream(blob)
+
+
+# -- WAL ----------------------------------------------------------------------
+
+
+def append_events(wal, events):
+    for event in events:
+        wal.append(encode_event(event))
+
+
+class TestWal:
+    def test_append_read_round_trip(self, tmp_path):
+        events = [r_insert(i, float(i), float(2 * i)) for i in range(10)]
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            append_events(wal, events)
+        result = read_wal(tmp_path)
+        assert not result.torn_tail
+        assert [rec.seq for rec in result.records] == list(range(10))
+        assert [decode_record(rec.payload) for rec in result.records] == events
+        assert result.next_seq == 10
+
+    def test_rotation_splits_segments(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never", segment_bytes=128) as wal:
+            append_events(wal, [r_insert(i, 0.0, 0.0) for i in range(20)])
+        segments = list_segments(tmp_path)
+        assert len(segments) > 1
+        result = read_wal(tmp_path)
+        assert [rec.seq for rec in result.records] == list(range(20))
+
+    def test_reopen_resumes_at_start_seq(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            append_events(wal, [r_insert(i, 0.0, 0.0) for i in range(5)])
+        with WriteAheadLog(tmp_path, fsync="never", start_seq=5) as wal:
+            assert wal.append(encode_event(r_insert(5, 0.0, 0.0))) == 5
+        assert [rec.seq for rec in read_wal(tmp_path).records] == list(range(6))
+
+    def test_torn_final_record_is_tolerated(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            append_events(wal, [r_insert(i, 0.0, 0.0) for i in range(4)])
+        segment = list_segments(tmp_path)[-1]
+        with open(segment, "r+b") as handle:
+            handle.truncate(segment.stat().st_size - 7)  # mid-record cut
+        result = read_wal(tmp_path)
+        assert result.torn_tail
+        assert [rec.seq for rec in result.records] == [0, 1, 2]
+        assert result.next_seq == 3
+
+    def test_truncated_header_of_last_segment_is_tolerated(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            append_events(wal, [r_insert(0, 0.0, 0.0)])
+        with WriteAheadLog(tmp_path, fsync="never", start_seq=1) as wal:
+            append_events(wal, [r_insert(1, 0.0, 0.0)])
+        last = list_segments(tmp_path)[-1]
+        with open(last, "r+b") as handle:
+            handle.truncate(3)  # crash during the header write
+        result = read_wal(tmp_path)
+        assert result.torn_tail
+        assert [rec.seq for rec in result.records] == [0]
+
+    def test_crc_mismatch_mid_segment_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            append_events(wal, [r_insert(i, 0.0, 0.0) for i in range(4)])
+        segment = list_segments(tmp_path)[-1]
+        data = bytearray(segment.read_bytes())
+        # Flip a payload byte of an interior (complete) record: damage that
+        # truncation cannot produce must never be skipped silently.
+        data[16 + 16 + 4] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError, match="CRC mismatch"):
+            read_wal(tmp_path)
+
+    def test_short_non_final_segment_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            append_events(wal, [r_insert(0, 0.0, 0.0)])
+        with WriteAheadLog(tmp_path, fsync="never", start_seq=1) as wal:
+            append_events(wal, [r_insert(1, 0.0, 0.0)])
+        first = list_segments(tmp_path)[0]
+        with open(first, "r+b") as handle:
+            handle.truncate(first.stat().st_size - 3)
+        with pytest.raises(WalCorruptionError, match="non-final"):
+            read_wal(tmp_path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            append_events(wal, [r_insert(0, 0.0, 0.0)])
+        segment = list_segments(tmp_path)[0]
+        data = bytearray(segment.read_bytes())
+        data[:4] = b"NOPE"
+        segment.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError, match="bad magic"):
+            read_wal(tmp_path)
+
+    def test_empty_segment_is_tolerated(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            append_events(wal, [r_insert(0, 0.0, 0.0)])
+        segment_path(tmp_path, 1).touch()  # crash between create and write
+        result = read_wal(tmp_path)
+        assert [rec.seq for rec in result.records] == [0]
+        assert not result.torn_tail
+
+    def test_empty_directory_reads_empty(self, tmp_path):
+        result = read_wal(tmp_path)
+        assert result.records == [] and result.next_seq == 0
+
+    def test_prune_removes_covered_segments_only(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never", segment_bytes=128) as wal:
+            append_events(wal, [r_insert(i, 0.0, 0.0) for i in range(20)])
+            before = len(list_segments(tmp_path))
+            removed = wal.prune(upto_seq=wal.next_seq)
+            assert removed and len(list_segments(tmp_path)) < before
+            # The active segment survives, and what remains still reads.
+            assert wal.active_segment in list_segments(tmp_path)
+        result = read_wal(tmp_path)
+        assert result.records[-1].seq == 19
+
+    def test_fsync_always_counts_per_append(self, tmp_path):
+        metrics = MetricsRegistry()
+        with WriteAheadLog(tmp_path, fsync="always", metrics=metrics) as wal:
+            append_events(wal, [r_insert(i, 0.0, 0.0) for i in range(3)])
+        assert metrics.counter("durability/wal_fsync_total").value >= 3
+
+    def test_fsync_batch_counts_per_sync(self, tmp_path):
+        metrics = MetricsRegistry()
+        with WriteAheadLog(tmp_path, fsync="batch", metrics=metrics) as wal:
+            append_events(wal, [r_insert(i, 0.0, 0.0) for i in range(8)])
+            wal.sync()
+            count = metrics.counter("durability/wal_fsync_total").value
+            assert count == 1
+            wal.sync()  # not dirty: no extra fsync
+            assert metrics.counter("durability/wal_fsync_total").value == count
+
+    def test_rejects_unknown_fsync_policy(self, tmp_path):
+        with pytest.raises(ValueError):
+            WriteAheadLog(tmp_path, fsync="sometimes")
+
+
+# -- checkpoints --------------------------------------------------------------
+
+
+def snapshot_payloads():
+    shard0 = b"".join(
+        [
+            encode_event(r_insert(1, 1.0, 2.0)),
+            encode_event(
+                QueryEvent(EventKind.INSERT, BandJoinQuery(Interval(0, 1), qid=5))
+            ),
+        ]
+    )
+    shard1 = encode_event(s_insert(2, 3.0, 4.0))
+    return [shard0, shard1]
+
+
+class TestCheckpoint:
+    def test_write_load_round_trip(self, tmp_path):
+        write_checkpoint(
+            tmp_path,
+            next_seq=42,
+            shard_payloads=snapshot_payloads(),
+            config={"num_shards": 2},
+        )
+        loaded, skipped = load_latest_checkpoint(tmp_path)
+        assert skipped == []
+        assert loaded.next_seq == 42
+        assert loaded.config["num_shards"] == 2
+        assert len(loaded.rows) == 2  # rows split out from subscriptions
+        assert len(loaded.subscriptions) == 1
+
+    def test_newest_valid_checkpoint_wins(self, tmp_path):
+        write_checkpoint(
+            tmp_path, next_seq=10, shard_payloads=snapshot_payloads(), config={}
+        )
+        write_checkpoint(
+            tmp_path, next_seq=20, shard_payloads=snapshot_payloads(), config={}
+        )
+        loaded, __ = load_latest_checkpoint(tmp_path)
+        assert loaded.next_seq == 20
+
+    def test_missing_snapshot_file_falls_back(self, tmp_path):
+        write_checkpoint(
+            tmp_path, next_seq=10, shard_payloads=snapshot_payloads(), config={}
+        )
+        newest = write_checkpoint(
+            tmp_path, next_seq=20, shard_payloads=snapshot_payloads(), config={}
+        )
+        (newest / "shard-1.snap").unlink()  # manifest now points at nothing
+        loaded, skipped = load_latest_checkpoint(tmp_path)
+        assert loaded.next_seq == 10
+        assert len(skipped) == 1 and "missing snapshot" in skipped[0]
+
+    def test_crc_damage_falls_back(self, tmp_path):
+        write_checkpoint(
+            tmp_path, next_seq=10, shard_payloads=snapshot_payloads(), config={}
+        )
+        newest = write_checkpoint(
+            tmp_path, next_seq=20, shard_payloads=snapshot_payloads(), config={}
+        )
+        snap = newest / "shard-0.snap"
+        data = bytearray(snap.read_bytes())
+        data[5] ^= 0xFF
+        snap.write_bytes(bytes(data))
+        loaded, skipped = load_latest_checkpoint(tmp_path)
+        assert loaded.next_seq == 10
+        assert any("CRC mismatch" in note for note in skipped)
+
+    def test_no_checkpoint_returns_none(self, tmp_path):
+        loaded, skipped = load_latest_checkpoint(tmp_path)
+        assert loaded is None and skipped == []
+
+
+# -- recovery -----------------------------------------------------------------
+
+
+def run_ops(system):
+    """A small scripted history; returns the expected final counts."""
+    band = BandJoinQuery(Interval(-2.0, 2.0), qid=100)
+    select = SelectJoinQuery(Interval(0.0, 50.0), Interval(0.0, 50.0), qid=101)
+    system.subscribe(band)
+    system.subscribe(select)
+    system.insert_r_row(RTuple(1, 10.0, 5.0))
+    system.insert_s_row(STuple(1, 6.0, 20.0))
+    system.insert_s_row(STuple(2, 30.0, 40.0))
+    system.delete_s(STuple(2, 30.0, 40.0))
+    system.unsubscribe(band)
+    return {"r": 1, "s": 1, "subs": 1}
+
+
+class TestRecovery:
+    def test_wal_only_recovery(self, tmp_path):
+        manager = DurabilityManager(tmp_path, fsync="never")
+        system = ShardedContinuousQuerySystem(num_shards=2, durability=manager)
+        manager.attach(system)
+        want = run_ops(system)
+        manager.close()
+
+        recovered, report = recover_system(tmp_path, num_shards=2)
+        assert report.checkpoint_seq is None
+        assert report.replayed_events == 7
+        assert report.next_seq == 7
+        assert len(recovered.shards[0].table_r) == want["r"]
+        assert len(recovered.shards[0].table_s_band) == want["s"]
+        assert recovered.subscription_count == want["subs"]
+
+    def test_checkpoint_plus_tail_with_seq_dedupe(self, tmp_path):
+        manager = DurabilityManager(tmp_path, fsync="never")
+        system = ShardedContinuousQuerySystem(num_shards=2, durability=manager)
+        manager.attach(system)
+        run_ops(system)
+        manager.checkpoint(system)  # covers seqs [0, 7)
+        system.insert_r_row(RTuple(2, 11.0, 6.0))  # seq 7, in the WAL tail
+        manager.close()
+
+        # The active segment still holds seqs 0..7, so it overlaps the
+        # checkpoint: records below next_seq must be deduped by sequence
+        # number, not re-applied.
+        recovered, report = recover_system(tmp_path)
+        assert report.checkpoint_seq == 7
+        assert report.deduped_records == 7
+        assert report.replayed_events == 1
+        assert report.next_seq == 8
+        # The deduped insert did not double-apply row rid=1.
+        assert len(recovered.shards[0].table_r) == 2
+        assert recovered.subscription_count == 1
+
+    def test_recovered_config_comes_from_manifest(self, tmp_path):
+        manager = DurabilityManager(tmp_path, fsync="never")
+        system = ShardedContinuousQuerySystem(
+            num_shards=3, alpha=0.05, epsilon=2.0, durability=manager
+        )
+        manager.attach(system)
+        run_ops(system)
+        manager.checkpoint(system)
+        manager.close()
+
+        recovered, __ = recover_system(tmp_path, num_shards=7)  # kwarg ignored
+        assert len(recovered.shards) == 3
+        assert recovered.alpha == 0.05
+        assert recovered.epsilon == 2.0
+
+    def test_unsub_of_unknown_query_raises(self, tmp_path):
+        with WriteAheadLog(tmp_path, fsync="never") as wal:
+            wal.append(
+                encode_event(
+                    QueryEvent(
+                        EventKind.DELETE, BandJoinQuery(Interval(0, 1), qid=77)
+                    )
+                )
+            )
+        with pytest.raises(RecoveryError, match="unknown query id 77"):
+            recover_into(ShardedContinuousQuerySystem(num_shards=2), tmp_path)
+
+    def test_attach_recovers_then_resumes_logging(self, tmp_path):
+        manager = DurabilityManager(tmp_path, fsync="never")
+        system = ShardedContinuousQuerySystem(num_shards=2, durability=manager)
+        manager.attach(system)
+        run_ops(system)
+        manager.close()
+
+        metrics = MetricsRegistry()
+        manager2 = DurabilityManager(tmp_path, fsync="never", metrics=metrics)
+        system2 = ShardedContinuousQuerySystem(num_shards=2, durability=manager2)
+        report = manager2.attach(system2)
+        assert report.next_seq == 7
+        assert metrics.counter("durability/recovered_events_total").value == 7
+        # Replay was not re-logged; fresh activity continues the sequence.
+        assert manager2.next_seq == 7
+        system2.insert_r_row(RTuple(9, 1.0, 2.0))
+        assert manager2.next_seq == 8
+        manager2.close()
+
+
+# -- kill-and-recover acceptance ----------------------------------------------
+
+
+PROFILE = StreamProfile(
+    n_events=10_000,
+    n_initial_queries=120,
+    band_fraction=0.3,
+    delete_fraction=0.25,
+    churn=0.0,
+    seed=20_060_912,
+)
+
+
+def normalized_outputs(results):
+    return [
+        (event.kind.name, event.relation, event.row, normalize_deltas(deltas))
+        for __, event, deltas in results
+    ]
+
+
+def durable_pipeline(directory, metrics=None):
+    manager = DurabilityManager(
+        directory, fsync="never", checkpoint_every=2_500, metrics=metrics
+    )
+    pipeline = EventPipeline(
+        num_shards=2,
+        alpha=0.05,
+        batch_size=64,
+        mode="inline",
+        metrics=metrics,
+        durability=manager,
+    )
+    return manager, pipeline
+
+
+class TestKillAndRecover:
+    @pytest.mark.parametrize("cut", ["mid-record", "random"])
+    def test_recovery_matches_uninterrupted_run(self, tmp_path, cut):
+        stream = generate_mixed_stream(PROFILE)
+        crash_at = int(len(stream) * 0.63)
+
+        reference = EventPipeline(
+            num_shards=2, alpha=0.05, batch_size=64, mode="inline"
+        )
+        want = normalized_outputs(reference.run(stream))
+        reference.close()
+
+        wal_dir = tmp_path / "wal"
+        manager, pipeline = durable_pipeline(wal_dir)
+        manager.attach(pipeline)
+        for event in stream[:crash_at]:
+            pipeline.submit(event)
+        pipeline.drain()
+        manager.wal.flush()  # what a crashed process leaves at best
+
+        # Simulate the kill: copy the directory as the crash froze it and
+        # truncate the newest WAL segment at an arbitrary byte offset.
+        crash_dir = tmp_path / "crash"
+        shutil.copytree(wal_dir, crash_dir)
+        pipeline.close()
+        segment = list_segments(crash_dir)[-1]
+        size = segment.stat().st_size
+        if cut == "mid-record":
+            offset = max(size - 13, 0)  # inside the final frame
+        else:
+            import random
+
+            offset = random.Random(PROFILE.seed).randrange(size + 1)
+        with open(segment, "r+b") as handle:
+            handle.truncate(offset)
+
+        manager2, pipeline2 = durable_pipeline(crash_dir)
+        report = manager2.attach(pipeline2)
+        assert report.next_seq <= crash_at
+        got = normalized_outputs(pipeline2.run(stream[report.next_seq :]))
+        pipeline2.close()
+
+        # Byte-identity of everything after the recovery point: same rows,
+        # same kinds, same normalized deltas, element by element.
+        assert got == want[len(want) - len(got) :]
+
+    def test_interrupted_run_loses_nothing_before_the_tail(self, tmp_path):
+        """The WAL holds every submitted event up to the torn tail."""
+        stream = generate_mixed_stream(PROFILE)
+        crash_at = 4_000
+        manager, pipeline = durable_pipeline(tmp_path / "wal")
+        manager.attach(pipeline)
+        for event in stream[:crash_at]:
+            pipeline.submit(event)
+        pipeline.drain()
+        manager.sync()
+        pipeline.close()
+        result = read_wal(tmp_path / "wal")
+        loaded, __ = load_latest_checkpoint(tmp_path / "wal")
+        assert result.next_seq == crash_at
+        assert loaded is not None and loaded.next_seq <= crash_at
+
+
+# -- pipeline integration -----------------------------------------------------
+
+
+class TestPipelineDurability:
+    def test_requires_block_backpressure(self, tmp_path):
+        manager = DurabilityManager(tmp_path, fsync="never")
+        with pytest.raises(ValueError, match="block"):
+            EventPipeline(backpressure="drop-oldest", durability=manager)
+
+    def test_rejects_process_mode(self, tmp_path):
+        manager = DurabilityManager(tmp_path, fsync="never")
+        with pytest.raises(ValueError, match="process"):
+            EventPipeline(mode="process", durability=manager)
+
+    def test_metrics_are_registered(self, tmp_path):
+        metrics = MetricsRegistry()
+        manager, pipeline = durable_pipeline(tmp_path, metrics=metrics)
+        manager.attach(pipeline)
+        stream = generate_mixed_stream(
+            StreamProfile(n_events=600, n_initial_queries=30, seed=2)
+        )
+        pipeline.run(stream)
+        manager.checkpoint(pipeline)
+        pipeline.close()
+        snapshot = metrics.snapshot()
+        assert snapshot["histograms"]["durability/wal_append_seconds"]["count"] > 0
+        assert snapshot["histograms"]["durability/checkpoint_duration_seconds"]["count"] > 0
+        assert metrics.counter("durability/checkpoints_total").value >= 1
+
+    def test_fsync_batch_syncs_once_per_flush(self, tmp_path):
+        metrics = MetricsRegistry()
+        manager = DurabilityManager(tmp_path, fsync="batch", metrics=metrics)
+        pipeline = EventPipeline(
+            num_shards=2, batch_size=8, mode="inline", durability=manager
+        )
+        manager.attach(pipeline)
+        for i in range(32):
+            pipeline.submit(r_insert(i, float(i), float(i)))
+        pipeline.drain()
+        fsyncs = metrics.counter("durability/wal_fsync_total").value
+        assert 1 <= fsyncs <= 32 // 8 + 1
+        pipeline.close()
+
+    def test_periodic_checkpoint_prunes_wal(self, tmp_path):
+        manager = DurabilityManager(
+            tmp_path, fsync="never", checkpoint_every=50, segment_bytes=512
+        )
+        pipeline = EventPipeline(
+            num_shards=2, batch_size=16, mode="inline", durability=manager
+        )
+        manager.attach(pipeline)
+        stream = generate_mixed_stream(
+            StreamProfile(n_events=400, n_initial_queries=20, seed=5)
+        )
+        pipeline.run(stream)
+        pipeline.close()
+        loaded, __ = load_latest_checkpoint(tmp_path)
+        assert loaded is not None and loaded.next_seq > 0
+        # Retention: every surviving segment still matters for recovery.
+        recovered, report = recover_system(tmp_path)
+        assert report.next_seq == len(stream)
+        assert recovered.subscription_count == pipeline.subscription_count
