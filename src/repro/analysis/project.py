@@ -15,6 +15,8 @@ from typing import Dict, FrozenSet, Tuple
 __all__ = [
     "DETERMINISM_SCOPE",
     "WALLCLOCK_METADATA_ALLOWLIST",
+    "MONOTONIC_CLOCK_SCOPE",
+    "MONOTONIC_CLOCK_CALLS",
     "NUMPY_IMPORT_ALLOWLIST",
     "KERNEL_HANDLE_MODULE",
     "LOCK_DISCIPLINE_SCOPE",
@@ -36,6 +38,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro/operators/",
     "repro/runtime/replay.py",
     "repro/durability/",
+    "repro/obs/",
 )
 
 #: RA001 carve-out — modules inside :data:`DETERMINISM_SCOPE` that may read
@@ -53,6 +56,27 @@ WALLCLOCK_METADATA_ALLOWLIST: Dict[str, str] = {
         "strictly by next_seq and never reads the timestamp"
     ),
 }
+
+#: RA001 carve-out for the observability package: ``repro/obs/`` is in
+#: :data:`DETERMINISM_SCOPE` (span recorders and telemetry listeners run
+#: inside replay-critical callbacks, so RNG and set-iteration findings
+#: must fire there), but span timing needs a clock.  *Monotonic* clocks
+#: only: durations are instrumentation that nothing on the replay or
+#: recovery path ever reads back, while wall clocks (``time.time``,
+#: ``datetime.now``) stay banned — an absolute timestamp invites exactly
+#: the "compare to recorded time" logic that breaks replay equivalence.
+MONOTONIC_CLOCK_SCOPE: Tuple[str, ...] = ("repro/obs/",)
+
+#: The clock calls :data:`MONOTONIC_CLOCK_SCOPE` exempts (a strict subset
+#: of the RA001 wall-clock list).
+MONOTONIC_CLOCK_CALLS: FrozenSet[str] = frozenset(
+    {
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    }
+)
 
 #: RA002 — the only modules allowed to import numpy.  ``fastpath/kernels``
 #: owns the import-once handle (gated by ``REPRO_FASTPATH_KERNEL``) and
@@ -72,7 +96,7 @@ KERNEL_HANDLE_MODULE = "repro.fastpath.kernels"
 
 #: RA003 — packages whose classes are used across threads; attributes
 #: written under ``with self._lock`` must never be touched outside one.
-LOCK_DISCIPLINE_SCOPE: Tuple[str, ...] = ("repro/runtime/",)
+LOCK_DISCIPLINE_SCOPE: Tuple[str, ...] = ("repro/runtime/", "repro/obs/")
 
 #: RA004 — methods returning cached, shared snapshots.  Their return values
 #: are reused across calls (``StabbingSetIndex.group_table`` until a
@@ -122,6 +146,7 @@ HOTPATH_MODULES: FrozenSet[str] = frozenset(
         "repro/fastpath/select.py",
         "repro/runtime/batching.py",
         "repro/runtime/metrics.py",
+        "repro/obs/tracing.py",
     }
 )
 

@@ -148,10 +148,11 @@ class DeterminismRule(Rule):
     name = "determinism"
     severity = Severity.ERROR
     description = (
-        "replay-critical code (core/, operators/, runtime/replay.py, durability/) "
-        "must not read wall clocks, use the shared global RNG or unseeded "
+        "replay-critical code (core/, operators/, runtime/replay.py, durability/, "
+        "obs/) must not read wall clocks, use the shared global RNG or unseeded "
         "random.Random(), or iterate directly over sets (wall clocks only: "
-        "modules in WALLCLOCK_METADATA_ALLOWLIST are exempt)"
+        "modules in WALLCLOCK_METADATA_ALLOWLIST are exempt; monotonic clocks "
+        "only: modules under MONOTONIC_CLOCK_SCOPE are exempt)"
     )
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:
@@ -170,6 +171,16 @@ class DeterminismRule(Rule):
                     ):
                         # Metadata-only carve-out (see project.py): the
                         # timestamp never feeds recovery or replay decisions.
+                        continue
+                    if (
+                        qual in project.MONOTONIC_CLOCK_CALLS
+                        and project.in_scope(
+                            ctx.module_path, project.MONOTONIC_CLOCK_SCOPE
+                        )
+                    ):
+                        # Monotonic-only carve-out (see project.py): span
+                        # durations are instrumentation, never replayed;
+                        # wall clocks and RNG still fire here.
                         continue
                     yield ctx.finding(
                         self, node, f"non-deterministic call {qual}() in replay-critical code"

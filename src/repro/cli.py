@@ -18,7 +18,11 @@ Self-contained utilities that do not require the repository checkout:
 * ``serve``     — run the runtime pipeline as a long-lived loop over a
   synthetic stream, printing periodic metric snapshots; with ``--wal-dir``
   every event is write-ahead logged and checkpointed so an interrupted
-  serve resumes where it stopped (Ctrl-C drains cleanly);
+  serve resumes where it stopped (Ctrl-C drains cleanly); ``--trace-out``
+  records tracing spans to a Chrome trace, ``--metrics-port`` serves live
+  Prometheus/JSON metrics, ``--snapshot-out`` appends JSONL snapshots;
+* ``stats``     — render a metric snapshot from a ``--snapshot-out`` JSONL
+  stream or a live ``--metrics-port`` endpoint (text, Prometheus, or JSON);
 * ``recover``   — rebuild a sharded system from a WAL directory (newest
   valid checkpoint + sequence-deduped WAL replay) and report what was
   restored;
@@ -56,6 +60,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.runtime", "sharded micro-batched pipeline: routing, backpressure, metrics, replay"),
         ("repro.check", "differential fuzzing: brute-force oracles, invariant probes, shrinking"),
         ("repro.durability", "write-ahead log, checkpoints, crash recovery (serve --wal-dir, recover)"),
+        ("repro.obs", "tracing spans, Prometheus/JSONL metric export, hotspot telemetry (serve --trace-out, stats)"),
         ("repro.analysis", _analysis_summary()),
     ]:
         print(f"  {name:<16} {what}")
@@ -293,11 +298,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.engine.events import DataEvent
+    from repro.obs.export import MetricsServer, SnapshotWriter
+    from repro.obs.tracing import NULL_TRACER, RingTracer, write_chrome_trace
     from repro.runtime.metrics import MetricsRegistry
     from repro.runtime.pipeline import EventPipeline
     from repro.runtime.replay import generate_mixed_stream
 
     metrics = MetricsRegistry()
+    want_tracing = args.trace_out is not None or args.metrics_port is not None
+    tracer = RingTracer() if want_tracing else NULL_TRACER
     durability = None
     if args.wal_dir is not None:
         from repro.durability import DurabilityManager
@@ -313,6 +322,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fsync=args.fsync,
             checkpoint_every=args.checkpoint_every or None,
             metrics=metrics,
+            tracer=tracer,
         )
     pipeline = EventPipeline(
         num_shards=args.shards,
@@ -324,7 +334,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         mode=args.mode,
         metrics=metrics,
         durability=durability,
+        tracer=tracer,
     )
+    snapshots = SnapshotWriter(args.snapshot_out) if args.snapshot_out else None
+    server = None
+    if args.metrics_port is not None:
+        server = MetricsServer(
+            metrics,
+            port=args.metrics_port,
+            tracer=tracer if isinstance(tracer, RingTracer) else None,
+        )
+        print(f"metrics server listening on {server.url} (/metrics, /metrics.json, /trace.json)")
     resume_at = 0
     if durability is not None:
         report = durability.attach(pipeline)
@@ -338,6 +358,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"(batch={args.batch_size}, policy={args.policy}, mode={args.mode}); "
         f"reporting every {args.report_every} events"
     )
+
+    def publish() -> None:
+        # Sampling sets the obs/ gauges, so it runs before any render or
+        # snapshot in the same interval sees them.
+        pipeline.sample_hotspots()
+        if snapshots is not None:
+            extra = None
+            if isinstance(tracer, RingTracer):
+                extra = {"spans_recorded": tracer.recorded, "spans_dropped": tracer.dropped}
+            snapshots.write(metrics, extra)
+
     start = time.perf_counter()
     served = 0
     interrupted = False
@@ -349,6 +380,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     served += 1
                     if served % args.report_every == 0:
                         rate = served / max(time.perf_counter() - start, 1e-9)
+                        publish()
                         print(f"\n-- {served} events ({rate:,.0f} events/s) --")
                         print(pipeline.metrics.render())
             pipeline.drain()
@@ -361,10 +393,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             pipeline.drain()
     finally:
         pipeline.close()
+        if server is not None:
+            server.close()
+    publish()
     elapsed = max(time.perf_counter() - start, 1e-9)
     state = "interrupted after" if interrupted else "served"
     print(f"\n{state} {served} events in {elapsed:.2f}s ({served / elapsed:,.0f} events/s)")
     print(pipeline.metrics.render())
+    if args.trace_out is not None and isinstance(tracer, RingTracer):
+        written = write_chrome_trace(args.trace_out, tracer)
+        print(
+            f"trace written to {args.trace_out} "
+            f"({written} span(s), {tracer.dropped} dropped)"
+        )
+    if snapshots is not None:
+        print(f"metric snapshots written to {args.snapshot_out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import (
+        latest_snapshot,
+        read_snapshots,
+        render_prometheus,
+        render_snapshot,
+    )
+
+    if (args.jsonl is None) == (args.url is None):
+        print("stats: exactly one of --jsonl or --url is required", file=sys.stderr)
+        return 2
+    header = ""
+    if args.jsonl is not None:
+        try:
+            if args.seq is None:
+                record = latest_snapshot(args.jsonl)
+            else:
+                matches = [
+                    r for r in read_snapshots(args.jsonl) if r.get("seq") == args.seq
+                ]
+                if not matches:
+                    print(f"stats: no snapshot with seq={args.seq}", file=sys.stderr)
+                    return 1
+                record = matches[-1]
+        except (OSError, ValueError) as exc:
+            print(f"stats: {exc}", file=sys.stderr)
+            return 1
+        snapshot = record["metrics"]
+        header = (
+            f"snapshot seq={record['seq']} "
+            f"uptime={record.get('uptime_us', 0) / 1e6:.1f}s from {args.jsonl}"
+        )
+    else:
+        from urllib.error import URLError
+        from urllib.request import urlopen
+
+        url = args.url.rstrip("/") + "/metrics.json"
+        try:
+            with urlopen(url) as response:
+                snapshot = json.loads(response.read().decode("utf-8"))
+        except (OSError, URLError, ValueError) as exc:
+            print(f"stats: {url}: {exc}", file=sys.stderr)
+            return 1
+        header = f"live metrics from {url}"
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.format == "prom":
+        sys.stdout.write(render_prometheus(snapshot))
+    else:
+        print(header)
+        print(render_snapshot(snapshot))
     return 0
 
 
@@ -578,7 +677,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--fsync", choices=["always", "batch", "never"], default="batch",
         help="WAL fsync policy: per append, per micro-batch, or OS-buffered",
     )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record tracing spans and write a Chrome trace_event JSON file "
+        "on exit (load in chrome://tracing or Perfetto)",
+    )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve live metrics over HTTP on this port (0 = ephemeral): "
+        "/metrics (Prometheus), /metrics.json, /trace.json",
+    )
+    serve.add_argument(
+        "--snapshot-out", default=None, metavar="FILE",
+        help="append a JSONL metric snapshot every --report-every events "
+        "(read back with: repro stats --jsonl FILE)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="render a metric snapshot: the latest record of a serve "
+        "--snapshot-out JSONL stream, or a live --metrics-port endpoint",
+    )
+    stats.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="JSONL snapshot stream written by serve --snapshot-out",
+    )
+    stats.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a serve --metrics-port endpoint (e.g. http://127.0.0.1:9090)",
+    )
+    stats.add_argument(
+        "--seq", type=int, default=None,
+        help="pick this snapshot seq from --jsonl instead of the latest",
+    )
+    stats.add_argument(
+        "--format", choices=["text", "prom", "json"], default="text",
+        help="text table (default), Prometheus exposition, or raw JSON",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     recover = sub.add_parser(
         "recover",

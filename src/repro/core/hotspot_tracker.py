@@ -104,6 +104,10 @@ class HotspotTracker(Generic[T]):
         return self._alpha
 
     @property
+    def interval_of(self) -> Callable[[T], Interval]:
+        return self._interval_of
+
+    @property
     def hotspot_groups(self) -> List[DynamicGroup[T]]:
         """The current hotspot groups I_H (at most 2/alpha of them)."""
         return list(self._hot)

@@ -198,7 +198,7 @@ class LazyStabbingPartition(DynamicStabbingPartitionBase[T]):
             self._original_deletions = 0
             self._updates_since_recon = 0
             return
-        self._install(canonical_stabbing_partition(items, self._interval_of))
+        self._rebuild(items)
 
     def _sweep_tau(self, items: List[T]) -> int:
         """tau(I) by the greedy sweep, without materializing groups."""
@@ -217,6 +217,7 @@ class LazyStabbingPartition(DynamicStabbingPartitionBase[T]):
         return tau
 
     def _rebuild(self, items: List[T]) -> None:
+        self._notify_rebuild_started()
         self._install(canonical_stabbing_partition(items, self._interval_of))
 
     def _install(self, canonical: StabbingPartition[T]) -> None:

@@ -204,6 +204,18 @@ class DynamicStabbingPartitionBase(Generic[T]):
         for listener in self._listeners:
             listener.on_rebuilt(self)
 
+    def _notify_rebuild_started(self) -> None:
+        """Optional pre-reconstruction hook, fired just before a rebuild
+        recomputes the canonical partition.  Dispatched by ``getattr`` so
+        it stays outside the :class:`PartitionListener` protocol: existing
+        listeners (the SSI layer) only care about the post-state, while
+        the observability layer pairs this with ``on_rebuilt`` to time the
+        reconstruction stage."""
+        for listener in self._listeners:
+            hook = getattr(listener, "on_rebuild_started", None)
+            if hook is not None:
+                hook(self)
+
     # -- interface to implement --------------------------------------------
 
     def insert(self, item: T) -> None:

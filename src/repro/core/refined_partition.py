@@ -220,6 +220,10 @@ class RefinedStabbingPartition(DynamicStabbingPartitionBase[T]):
         self._updates_since_recon = 0
 
     def _reconstruct(self) -> None:
+        self._notify_rebuild_started()
+        self._do_reconstruct()
+
+    def _do_reconstruct(self) -> None:
         """The RECONSTRUCTION-STAGE of Appendix B (prose version).
 
         Emulates the greedy sweep batched over groups.  Walks the nonempty

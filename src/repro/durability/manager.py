@@ -39,6 +39,7 @@ from repro.durability.codec import DurabilityError, encode_event
 from repro.durability.recovery import RecoveryReport, recover_into
 from repro.durability.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
 from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.runtime.metrics import MetricsRegistry
 
 __all__ = ["DurabilityManager"]
@@ -55,6 +56,7 @@ class DurabilityManager:
         checkpoint_every: Optional[int] = None,
         segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         if checkpoint_every is not None and checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -64,6 +66,7 @@ class DurabilityManager:
         self.checkpoint_every = checkpoint_every
         self.segment_bytes = segment_bytes
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         self._append_seconds = self.metrics.histogram("durability/wal_append_seconds")
         self._checkpoint_seconds = self.metrics.histogram(
             "durability/checkpoint_duration_seconds"
@@ -142,9 +145,10 @@ class DurabilityManager:
             raise DurabilityError("log_event before attach()")
         payload = encode_event(event)
         # Timing instrumentation only; nothing downstream reads this clock.
-        start = time.perf_counter()  # repro: noqa[RA001]
-        seq = self._wal.append(payload)
-        self._append_seconds.observe(time.perf_counter() - start)  # repro: noqa[RA001]
+        with self.tracer.span("wal.append"):
+            start = time.perf_counter()  # repro: noqa[RA001]
+            seq = self._wal.append(payload)
+            self._append_seconds.observe(time.perf_counter() - start)  # repro: noqa[RA001]
         self._events_since_checkpoint += 1
         return seq
 
@@ -152,7 +156,8 @@ class DurabilityManager:
         """Durability barrier before a batch is applied (fsync under the
         ``batch`` policy; no-op under ``never``)."""
         if self._wal is not None:
-            self._wal.sync()
+            with self.tracer.span("wal.sync"):
+                self._wal.sync()
 
     # -- checkpointing -------------------------------------------------------
 
@@ -174,25 +179,26 @@ class DurabilityManager:
         """
         if self._wal is None:
             raise DurabilityError("checkpoint before attach()")
-        start = time.perf_counter()  # repro: noqa[RA001]
-        drain = getattr(source, "drain", None)
-        if drain is not None:
-            drain()
-        self._wal.sync()
-        next_seq = self._wal.next_seq
-        path = write_checkpoint(
-            self.directory,
-            next_seq=next_seq,
-            shard_payloads=self._shard_payloads(source),
-            config=self._config_of(source),
-        )
-        prune_checkpoints(self.directory, keep=path)
-        self._wal.prune(next_seq)
-        self._events_since_checkpoint = 0
-        self.metrics.counter("durability/checkpoints_total").inc()
-        elapsed = time.perf_counter() - start  # repro: noqa[RA001]
-        self._checkpoint_seconds.observe(elapsed)
-        return path
+        with self.tracer.span("checkpoint"):
+            start = time.perf_counter()  # repro: noqa[RA001]
+            drain = getattr(source, "drain", None)
+            if drain is not None:
+                drain()
+            self._wal.sync()
+            next_seq = self._wal.next_seq
+            path = write_checkpoint(
+                self.directory,
+                next_seq=next_seq,
+                shard_payloads=self._shard_payloads(source),
+                config=self._config_of(source),
+            )
+            prune_checkpoints(self.directory, keep=path)
+            self._wal.prune(next_seq)
+            self._events_since_checkpoint = 0
+            self.metrics.counter("durability/checkpoints_total").inc()
+            elapsed = time.perf_counter() - start  # repro: noqa[RA001]
+            self._checkpoint_seconds.observe(elapsed)
+            return path
 
     def maybe_checkpoint(self, source: Any) -> Optional[Path]:
         if self.checkpoint_due:

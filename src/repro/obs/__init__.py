@@ -1,0 +1,74 @@
+"""Observability: tracing spans, metric export, hotspot telemetry.
+
+The paper's contribution is visibility into *structure* — which query
+groups are hotspots, how much the maintained partition costs — and this
+package makes that visibility operational:
+
+* :mod:`repro.obs.tracing` — span context managers over a thread-safe
+  ring buffer, exportable as Chrome ``trace_event`` JSON; the
+  :data:`~repro.obs.tracing.NULL_TRACER` default makes instrumentation
+  free when disabled;
+* :mod:`repro.obs.export` — Prometheus text exposition, JSONL snapshot
+  streams, interpolated p50/p95/p99 from the runtime's power-of-two
+  histograms, and a background HTTP endpoint;
+* :mod:`repro.obs.hotspot_telemetry` — tracker/partition listeners
+  recording promotion/demotion churn, reconstruction durations, and the
+  invariant I2 headroom ``(1 + eps) * tau + 2/alpha - |I|``.
+
+Wired through ``repro serve --trace-out/--metrics-port/--snapshot-out``
+and read back by ``repro stats``; see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    EXPORT_QUANTILES,
+    MetricsServer,
+    SnapshotWriter,
+    bucket_bounds,
+    estimate_quantile,
+    estimate_quantiles,
+    latest_snapshot,
+    read_snapshots,
+    render_prometheus,
+    render_snapshot,
+)
+from repro.obs.hotspot_telemetry import (
+    HeadroomSample,
+    HotspotChurnTelemetry,
+    HotspotTelemetry,
+    ReconstructionTelemetry,
+    hotspot_headroom,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    RingTracer,
+    SpanRecord,
+    Tracer,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "EXPORT_QUANTILES",
+    "MetricsServer",
+    "SnapshotWriter",
+    "bucket_bounds",
+    "estimate_quantile",
+    "estimate_quantiles",
+    "latest_snapshot",
+    "read_snapshots",
+    "render_prometheus",
+    "render_snapshot",
+    "HeadroomSample",
+    "HotspotChurnTelemetry",
+    "HotspotTelemetry",
+    "ReconstructionTelemetry",
+    "hotspot_headroom",
+    "NULL_TRACER",
+    "NullTracer",
+    "RingTracer",
+    "SpanRecord",
+    "Tracer",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,327 @@
+"""Metric exposition: Prometheus text, JSONL snapshots, HTTP endpoint.
+
+Everything here consumes the plain-dict output of
+:meth:`repro.runtime.metrics.MetricsRegistry.snapshot` — the exporters
+never hold references to live instruments, so a snapshot taken under the
+registry's locks can be rendered, written, or served without further
+synchronization.
+
+Quantiles: the runtime's histograms are power-of-two bucketed (bucket 0
+is ``[0, 1)``, bucket ``i`` is ``[2**(i-1), 2**i)``).  The histogram's own
+``p50``/``p99`` report the *upper* bucket bound (never underestimates —
+the right bias for "did latency explode" alerts).  Exposition wants a
+point estimate instead, so :func:`estimate_quantile` interpolates the
+requested rank's position inside its bucket; the estimate always lands
+strictly inside the true bucket's ``[lo, hi)`` range (property-tested in
+``tests/test_metrics_properties.py``).
+
+The JSONL snapshot stream (one JSON object per line, ``seq`` strictly
+increasing) is what ``repro serve --snapshot-out`` appends and
+``repro stats --jsonl`` reads back.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.tracing import RingTracer
+from repro.runtime.metrics import MetricsRegistry, N_HISTOGRAM_BUCKETS
+
+__all__ = [
+    "EXPORT_QUANTILES",
+    "bucket_bounds",
+    "estimate_quantile",
+    "estimate_quantiles",
+    "render_prometheus",
+    "render_snapshot",
+    "SnapshotWriter",
+    "read_snapshots",
+    "latest_snapshot",
+    "MetricsServer",
+]
+
+#: The quantiles every exposition surface reports for histograms.
+EXPORT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def bucket_bounds(index: int) -> Tuple[float, float]:
+    """The ``[lo, hi)`` range of log2 bucket ``index``.
+
+    Bucket 0 holds ``[0, 1)``; bucket ``i >= 1`` holds ``[2**(i-1), 2**i)``.
+    The last bucket saturates, so its upper bound is infinite.
+    """
+    if not 0 <= index < N_HISTOGRAM_BUCKETS:
+        raise ValueError(f"bucket index out of range: {index}")
+    lo = 0.0 if index == 0 else float(2 ** (index - 1))
+    hi = float("inf") if index == N_HISTOGRAM_BUCKETS - 1 else float(2**index)
+    return lo, hi
+
+
+def estimate_quantile(
+    buckets: Sequence[Sequence[int]], count: int, q: float
+) -> float:
+    """Interpolated ``q``-quantile from nonzero ``(index, count)`` pairs.
+
+    ``buckets`` is the ``"buckets"`` entry of a histogram snapshot:
+    ascending bucket indices with their counts.  The rank's offset within
+    its bucket is placed at the midpoint of its within-bucket slot
+    (``(rank - seen - 0.5) / n``), so the estimate is strictly inside the
+    bucket's ``[lo, hi)`` range whenever the bucket is bounded.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if count <= 0:
+        return 0.0
+    rank = max(1, math.ceil(q * count))
+    seen = 0
+    for index, n in buckets:
+        if n and seen + n >= rank:
+            lo, hi = bucket_bounds(index)
+            if math.isinf(hi):
+                return lo  # saturated top bucket: no width to interpolate
+            return lo + (hi - lo) * ((rank - seen - 0.5) / n)
+        seen += n
+    raise ValueError("bucket counts inconsistent with count")
+
+
+def estimate_quantiles(histogram_snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for one histogram snapshot."""
+    buckets = histogram_snapshot.get("buckets", [])
+    count = int(histogram_snapshot.get("count", 0))
+    return {
+        f"p{int(q * 100)}": estimate_quantile(buckets, count, q)
+        for q in EXPORT_QUANTILES
+    }
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def sanitize_metric_name(name: str, *, prefix: str = "repro") -> str:
+    """Slash-path metric name -> Prometheus-legal ``prefix_a_b_c``."""
+    cleaned = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch == "_") else "_" for ch in name
+    )
+    full = f"{prefix}_{cleaned}" if prefix else cleaned
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    snapshot: Dict[str, Dict[str, Any]], *, prefix: str = "repro"
+) -> str:
+    """Registry snapshot -> Prometheus text exposition format.
+
+    Counters become ``<name>_total``; histograms become summaries
+    (``{quantile="0.5"}`` sample lines from the interpolated estimator,
+    plus ``_sum``/``_count``).
+    """
+    lines: List[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = sanitize_metric_name(name, prefix=prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(float(value))}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = sanitize_metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(float(value))}")
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        metric = sanitize_metric_name(name, prefix=prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for label, estimate in sorted(estimate_quantiles(hist).items()):
+            q = int(label[1:]) / 100.0
+            lines.append(f'{metric}{{quantile="{q:g}"}} {_format_value(estimate)}')
+        lines.append(f"{metric}_sum {_format_value(float(hist['sum']))}")
+        lines.append(f"{metric}_count {_format_value(float(hist['count']))}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_snapshot(snapshot: Dict[str, Dict[str, Any]]) -> str:
+    """Aligned human-readable rendering of a registry snapshot dict.
+
+    Mirrors :meth:`MetricsRegistry.render` but works on exported data (a
+    parsed JSONL record), adding the interpolated p95 the live renderer
+    omits.
+    """
+    lines: List[str] = []
+    counters = sorted(snapshot.get("counters", {}).items())
+    gauges = sorted(snapshot.get("gauges", {}).items())
+    histograms = sorted(snapshot.get("histograms", {}).items())
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name, __ in counters)
+        for name, value in counters:
+            lines.append(f"  {name:<{width}}  {int(value):>12,}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name, __ in gauges)
+        for name, value in gauges:
+            lines.append(f"  {name:<{width}}  {float(value):>12,.1f}")
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name, __ in histograms)
+        for name, hist in histograms:
+            quantiles = estimate_quantiles(hist)
+            lines.append(
+                f"  {name:<{width}}  count={hist['count']:<8,}"
+                f" mean={hist['mean']:<10.1f}"
+                f" p50={quantiles['p50']:<10.1f}"
+                f" p95={quantiles['p95']:<10.1f}"
+                f" p99={quantiles['p99']:<10.1f}"
+                f" max={hist['max']:,.0f}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+# -- JSONL snapshot stream ---------------------------------------------------
+
+
+class SnapshotWriter:
+    """Appends periodic registry snapshots to a JSONL file.
+
+    One JSON object per line: ``{"seq": k, "uptime_us": ..., "metrics":
+    {...}}`` plus any extras the caller attaches (the serve loop adds
+    hotspot headroom samples and span-drop counts).  ``uptime_us`` is
+    monotonic-clock process uptime since the writer was created —
+    forensics only, nothing replays from it.
+    """
+
+    __slots__ = ("path", "_seq", "_start_ns")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._seq = 0
+        self._start_ns = time.perf_counter_ns()
+        # Truncate: a snapshot stream documents one serve run.
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def write(
+        self,
+        registry: MetricsRegistry,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "uptime_us": (time.perf_counter_ns() - self._start_ns) // 1_000,
+            "metrics": registry.snapshot(),
+        }
+        if extra:
+            record.update(extra)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._seq += 1
+        return record
+
+
+def read_snapshots(path: str) -> List[Dict[str, Any]]:
+    """Parse every record of a JSONL snapshot stream."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid snapshot record: {exc}")
+    return records
+
+
+def latest_snapshot(path: str) -> Dict[str, Any]:
+    """The last record of a JSONL snapshot stream (highest ``seq``)."""
+    records = read_snapshots(path)
+    if not records:
+        raise ValueError(f"{path}: no snapshots recorded")
+    return max(records, key=lambda record: int(record.get("seq", -1)))
+
+
+# -- HTTP endpoint -----------------------------------------------------------
+
+
+class MetricsServer:
+    """Serves live metrics over HTTP on a background thread.
+
+    Routes: ``/metrics`` (Prometheus text), ``/metrics.json`` (the raw
+    snapshot dict), and — when a :class:`RingTracer` is attached —
+    ``/trace.json`` (Chrome trace of the spans currently retained).
+    Binding ``port=0`` picks an ephemeral port (see :attr:`port`).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        tracer: Optional[RingTracer] = None,
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:
+                if self.path in ("/", "/metrics"):
+                    body = render_prometheus(server.registry.snapshot()).encode()
+                    self._reply(body, "text/plain; version=0.0.4; charset=utf-8")
+                elif self.path == "/metrics.json":
+                    body = json.dumps(server.registry.snapshot(), sort_keys=True).encode()
+                    self._reply(body, "application/json")
+                elif self.path == "/trace.json" and server.tracer is not None:
+                    body = json.dumps(server.tracer.to_chrome_trace()).encode()
+                    self._reply(body, "application/json")
+                else:
+                    self.send_error(404)
+
+            def _reply(self, body: bytes, content_type: str) -> None:
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: Any) -> None:
+                pass  # keep the serve console clean
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

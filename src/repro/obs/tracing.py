@@ -1,0 +1,245 @@
+"""Lightweight tracing spans for the runtime's phase breakdown.
+
+The runtime wants per-phase timing (``batch`` -> ``shard.apply`` ->
+``wal.append``) without paying for it when nobody is looking, so the API
+is a two-implementation protocol:
+
+* :data:`NULL_TRACER` — the disabled default.  ``span()`` returns one
+  shared, stateless context manager; entering it allocates nothing and
+  reads no clock, so instrumented code costs a method call and a ``with``
+  block when tracing is off.
+* :class:`RingTracer` — the enabled path.  Each closed span becomes one
+  immutable :class:`SpanRecord` in a fixed-capacity ring buffer (bounded
+  memory by construction: once full, the oldest record is overwritten and
+  counted as dropped).  Timing uses ``time.perf_counter_ns`` — a
+  *monotonic* clock, which the RA001 determinism rule permits in this
+  package precisely because span durations never feed replay or recovery
+  decisions (see ``repro.analysis.project.MONOTONIC_CLOCK_SCOPE``).
+
+Lock discipline follows RA003: the ring state (``_spans``, ``_next``) is
+only ever touched under ``self._lock``; snapshot readers copy under the
+lock and format outside it.  Span *objects* are thread-local by usage
+(created, entered and exited on one thread), so only the final
+``_record`` call synchronizes.
+
+Export is Chrome ``trace_event`` JSON ("X" complete events, microsecond
+timestamps) — load the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Any, ContextManager, Dict, List, Optional, Protocol, Sequence
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "RingTracer",
+    "NULL_TRACER",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]
+
+DEFAULT_CAPACITY = 65_536
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One closed span: name, start, duration, recording thread, tags.
+
+    ``ts_ns`` is a ``perf_counter_ns`` reading — monotonic with an
+    arbitrary origin, so only differences between records are meaningful
+    (exactly what a trace viewer needs).
+    """
+
+    name: str
+    ts_ns: int
+    dur_ns: int
+    tid: int
+    args: Optional[Dict[str, Any]] = field(default=None)
+
+    @property
+    def end_ns(self) -> int:
+        return self.ts_ns + self.dur_ns
+
+
+class Tracer(Protocol):
+    """What instrumented code needs: a context manager per named phase."""
+
+    def span(self, name: str, **args: Any) -> ContextManager[Any]: ...
+
+
+class _NullSpan:
+    """The shared do-nothing span (no clock reads, no allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracing disabled: every ``span()`` is the same inert object."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """A live span: reads the clock on enter/exit, records on exit.
+
+    Spans also work as *manual* start/stop pairs (``__enter__`` /
+    ``__exit__(None, None, None)``) for callers whose start and end sites
+    are separate callbacks — the partition-rebuild listener uses this.
+    """
+
+    __slots__ = ("_tracer", "_name", "_args", "_start_ns")
+
+    def __init__(
+        self, tracer: "RingTracer", name: str, args: Optional[Dict[str, Any]]
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+        self._start_ns = 0
+
+    def __enter__(self) -> "_Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        end_ns = time.perf_counter_ns()
+        self._tracer._record(
+            SpanRecord(
+                name=self._name,
+                ts_ns=self._start_ns,
+                dur_ns=end_ns - self._start_ns,
+                tid=threading.get_ident(),
+                args=self._args,
+            )
+        )
+
+
+class RingTracer:
+    """Thread-safe ring buffer of closed spans with bounded memory.
+
+    ``capacity`` bounds resident records; overflow overwrites the oldest
+    span rather than blocking or growing, and the overwritten count is
+    reported as :attr:`dropped` so exported traces are honest about
+    truncation.
+    """
+
+    __slots__ = ("capacity", "_lock", "_spans", "_next")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._spans: List[Optional[SpanRecord]] = [None] * capacity
+        self._next = 0  # total spans ever recorded; write slot = _next % capacity
+
+    def span(self, name: str, **args: Any) -> _Span:
+        return _Span(self, name, args or None)
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans[self._next % self.capacity] = record
+            self._next += 1
+
+    @property
+    def recorded(self) -> int:
+        """Total spans ever closed (including any since overwritten)."""
+        with self._lock:
+            return self._next
+
+    @property
+    def dropped(self) -> int:
+        """Spans lost to ring overflow."""
+        with self._lock:
+            return max(0, self._next - self.capacity)
+
+    def snapshot(self) -> List[SpanRecord]:
+        """The retained spans, oldest first (a consistent copy)."""
+        with self._lock:
+            total = self._next
+            if total <= self.capacity:
+                head = self._spans[:total]
+            else:
+                start = total % self.capacity
+                head = self._spans[start:] + self._spans[:start]
+        return [record for record in head if record is not None]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans = [None] * self.capacity
+            self._next = 0
+
+    def to_chrome_trace(self, *, pid: int = 1) -> Dict[str, Any]:
+        trace = to_chrome_trace(self.snapshot(), pid=pid)
+        trace["otherData"] = {"dropped_spans": self.dropped}
+        return trace
+
+
+def to_chrome_trace(
+    spans: Sequence[SpanRecord], *, pid: int = 1
+) -> Dict[str, Any]:
+    """Render spans as a Chrome ``trace_event`` document.
+
+    Each span becomes one "X" (complete) event; timestamps and durations
+    are microseconds, rebased so the earliest span starts at 0.
+    """
+    base_ns = min((record.ts_ns for record in spans), default=0)
+    events: List[Dict[str, Any]] = []
+    for record in spans:
+        event: Dict[str, Any] = {
+            "name": record.name,
+            "ph": "X",
+            "ts": (record.ts_ns - base_ns) / 1_000.0,
+            "dur": record.dur_ns / 1_000.0,
+            "pid": pid,
+            "tid": record.tid,
+        }
+        if record.args:
+            event["args"] = dict(record.args)
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, source: "RingTracer | Sequence[SpanRecord]", *, pid: int = 1
+) -> int:
+    """Write a Chrome trace JSON file; returns the number of events."""
+    if isinstance(source, RingTracer):
+        trace = source.to_chrome_trace(pid=pid)
+    else:
+        trace = to_chrome_trace(source, pid=pid)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    return len(trace["traceEvents"])

@@ -28,8 +28,26 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "HotspotMetricsListener",
+    "N_HISTOGRAM_BUCKETS",
+    "bucket_index",
     "null_registry",
 ]
+
+#: Number of log2 buckets every histogram carries (bucket 63 saturates, so
+#: observations up to 2**62 land in a bounded bucket).
+N_HISTOGRAM_BUCKETS = 64
+
+
+def bucket_index(value: float) -> int:
+    """The log2 bucket an observation falls into.
+
+    Bucket 0 holds ``[0, 1)`` (negatives clamp to it); bucket ``i >= 1``
+    holds ``[2**(i-1), 2**i)``; the last bucket saturates.  Shared with
+    the exposition layer (``repro.obs.export.bucket_bounds`` is its
+    inverse) so estimated quantiles agree with how ``observe`` binned.
+    """
+    index = max(0, int(value).bit_length()) if value >= 1 else 0
+    return min(index, N_HISTOGRAM_BUCKETS - 1)
 
 
 class Counter:
@@ -96,7 +114,7 @@ class Histogram:
 
     __slots__ = ("_buckets", "_count", "_sum", "_min", "_max", "_lock")
 
-    N_BUCKETS = 64
+    N_BUCKETS = N_HISTOGRAM_BUCKETS
 
     def __init__(self) -> None:
         self._buckets: List[int] = [0] * self.N_BUCKETS
@@ -109,8 +127,7 @@ class Histogram:
     def observe(self, value: float) -> None:
         if value < 0:
             value = 0.0
-        index = max(0, int(value).bit_length()) if value >= 1 else 0
-        index = min(index, self.N_BUCKETS - 1)
+        index = bucket_index(value)
         with self._lock:
             self._buckets[index] += 1
             self._count += 1
@@ -146,11 +163,15 @@ class Histogram:
         buckets, count, _, _, max_value = self._copy_state()
         return _bucket_quantile(buckets, count, max_value, q)
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly state.  ``"buckets"`` lists the nonzero log2
+        buckets as ``[index, count]`` pairs (ascending index) — the raw
+        distribution the exposition layer's interpolated quantile
+        estimator consumes (``repro.obs.export``)."""
         buckets, count, total, min_value, max_value = self._copy_state()
         if count == 0:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
-                    "p50": 0.0, "p99": 0.0}
+                    "p50": 0.0, "p99": 0.0, "buckets": []}
         return {
             "count": count,
             "sum": total,
@@ -159,6 +180,7 @@ class Histogram:
             "mean": total / count,
             "p50": _bucket_quantile(buckets, count, max_value, 0.5),
             "p99": _bucket_quantile(buckets, count, max_value, 0.99),
+            "buckets": [[i, n] for i, n in enumerate(buckets) if n],
         }
 
 
@@ -249,19 +271,24 @@ class MetricsRegistry:
 
 
 class HotspotMetricsListener:
-    """Tracker listener that counts hotspot promotions/demotions.
+    """Tracker listener that counts hotspot boundary traffic.
 
     Attach to any :class:`~repro.core.hotspot_tracker.HotspotTracker` via
-    ``tracker.add_listener``; promotion churn is one of the signals the
-    runtime surfaces (a thrashing tracker means alpha is mis-tuned for the
-    workload).
+    ``tracker.add_listener``.  Promotions and demotions are counted
+    symmetrically, as are the per-item add/remove callbacks on hotspot
+    groups — churn on either axis is one of the signals the runtime
+    surfaces (a thrashing tracker means alpha is mis-tuned for the
+    workload).  The read properties expose the counts directly for tests
+    and callers holding the listener rather than the registry.
     """
 
-    __slots__ = ("_promotions", "_demotions")
+    __slots__ = ("_promotions", "_demotions", "_hot_items_added", "_hot_items_removed")
 
     def __init__(self, registry: MetricsRegistry, prefix: str = "runtime") -> None:
         self._promotions = registry.counter(f"{prefix}/hotspot_promotions")
         self._demotions = registry.counter(f"{prefix}/hotspot_demotions")
+        self._hot_items_added = registry.counter(f"{prefix}/hotspot_items_added")
+        self._hot_items_removed = registry.counter(f"{prefix}/hotspot_items_removed")
 
     def on_promoted(self, group: Any) -> None:
         self._promotions.inc()
@@ -270,10 +297,26 @@ class HotspotMetricsListener:
         self._demotions.inc()
 
     def on_hot_item_added(self, group: Any, item: Any) -> None:
-        pass
+        self._hot_items_added.inc()
 
     def on_hot_item_removed(self, group: Any, item: Any) -> None:
-        pass
+        self._hot_items_removed.inc()
+
+    @property
+    def promotions(self) -> int:
+        return self._promotions.value
+
+    @property
+    def demotions(self) -> int:
+        return self._demotions.value
+
+    @property
+    def hot_items_added(self) -> int:
+        return self._hot_items_added.value
+
+    @property
+    def hot_items_removed(self) -> int:
+        return self._hot_items_removed.value
 
 
 def null_registry() -> Optional[MetricsRegistry]:

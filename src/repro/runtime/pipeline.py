@@ -40,6 +40,8 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard (durability → run
     from repro.durability.manager import DurabilityManager
 
 from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.obs.hotspot_telemetry import HeadroomSample
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.runtime.batching import BatchEntry, MicroBatcher, _row_key
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.sharding import (
@@ -86,8 +88,9 @@ class _Backend(Protocol):
 class _InlineBackend:
     """Shards applied sequentially on the calling thread."""
 
-    def __init__(self, shards: List[Shard]):
+    def __init__(self, shards: List[Shard], tracer: Tracer = NULL_TRACER):
         self.shards = shards
+        self.tracer = tracer
 
     def subscribe(self, indices: Sequence[int], query: Any) -> None:
         for index in indices:
@@ -97,15 +100,21 @@ class _InlineBackend:
         for index in indices:
             self.shards[index].unsubscribe(query)
 
+    def _timed_apply(
+        self, index: int, entries: List[ShardEntry]
+    ) -> Tuple[float, List[Tuple[int, Delta]]]:
+        with self.tracer.span("shard.apply", shard=index, events=len(entries)):
+            start = time.perf_counter()
+            results = self.shards[index].apply_batch(entries)
+            return time.perf_counter() - start, results
+
     def apply_shard_batches(
         self, shard_entries: Dict[int, List[ShardEntry]]
     ) -> ShardBatchResults:
-        out: ShardBatchResults = {}
-        for index, entries in shard_entries.items():
-            start = time.perf_counter()
-            results = self.shards[index].apply_batch(entries)
-            out[index] = (time.perf_counter() - start, results)
-        return out
+        return {
+            index: self._timed_apply(index, entries)
+            for index, entries in shard_entries.items()
+        }
 
     def close(self) -> None:
         pass
@@ -119,18 +128,11 @@ class _ThreadBackend(_InlineBackend):
     and the structure matches what a free-threaded build exploits fully.
     """
 
-    def __init__(self, shards: List[Shard]):
-        super().__init__(shards)
+    def __init__(self, shards: List[Shard], tracer: Tracer = NULL_TRACER):
+        super().__init__(shards, tracer)
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, len(shards)), thread_name_prefix="repro-shard"
         )
-
-    def _timed_apply(
-        self, index: int, entries: List[ShardEntry]
-    ) -> Tuple[float, List[Tuple[int, Delta]]]:
-        start = time.perf_counter()
-        results = self.shards[index].apply_batch(entries)
-        return time.perf_counter() - start, results
 
     def apply_shard_batches(
         self, shard_entries: Dict[int, List[ShardEntry]]
@@ -264,6 +266,7 @@ class EventPipeline:
         coalesce: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         durability: Optional["DurabilityManager"] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         if queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
@@ -277,6 +280,7 @@ class EventPipeline:
             if mode == "process":
                 raise ValueError("durability is not supported in process mode")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
         self.router = ShardRouter(num_shards, domain_lo=domain_lo, domain_hi=domain_hi)
         self.batch_size = batch_size
         self.max_delay = max_delay
@@ -306,15 +310,22 @@ class EventPipeline:
         self._backend: _Backend
         if mode == "inline":
             self._backend = _InlineBackend(
-                [Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=self.metrics)
-                 for i in range(num_shards)]
+                [Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=self.metrics,
+                       tracer=tracer)
+                 for i in range(num_shards)],
+                tracer,
             )
         elif mode == "thread":
             self._backend = _ThreadBackend(
-                [Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=self.metrics)
-                 for i in range(num_shards)]
+                [Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=self.metrics,
+                       tracer=tracer)
+                 for i in range(num_shards)],
+                tracer,
             )
         elif mode == "process":
+            # Worker shards live in other processes, so per-shard spans and
+            # hotspot telemetry stay off in process mode; only the caller-side
+            # "batch" span and pipeline counters are recorded.
             self._backend = _ProcessBackend(
                 num_shards, per_shard_alpha, epsilon, self._queries.__getitem__
             )
@@ -445,6 +456,12 @@ class EventPipeline:
         batch = self._batcher.drain(coalesce=self.coalesce)
         if not batch:
             return []
+        with self.tracer.span("batch", events=len(batch)):
+            return self._flush_batch(batch)
+
+    def _flush_batch(
+        self, batch: List[BatchEntry]
+    ) -> List[Tuple[int, DataEvent, Delta]]:
         if self.durability is not None:
             # Batch-boundary durability barrier: every event a shard is
             # about to apply is already on media (fsync policy permitting).
@@ -522,6 +539,22 @@ class EventPipeline:
         if not isinstance(self._backend, _InlineBackend):
             raise RuntimeError("shard state is not in-process in process mode")
         return self._backend.shards
+
+    def sample_hotspots(self) -> List[HeadroomSample]:
+        """Refresh and return every shard plane's I2 headroom sample.
+
+        Each sample recomputes that plane's tau by a full sweep, so this
+        belongs on the reporting interval, not the event path.  Returns
+        ``[]`` in process mode (shard state lives elsewhere) or when the
+        hotspot tracker is disabled (``alpha=None``).
+        """
+        if not isinstance(self._backend, _InlineBackend):
+            return []
+        samples: List[HeadroomSample] = []
+        for shard in self._backend.shards:
+            if shard.telemetry is not None:
+                samples.extend(shard.telemetry.sample())
+        return samples
 
     # -- lifecycle -----------------------------------------------------------
 

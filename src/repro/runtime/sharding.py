@@ -50,6 +50,8 @@ from repro.operators.hotspot_processor import (
     HotspotBandJoinProcessor,
     HotspotSelectJoinProcessor,
 )
+from repro.obs.hotspot_telemetry import HeadroomSample, HotspotTelemetry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.operators.select_join import SJSSI
 from repro.runtime.metrics import HotspotMetricsListener, MetricsRegistry
 
@@ -256,13 +258,16 @@ class Shard:
         alpha: Optional[float] = 0.01,
         epsilon: float = 1.0,
         metrics: Optional[MetricsRegistry] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.index = index
+        self.tracer = tracer
         self.table_r = TableR()
         self.table_s_band = TableS()
         self.table_s_select = TableS()
         self.band: Any
         self.select: Any
+        self.telemetry: Optional[HotspotTelemetry] = None
         if alpha is None:
             self.band = BJSSI(self.table_s_band, self.table_r, epsilon=epsilon)
             self.select = SJSSI(self.table_s_select, self.table_r, epsilon=epsilon)
@@ -277,6 +282,9 @@ class Shard:
                 listener = HotspotMetricsListener(metrics)
                 self.band.tracker.add_listener(listener)
                 self.select.tracker.add_listener(listener)
+                self.telemetry = HotspotTelemetry(metrics, tracer)
+                self.telemetry.attach(self.band.tracker, f"shard/{index}/band")
+                self.telemetry.attach(self.select.tracker, f"shard/{index}/select")
 
     # -- subscriptions -------------------------------------------------------
 
@@ -376,6 +384,14 @@ class Shard:
     ) -> List[Tuple[int, Delta]]:
         """Probe a run of R-inserts against the (unchanging) S state in one
         batch, then install the rows in arrival order."""
+        with self.tracer.span(
+            "fastpath.run", shard=self.index, relation="R", rows=len(entries)
+        ):
+            return self._r_insert_run(entries)
+
+    def _r_insert_run(
+        self, entries: Sequence[ShardEntry]
+    ) -> List[Tuple[int, Delta]]:
         rows = [entry[1].row for entry in entries]
         band_batch = getattr(self.band, "process_r_batch", None)
         if band_batch is not None:
@@ -401,6 +417,14 @@ class Shard:
         """Symmetric run application for S-inserts; the select plane is
         probed only for the rows whose ``select_probe`` flag is set (rows
         owned by this shard's C-slice)."""
+        with self.tracer.span(
+            "fastpath.run", shard=self.index, relation="S", rows=len(entries)
+        ):
+            return self._s_insert_run(entries)
+
+    def _s_insert_run(
+        self, entries: Sequence[ShardEntry]
+    ) -> List[Tuple[int, Delta]]:
         rows = [entry[1].row for entry in entries]
         band_batch = getattr(self.band, "process_s_batch", None)
         if band_batch is not None:
@@ -477,6 +501,7 @@ class ShardedContinuousQuerySystem:
         domain_hi: float = DOMAIN_HI,
         metrics: Optional[MetricsRegistry] = None,
         durability: Optional["DurabilityManager"] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.router = ShardRouter(
             num_shards, domain_lo=domain_lo, domain_hi=domain_hi
@@ -484,9 +509,11 @@ class ShardedContinuousQuerySystem:
         self.alpha = alpha
         self.epsilon = epsilon
         self.durability = durability
+        self.tracer = tracer
         per_shard_alpha = scaled_alpha(alpha, num_shards)
         self.shards = [
-            Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=metrics)
+            Shard(i, alpha=per_shard_alpha, epsilon=epsilon, metrics=metrics,
+                  tracer=tracer)
             for i in range(num_shards)
         ]
         self._placements: Dict[int, List[int]] = {}
@@ -575,6 +602,10 @@ class ShardedContinuousQuerySystem:
         :meth:`Shard.apply_batch` sees the same event interleaving the
         per-event path would.
         """
+        with self.tracer.span("batch", events=len(events)):
+            return self._apply_batch(events)
+
+    def _apply_batch(self, events: Sequence[DataEvent]) -> List[Delta]:
         per_shard: List[List[ShardEntry]] = [
             [] for _ in self.shards
         ]
@@ -601,6 +632,15 @@ class ShardedContinuousQuerySystem:
             out.append(deltas)
         self._after_apply()
         return out
+
+    def sample_hotspots(self) -> List[HeadroomSample]:
+        """Refresh and return every shard plane's I2 headroom sample (full
+        tau sweep per plane — reporting-interval cost, not per-event)."""
+        samples: List[HeadroomSample] = []
+        for shard in self.shards:
+            if shard.telemetry is not None:
+                samples.extend(shard.telemetry.sample())
+        return samples
 
     # Facade-compatible convenience constructors around ``apply``.
 

@@ -9,6 +9,7 @@ import pytest
 from repro.analysis import Baseline, all_rules, lint_source
 
 CORE = "src/repro/core/fake_module.py"
+OBS = "src/repro/obs/fake_module.py"
 RUNTIME = "src/repro/runtime/fake_worker.py"
 KERNELS = "src/repro/fastpath/kernels.py"
 HOTPATH = "src/repro/dstruct/treap.py"
@@ -259,6 +260,30 @@ class TestScoping:
         # Everything else RA001 polices still fires in the allowlisted module.
         assert run("RA001", checkpoint, "import random\nx = random.random()\n")
         assert run("RA001", checkpoint, "out = [x for x in {1, 2}]\n")
+
+    def test_ra001_covers_the_obs_package(self):
+        assert run("RA001", OBS, "import time\nx = time.time()\n")
+        assert run("RA001", OBS, "import random\nx = random.random()\n")
+        assert run("RA001", OBS, "out = [x for x in {1, 2}]\n")
+
+    def test_ra001_obs_monotonic_clock_carveout(self):
+        """obs/ may read monotonic clocks (span timing) but nothing else:
+        wall clocks and datetime.now still fire, and the carve-out does
+        not leak into core/."""
+        for call in (
+            "time.monotonic()",
+            "time.monotonic_ns()",
+            "time.perf_counter()",
+            "time.perf_counter_ns()",
+        ):
+            src = f"import time\nx = {call}\n"
+            assert run("RA001", OBS, src) == [], call
+            # The same monotonic call is still banned on the replay plane.
+            assert run("RA001", CORE, src), call
+            assert run("RA001", "src/repro/durability/wal.py", src), call
+        # Wall clocks stay banned in obs/ — only the monotonic subset is free.
+        assert run("RA001", OBS, "import time\nx = time.time()\n")
+        assert run("RA001", OBS, "import datetime\nx = datetime.datetime.now()\n")
 
     def test_ra002_allowlist_may_import_numpy(self):
         src = "import numpy as np\n"

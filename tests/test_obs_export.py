@@ -1,0 +1,205 @@
+"""Tests for metric exposition: bucket math, interpolated quantiles,
+Prometheus rendering, JSONL snapshot streams, and the HTTP endpoint."""
+
+import json
+import math
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    MetricsServer,
+    SnapshotWriter,
+    bucket_bounds,
+    estimate_quantile,
+    estimate_quantiles,
+    latest_snapshot,
+    read_snapshots,
+    render_prometheus,
+    render_snapshot,
+    sanitize_metric_name,
+)
+from repro.obs.tracing import RingTracer
+from repro.runtime.metrics import N_HISTOGRAM_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestBucketBounds:
+    def test_bucket_zero_is_unit_interval(self):
+        assert bucket_bounds(0) == (0.0, 1.0)
+
+    def test_power_of_two_buckets(self):
+        assert bucket_bounds(1) == (1.0, 2.0)
+        assert bucket_bounds(5) == (16.0, 32.0)
+
+    def test_last_bucket_saturates(self):
+        lo, hi = bucket_bounds(N_HISTOGRAM_BUCKETS - 1)
+        assert lo == 2.0 ** (N_HISTOGRAM_BUCKETS - 2)
+        assert math.isinf(hi)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_bounds(-1)
+        with pytest.raises(ValueError):
+            bucket_bounds(N_HISTOGRAM_BUCKETS)
+
+
+class TestEstimateQuantile:
+    def test_empty_is_zero(self):
+        assert estimate_quantile([], 0, 0.5) == 0.0
+
+    def test_quantile_domain_checked(self):
+        with pytest.raises(ValueError):
+            estimate_quantile([[0, 1]], 1, 1.5)
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_quantile([[0, 1]], 10, 0.99)
+
+    def test_single_bucket_interpolates_inside(self):
+        # 4 observations in bucket 3 = [4, 8).
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            estimate = estimate_quantile([[3, 4]], 4, q)
+            assert 4.0 <= estimate < 8.0
+
+    def test_rank_walks_buckets(self):
+        # 5 in [0,1), 5 in [2,4): the median is in the first bucket, p99
+        # in the second.
+        buckets = [[0, 5], [2, 5]]
+        assert 0.0 <= estimate_quantile(buckets, 10, 0.5) < 1.0
+        assert 2.0 <= estimate_quantile(buckets, 10, 0.99) < 4.0
+
+    def test_saturated_top_bucket_returns_lower_bound(self):
+        top = N_HISTOGRAM_BUCKETS - 1
+        estimate = estimate_quantile([[top, 3]], 3, 0.99)
+        assert estimate == bucket_bounds(top)[0]
+
+    def test_from_live_histogram_snapshot(self):
+        h = Histogram()
+        for value in [1.0, 2.0, 3.0, 100.0]:
+            h.observe(value)
+        quantiles = estimate_quantiles(h.snapshot())
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        # p99's rank-4 value 100.0 lives in bucket [64, 128).
+        assert 64.0 <= quantiles["p99"] < 128.0
+        # Never above the histogram's own conservative upper-bound quantile.
+        assert quantiles["p99"] <= h.quantile(0.99)
+
+
+class TestPrometheusRendering:
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus({"counters": {}, "gauges": {}, "histograms": {}}) == ""
+
+    def test_sanitize(self):
+        assert sanitize_metric_name("shard/0/batch_us") == "repro_shard_0_batch_us"
+        assert sanitize_metric_name("x", prefix="") == "x"
+        assert sanitize_metric_name("9lives", prefix="").startswith("_")
+
+    def test_counter_gauge_histogram_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline/events").inc(3)
+        registry.gauge("queue").set(2.0)
+        registry.histogram("lat").observe(5.0)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_pipeline_events_total counter" in text
+        assert "repro_pipeline_events_total 3" in text
+        assert "repro_queue 2" in text
+        assert '# TYPE repro_lat summary' in text
+        assert 'repro_lat{quantile="0.5"}' in text
+        assert "repro_lat_sum 5" in text
+        assert "repro_lat_count 1" in text
+        assert text.endswith("\n")
+
+    def test_total_suffix_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.counter("durability/wal_fsync_total").inc()
+        text = render_prometheus(registry.snapshot())
+        assert "repro_durability_wal_fsync_total 1" in text
+        assert "_total_total" not in text
+
+
+class TestRenderSnapshot:
+    def test_empty(self):
+        assert render_snapshot({}) == "(no metrics recorded)"
+
+    def test_includes_interpolated_percentiles(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(12)
+        registry.histogram("lat").observe(3.0)
+        text = render_snapshot(registry.snapshot())
+        assert "events" in text and "12" in text
+        assert "p95=" in text  # the live renderer omits p95; exposition adds it
+
+
+class TestSnapshotStream:
+    def test_writer_truncates_and_sequences(self, tmp_path):
+        path = str(tmp_path / "snaps.jsonl")
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        writer = SnapshotWriter(path)
+        writer.write(registry)
+        registry.counter("c").inc()
+        writer.write(registry, extra={"spans_dropped": 0})
+        records = read_snapshots(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert records[0]["metrics"]["counters"]["c"] == 1
+        assert records[1]["metrics"]["counters"]["c"] == 2
+        assert records[1]["spans_dropped"] == 0
+        assert all(r["uptime_us"] >= 0 for r in records)
+        # A fresh writer documents a fresh run: the file restarts.
+        SnapshotWriter(path)
+        assert read_snapshots(path) == []
+
+    def test_latest_snapshot_picks_highest_seq(self, tmp_path):
+        path = str(tmp_path / "snaps.jsonl")
+        registry = MetricsRegistry()
+        writer = SnapshotWriter(path)
+        for _ in range(3):
+            writer.write(registry)
+        assert latest_snapshot(path)["seq"] == 2
+
+    def test_latest_snapshot_empty_stream_rejected(self, tmp_path):
+        path = str(tmp_path / "snaps.jsonl")
+        SnapshotWriter(path)
+        with pytest.raises(ValueError):
+            latest_snapshot(path)
+
+    def test_corrupt_line_reported_with_number(self, tmp_path):
+        path = tmp_path / "snaps.jsonl"
+        path.write_text('{"seq": 0}\nnot json\n')
+        with pytest.raises(ValueError, match=r":2:"):
+            read_snapshots(str(path))
+
+
+class TestMetricsServer:
+    def fetch(self, url):
+        with urllib.request.urlopen(url) as response:
+            return response.status, response.read().decode("utf-8")
+
+    def test_routes(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(7)
+        tracer = RingTracer(capacity=8)
+        with tracer.span("probe"):
+            pass
+        with MetricsServer(registry, port=0, tracer=tracer) as server:
+            status, prom = self.fetch(server.url + "/metrics")
+            assert status == 200 and "repro_hits_total 7" in prom
+            status, root = self.fetch(server.url + "/")
+            assert root == prom
+            status, raw = self.fetch(server.url + "/metrics.json")
+            assert json.loads(raw)["counters"]["hits"] == 7
+            status, trace = self.fetch(server.url + "/trace.json")
+            loaded = json.loads(trace)
+            assert loaded["traceEvents"][0]["name"] == "probe"
+
+    def test_unknown_route_404(self):
+        with MetricsServer(MetricsRegistry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                self.fetch(server.url + "/nope")
+            assert exc_info.value.code == 404
+
+    def test_trace_route_absent_without_tracer(self):
+        with MetricsServer(MetricsRegistry(), port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                self.fetch(server.url + "/trace.json")
+            assert exc_info.value.code == 404

@@ -1,0 +1,147 @@
+"""Concurrency stress tests: MetricsRegistry instruments and the span ring
+buffer under many writers with live snapshot readers — exact final counts,
+no torn reads, every snapshot internally consistent."""
+
+import threading
+
+from repro.obs.tracing import RingTracer
+from repro.runtime.metrics import MetricsRegistry
+
+N_THREADS = 8
+PER_THREAD = 2_000
+
+
+def run_threads(n, fn):
+    barrier = threading.Barrier(n)
+
+    def work(worker):
+        barrier.wait()
+        fn(worker)
+
+    threads = [threading.Thread(target=work, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return threads
+
+
+class TestRegistryStress:
+    def test_exact_totals_with_concurrent_readers(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("stress/events")
+        histogram = registry.histogram("stress/lat")
+        constant = 3.0  # constant observations make torn reads detectable
+        stop = threading.Event()
+        torn = []
+
+        def read_forever():
+            while not stop.is_set():
+                snap = registry.snapshot()
+                hist = snap["histograms"]["stress/lat"]
+                # sum must always equal count * constant — a mismatch means
+                # a reader saw count and sum from different moments or a
+                # writer updated them non-atomically.
+                if hist["sum"] != hist["count"] * constant:
+                    torn.append(hist)
+                    return
+
+        readers = [threading.Thread(target=read_forever) for _ in range(2)]
+        for r in readers:
+            r.start()
+        try:
+            run_threads(
+                N_THREADS,
+                lambda worker: [
+                    (counter.inc(), histogram.observe(constant))
+                    for _ in range(PER_THREAD)
+                ],
+            )
+        finally:
+            stop.set()
+            for r in readers:
+                r.join()
+        assert torn == []
+        total = N_THREADS * PER_THREAD
+        assert counter.value == total
+        final = registry.snapshot()["histograms"]["stress/lat"]
+        assert final["count"] == total
+        assert final["sum"] == total * constant
+
+    def test_concurrent_instrument_creation_single_instance(self):
+        registry = MetricsRegistry()
+        created = []
+        lock = threading.Lock()
+
+        def create(worker):
+            h = registry.histogram("shared/h")
+            with lock:
+                created.append(h)
+            h.observe(1.0)
+
+        run_threads(16, create)
+        assert all(h is created[0] for h in created)
+        assert registry.snapshot()["histograms"]["shared/h"]["count"] == 16
+
+
+class TestRingTracerStress:
+    def test_exact_counts_and_consistent_snapshots(self):
+        capacity = 1_024
+        tracer = RingTracer(capacity=capacity)
+        per_thread = 1_500  # N_THREADS * per_thread > capacity: forces wrap
+        expected_names = {f"w{i}" for i in range(N_THREADS)}
+        stop = threading.Event()
+        bad = []
+
+        def read_forever():
+            while not stop.is_set():
+                for record in tracer.snapshot():
+                    # Records must always be fully formed — a name outside
+                    # the writer set or negative duration means a torn read.
+                    if record.name not in expected_names or record.dur_ns < 0:
+                        bad.append(record)
+                        return
+
+        readers = [threading.Thread(target=read_forever) for _ in range(2)]
+        for r in readers:
+            r.start()
+        try:
+            def write(worker):
+                for _ in range(per_thread):
+                    with tracer.span(f"w{worker}", worker=worker):
+                        pass
+
+            run_threads(N_THREADS, write)
+        finally:
+            stop.set()
+            for r in readers:
+                r.join()
+        assert bad == []
+        total = N_THREADS * per_thread
+        assert tracer.recorded == total
+        assert tracer.dropped == total - capacity
+        retained = tracer.snapshot()
+        assert len(retained) == capacity
+        # Per-writer accounting: retained + dropped spans cover every write.
+        assert all(record.name in expected_names for record in retained)
+
+    def test_wraparound_keeps_newest_under_concurrency(self):
+        tracer = RingTracer(capacity=64)
+
+        def write(worker):
+            for i in range(200):
+                with tracer.span(f"w{worker}", i=i):
+                    pass
+
+        run_threads(4, write)
+        retained = tracer.snapshot()
+        assert len(retained) == 64
+        assert tracer.recorded == 800
+        assert tracer.dropped == 800 - 64
+        # The snapshot is the newest spans: every retained per-worker index
+        # must be from the tail of that worker's sequence.
+        by_worker = {}
+        for record in retained:
+            by_worker.setdefault(record.name, []).append(record.args["i"])
+        for indices in by_worker.values():
+            assert min(indices) >= 200 - 64 - 1

@@ -77,7 +77,7 @@ class TestHistogram:
         assert h.quantile(0.99) == 0.0
         assert h.snapshot() == {
             "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
-            "p50": 0.0, "p99": 0.0,
+            "p50": 0.0, "p99": 0.0, "buckets": [],
         }
 
     def test_basic_stats(self):
@@ -209,3 +209,52 @@ class TestHotspotMetricsListener:
         for _ in range(8):
             tracker.insert(Interval(0.0, 1.0))
         assert registry.snapshot()["counters"]["shard/3/hotspot_promotions"] >= 1
+
+    def test_direct_callbacks_symmetric(self):
+        """Promotion and demotion are exposed symmetrically: each callback
+        increments exactly its own counter, and the read properties mirror
+        the registry values."""
+        registry = MetricsRegistry()
+        listener = HotspotMetricsListener(registry)
+        group = object()  # callbacks must not depend on the group's type
+        listener.on_promoted(group)
+        listener.on_promoted(group)
+        listener.on_demoted(group)
+        counters = registry.snapshot()["counters"]
+        assert counters["runtime/hotspot_promotions"] == 2
+        assert counters["runtime/hotspot_demotions"] == 1
+        assert listener.promotions == 2
+        assert listener.demotions == 1
+
+    def test_hot_item_churn_counted(self):
+        registry = MetricsRegistry()
+        listener = HotspotMetricsListener(registry, prefix="p")
+        group = object()
+        item = Interval(0.0, 1.0)
+        listener.on_hot_item_added(group, item)
+        listener.on_hot_item_added(group, item)
+        listener.on_hot_item_added(group, item)
+        listener.on_hot_item_removed(group, item)
+        counters = registry.snapshot()["counters"]
+        assert counters["p/hotspot_items_added"] == 3
+        assert counters["p/hotspot_items_removed"] == 1
+        assert listener.hot_items_added == 3
+        assert listener.hot_items_removed == 1
+
+    def test_tracker_hot_item_churn_flows_through(self):
+        """Hot-item membership changes driven by a live tracker reach the
+        listener's item counters, not just the promote/demote ones."""
+        registry = MetricsRegistry()
+        tracker = HotspotTracker(alpha=0.5)
+        listener = HotspotMetricsListener(registry)
+        tracker.add_listener(listener)
+        pile = [Interval(0.0, 10.0) for _ in range(12)]
+        for interval in pile:
+            tracker.insert(interval)
+        # Inserts after promotion land on a hot group; members present
+        # before the promotion fired are not retroactively counted.
+        assert 1 <= listener.hot_items_added <= len(pile)
+        for interval in pile:
+            tracker.delete(interval)
+        assert listener.hot_items_removed >= 1
+        tracker.validate()

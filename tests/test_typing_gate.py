@@ -1,7 +1,7 @@
 """The strict-typing gate for the hot paths.
 
 ``mypy --strict`` must pass on repro.core, repro.dstruct, repro.fastpath,
-repro.runtime, and repro.analysis (configuration in pyproject.toml — the
+repro.runtime, repro.analysis, and repro.obs (configuration in pyproject.toml — the
 runtime override relaxes only ``disallow_untyped_calls``, since the
 runtime deliberately calls the not-yet-annotated operator layer through an
 ``Any`` boundary).  mypy is a CI-only dependency; locally the mypy run
@@ -22,6 +22,7 @@ STRICT_PACKAGES = (
     "repro.fastpath",
     "repro.runtime",
     "repro.analysis",
+    "repro.obs",
 )
 
 
