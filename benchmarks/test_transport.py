@@ -1,0 +1,75 @@
+"""Transport: shared-memory frames vs pickle on the process data plane.
+
+Two bars on the Figure 10(i) band-join workload:
+
+* micro — one shard batch serialized through a loopback ring must beat
+  pickle by >= 2x round-trip at some batch size >= 64 (no scheduling
+  involved; isolates codec + ring cost);
+* e2e — a full ``EventPipeline`` replay in ``mode="process-shm"`` must
+  beat ``mode="process"`` by >= 1.5x events/second (fresh pipelines per
+  repeat, modes interleaved, median repeat per mode).
+
+The combined record is written to ``BENCH_transport.json`` at the repo
+root so the number lands in CI artifacts (``docs/RUNTIME.md`` documents
+the ``BENCH_*.json`` convention).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.bench.batch_fastpath import write_bench_json
+from repro.bench.harness import emit_json
+from repro.bench.transport import format_record, run_transport_benchmark
+
+OUT_PATH = os.environ.get(
+    "REPRO_BENCH_TRANSPORT_OUT",
+    str(Path(__file__).resolve().parents[1] / "BENCH_transport.json"),
+)
+
+
+def test_transport_speedups(benchmark):
+    record = run_transport_benchmark()
+    print()
+    print(format_record(record))
+    emit_json("transport", {k: v for k, v in record.items() if k != "env"})
+    write_bench_json(OUT_PATH, record)
+
+    with open(OUT_PATH) as handle:
+        assert json.load(handle)["tag"] == "transport"
+
+    # Micro bar: >= 2x over pickle at some batch size >= 64.
+    micro = {
+        int(size): row["speedup"]
+        for size, row in record["micro"]["roundtrip"].items()
+    }
+    big = {size: ratio for size, ratio in micro.items() if size >= 64}
+    assert big, "micro benchmark must include a batch size >= 64"
+    best = max(big.values())
+    assert best >= 2.0, f"frame codec speedup {best:.2f}x < 2x at batch >= 64: {micro}"
+    # Every measured batch size must at least beat pickle outright.
+    assert all(ratio > 1.0 for ratio in micro.values()), micro
+
+    # E2E bar: the shm data plane must beat the pickle data plane by
+    # >= 1.5x on the same pipeline workload.
+    e2e = record["e2e"]
+    assert e2e["speedup"] >= 1.5, (
+        f"process-shm speedup {e2e['speedup']:.2f}x < 1.5x: "
+        f"{e2e['events_per_second']}"
+    )
+
+    # Per-op number for pytest-benchmark's table: one 64-entry batch
+    # frame round-tripped through a loopback ring.
+    from repro.bench.transport import _fig10i_insert_events
+    from repro.runtime.transport import frames
+    from repro.runtime.transport.shm import ShmRing
+
+    events = _fig10i_insert_events(64, seed=9)
+    entries = [(seq, event, True, False) for seq, event in enumerate(events)]
+    with ShmRing.create(1 << 20) as ring:
+
+        def roundtrip():
+            ring.send(frames.encode_batch_frame(entries))
+            return frames.decode_frame(ring.recv())
+
+        benchmark(roundtrip)

@@ -39,6 +39,11 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro/runtime/replay.py",
     "repro/durability/",
     "repro/obs/",
+    # The shared-memory data plane: frames must encode/decode bit-stably
+    # and ring traffic must never depend on RNG or set order, or the
+    # process-shm backend silently diverges from the inline reference the
+    # replay driver and the "transport" fuzz target compare it against.
+    "repro/runtime/transport/",
 )
 
 #: RA001 carve-out — modules inside :data:`DETERMINISM_SCOPE` that may read
@@ -65,7 +70,15 @@ WALLCLOCK_METADATA_ALLOWLIST: Dict[str, str] = {
 #: recovery path ever reads back, while wall clocks (``time.time``,
 #: ``datetime.now``) stay banned — an absolute timestamp invites exactly
 #: the "compare to recorded time" logic that breaks replay equivalence.
-MONOTONIC_CLOCK_SCOPE: Tuple[str, ...] = ("repro/obs/",)
+#: ``repro/runtime/transport/`` earns the same carve-out for the opposite
+#: reason: its monotonic reads implement *deadlines* (ring backpressure,
+#: corruption grace windows, worker-response timeouts), not data.  No
+#: clock value ever reaches a frame's bytes — timeouts only decide when
+#: to raise — so replay equivalence is untouched; wall clocks stay banned.
+MONOTONIC_CLOCK_SCOPE: Tuple[str, ...] = (
+    "repro/obs/",
+    "repro/runtime/transport/",
+)
 
 #: The clock calls :data:`MONOTONIC_CLOCK_SCOPE` exempts (a strict subset
 #: of the RA001 wall-clock list).
@@ -147,6 +160,10 @@ HOTPATH_MODULES: FrozenSet[str] = frozenset(
         "repro/runtime/batching.py",
         "repro/runtime/metrics.py",
         "repro/obs/tracing.py",
+        # The shm transport sits on every process-mode batch round trip:
+        # ring send/recv run per frame, the codec touches every row.
+        "repro/runtime/transport/shm.py",
+        "repro/runtime/transport/frames.py",
     }
 )
 

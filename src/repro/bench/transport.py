@@ -1,0 +1,226 @@
+"""Transport benchmark: the shared-memory data plane vs pickle.
+
+Two measurements, both on the Figure 10(i) band-join workload
+(:func:`~repro.bench.batch_fastpath.fig10i_band_params`):
+
+* **micro** — one shard batch of R-insert entries round-tripped through a
+  loopback :class:`~repro.runtime.transport.shm.ShmRing`, serialized once
+  with the columnar frame codec (``encode_batch_frame`` →
+  ``decode_frame``) and once with ``pickle`` — the serialization
+  ``mode="process"`` pays on the same boundary.  No scheduling is
+  involved, so this isolates codec + ring cost per batch.
+* **e2e** — the same arrival stream driven through a full
+  :class:`~repro.runtime.pipeline.EventPipeline` in ``mode="process"``
+  (pickle over ``ProcessPoolExecutor`` pipes) and ``mode="process-shm"``
+  (columnar frames over shared-memory rings), events/second end to end.
+  Each timed repeat uses a fresh pipeline and the identical event list,
+  and modes are interleaved within every repeat so scheduler noise lands
+  on both alike.  The headline ``speedup`` compares the *median* repeat
+  of each mode — single-core hosts drift through fast and slow phases,
+  and a median-over-interleaved-repeats is the statistic least swayed by
+  one lucky or unlucky run; best-repeat numbers are reported alongside.
+
+The combined record lands in ``BENCH_transport.json`` at the repo root
+(see ``docs/RUNTIME.md`` for the ``BENCH_*.json`` convention).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+import statistics
+import time
+from typing import Dict, List, Sequence
+
+from repro.bench.batch_fastpath import band_queries_with_tau, fig10i_band_params
+from repro.bench.harness import bench_env
+from repro.engine.events import DataEvent, EventKind
+from repro.runtime.transport import frames
+from repro.runtime.transport.shm import ShmRing
+from repro.workload import make_tables, r_insert_events
+
+__all__ = [
+    "run_transport_microbenchmark",
+    "run_transport_e2e_benchmark",
+    "run_transport_benchmark",
+    "format_record",
+]
+
+#: Ring size for the loopback micro benchmark — large enough that the
+#: biggest batch frame fits with room to spare, so send never waits.
+_MICRO_RING_CAPACITY = 4 << 20
+
+
+def _fig10i_insert_events(count: int, seed: int) -> List[DataEvent]:
+    """R-arrival DataEvents of the Fig-10(i) stream with unique rids."""
+    params = fig10i_band_params()
+    table_r, _ = make_tables(params)
+    rng = random.Random(seed)
+    return [
+        DataEvent(EventKind.INSERT, "R", table_r.new_row(a, b))
+        for a, b in r_insert_events(params, count, rng)
+    ]
+
+
+def run_transport_microbenchmark(
+    *,
+    batch_sizes: Sequence[int] = (16, 64, 256),
+    repeats: int = 400,
+    seed: int = 9,
+) -> Dict[str, object]:
+    """Frame-codec vs pickle round trips through one loopback ring.
+
+    Returns per-batch-size round-trip microseconds for both serializers
+    and the pickle/frames speedup ratio (>1 means frames win).
+    """
+    events = _fig10i_insert_events(max(batch_sizes), seed)
+    ring = ShmRing.create(_MICRO_RING_CAPACITY)
+    out: Dict[str, Dict[str, float]] = {}
+    try:
+        for size in batch_sizes:
+            entries = [(seq, events[seq], True, False) for seq in range(size)]
+            frames_best = pickle_best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                ring.send(frames.encode_batch_frame(entries))
+                frames.decode_frame(ring.recv())
+                frames_best = min(frames_best, time.perf_counter() - start)
+                start = time.perf_counter()
+                ring.send(pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL))
+                pickle.loads(ring.recv())
+                pickle_best = min(pickle_best, time.perf_counter() - start)
+            out[str(size)] = {
+                "frames_us": frames_best * 1e6,
+                "pickle_us": pickle_best * 1e6,
+                "speedup": pickle_best / frames_best,
+            }
+    finally:
+        ring.close()
+        ring.unlink()
+    return {
+        "tag": "transport_micro",
+        "workload": "fig10i",
+        "batch_sizes": list(batch_sizes),
+        "repeats": repeats,
+        "seed": seed,
+        "roundtrip": out,
+    }
+
+
+def run_transport_e2e_benchmark(
+    *,
+    query_count: int = 50,
+    tau: int = 60,
+    event_count: int = 5_000,
+    num_shards: int = 4,
+    batch_size: int = 16,
+    repeats: int = 5,
+    seed: int = 9,
+) -> Dict[str, object]:
+    """End-to-end pipeline throughput: ``process`` vs ``process-shm``.
+
+    Both modes replay the identical Fig-10(i) arrival stream against the
+    same subscriptions; every repeat builds fresh pipelines (so the probed
+    table is identical across repeats) and runs the two modes back to
+    back.  The headline ``speedup`` is median-vs-median (see the module
+    docstring); per-repeat times and best-repeat throughput are included
+    in the record.
+    """
+    from repro.runtime.pipeline import EventPipeline
+
+    params = fig10i_band_params()
+    events = _fig10i_insert_events(event_count, seed)
+    queries = band_queries_with_tau(params, query_count, tau, seed=50 + query_count)
+
+    def timed_run(mode: str) -> float:
+        pipe = EventPipeline(
+            num_shards=num_shards,
+            batch_size=batch_size,
+            mode=mode,
+            alpha=0.05,
+        )
+        try:
+            for query in queries:
+                pipe.subscribe(query)
+            start = time.perf_counter()
+            pipe.run(events)
+            return time.perf_counter() - start
+        finally:
+            pipe.close()
+
+    times: Dict[str, List[float]] = {"process": [], "process-shm": []}
+    for _ in range(repeats):
+        for mode in times:
+            times[mode].append(timed_run(mode))
+    median = {mode: statistics.median(runs) for mode, runs in times.items()}
+    eps = {mode: event_count / elapsed for mode, elapsed in median.items()}
+    best_eps = {mode: event_count / min(runs) for mode, runs in times.items()}
+    return {
+        "tag": "transport_e2e",
+        "workload": "fig10i",
+        "query_count": query_count,
+        "tau": tau,
+        "event_count": event_count,
+        "num_shards": num_shards,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "seed": seed,
+        "seconds": times,
+        "events_per_second": eps,
+        "best_events_per_second": best_eps,
+        "speedup": eps["process-shm"] / eps["process"],
+        "speedup_best": best_eps["process-shm"] / best_eps["process"],
+    }
+
+
+def run_transport_benchmark(
+    *,
+    micro_batch_sizes: Sequence[int] = (16, 64, 256),
+    micro_repeats: int = 400,
+    query_count: int = 50,
+    tau: int = 60,
+    event_count: int = 5_000,
+    num_shards: int = 4,
+    batch_size: int = 16,
+    e2e_repeats: int = 5,
+    seed: int = 9,
+) -> Dict[str, object]:
+    """The combined record written to ``BENCH_transport.json``."""
+    return {
+        "tag": "transport",
+        "workload": "fig10i",
+        "micro": run_transport_microbenchmark(
+            batch_sizes=micro_batch_sizes, repeats=micro_repeats, seed=seed
+        ),
+        "e2e": run_transport_e2e_benchmark(
+            query_count=query_count,
+            tau=tau,
+            event_count=event_count,
+            num_shards=num_shards,
+            batch_size=batch_size,
+            repeats=e2e_repeats,
+            seed=seed,
+        ),
+        "env": bench_env(),
+    }
+
+
+def format_record(record: Dict[str, object]) -> str:
+    micro = record["micro"]
+    e2e = record["e2e"]
+    assert isinstance(micro, dict) and isinstance(e2e, dict)
+    lines = ["transport — fig10i band join, shm frames vs pickle"]
+    for size, row in micro["roundtrip"].items():
+        lines.append(
+            f"  micro batch={size:>4}: frames {row['frames_us']:,.0f}us  "
+            f"pickle {row['pickle_us']:,.0f}us  ({row['speedup']:.2f}x)"
+        )
+    eps = e2e["events_per_second"]
+    lines.append(
+        f"  e2e ({e2e['query_count']} queries, {e2e['num_shards']} shards, "
+        f"batch={e2e['batch_size']}): "
+        f"process {eps['process']:,.0f} ev/s  "
+        f"process-shm {eps['process-shm']:,.0f} ev/s  "
+        f"({e2e['speedup']:.2f}x)"
+    )
+    return "\n".join(lines)

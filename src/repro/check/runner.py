@@ -96,34 +96,40 @@ def run_sequence(
     model = ModelState()
     check_rounds = 0
     applied = 0
-    for index, op in enumerate(ops):
-        if not model.is_legal(op):
-            continue
-        model.apply(op)
-        applied += 1
-        for target in live:
-            if op.kind not in target.kinds:
+    try:
+        for index, op in enumerate(ops):
+            if not model.is_legal(op):
                 continue
-            try:
-                target.apply(op, model)
-            except Divergence as exc:
-                return RunOutcome(
-                    applied,
-                    check_rounds,
-                    DivergenceRecord(index, exc.target, exc.message),
-                )
-            except AssertionError as exc:
-                return RunOutcome(
-                    applied,
-                    check_rounds,
-                    DivergenceRecord(index, target.name, f"assertion: {exc}"),
-                )
-        if applied % check_every == 0 or index == len(ops) - 1:
-            check_rounds += 1
-            failure = _check_round(live, model, index)
-            if failure is not None:
-                return RunOutcome(applied, check_rounds, failure)
-    return RunOutcome(applied, check_rounds)
+            model.apply(op)
+            applied += 1
+            for target in live:
+                if op.kind not in target.kinds:
+                    continue
+                try:
+                    target.apply(op, model)
+                except Divergence as exc:
+                    return RunOutcome(
+                        applied,
+                        check_rounds,
+                        DivergenceRecord(index, exc.target, exc.message),
+                    )
+                except AssertionError as exc:
+                    return RunOutcome(
+                        applied,
+                        check_rounds,
+                        DivergenceRecord(index, target.name, f"assertion: {exc}"),
+                    )
+            if applied % check_every == 0 or index == len(ops) - 1:
+                check_rounds += 1
+                failure = _check_round(live, model, index)
+                if failure is not None:
+                    return RunOutcome(applied, check_rounds, failure)
+        return RunOutcome(applied, check_rounds)
+    finally:
+        # Targets may own processes or shm segments (e.g. "transport");
+        # release them whether the run passed, diverged, or raised.
+        for target in live:
+            target.close()
 
 
 def _check_round(

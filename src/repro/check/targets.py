@@ -56,6 +56,13 @@ class FuzzTarget:
     def check(self, model: ModelState) -> None:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release external resources (processes, shared memory, temp dirs).
+
+        The runner calls this for every target when a run ends, pass or
+        fail; the default is a no-op since most targets are pure in-process
+        structures."""
+
 
 # -- interval-domain targets -------------------------------------------------
 
@@ -696,6 +703,143 @@ class DurabilityTarget(FuzzTarget):
         )
 
 
+class TransportTarget(FuzzTarget):
+    """Differential check of the shared-memory data plane.
+
+    Engine ops are buffered and periodically replayed through two
+    :class:`~repro.runtime.pipeline.EventPipeline` instances that differ
+    *only* in backend — ``mode="process-shm"`` (columnar frames over shm
+    rings) vs ``mode="inline"`` — with coalescing off so every submitted
+    event produces a comparable ``(seq, deltas)`` entry.  Any divergence
+    means the frame codec or the ring dropped, duplicated, or reordered
+    something the in-process path did not.
+
+    Query churn flushes the buffer first so subscriptions take effect at
+    the same stream position on both sides.  This target spawns one worker
+    process per shard, so it is registered in :data:`TARGET_FACTORIES` for
+    explicit selection (``repro fuzz --targets transport``) but kept out of
+    :data:`DEFAULT_TARGETS`.
+    """
+
+    name = "transport"
+    kinds = ENGINE_KINDS
+
+    def __init__(
+        self,
+        num_shards: int = 2,
+        alpha: Optional[float] = 0.2,
+        epsilon: float = 1.0,
+        batch_size: int = 8,
+    ) -> None:
+        from repro.runtime.pipeline import EventPipeline
+
+        self._pipes = {
+            mode: EventPipeline(
+                num_shards=num_shards,
+                alpha=alpha,
+                epsilon=epsilon,
+                batch_size=batch_size,
+                mode=mode,
+                coalesce=False,
+            )
+            for mode in ("process-shm", "inline")
+        }
+        self._pending: List[tuple] = []  # (event, label)
+        self._r_rows: Dict[int, RTuple] = {}
+        self._s_rows: Dict[int, STuple] = {}
+        self._queries: Dict[int, object] = {}
+        self._closed = False
+
+    def apply(self, op: Op, model: ModelState) -> None:
+        kind, key = op.kind, op.key
+        if kind == op_mod.INSERT_R:
+            row = RTuple(key, op.values[0], op.values[1])
+            self._r_rows[key] = row
+            self._pending.append(
+                (DataEvent(EventKind.INSERT, "R", row), f"insert_r #{key}")
+            )
+        elif kind == op_mod.INSERT_S:
+            row = STuple(key, op.values[0], op.values[1])
+            self._s_rows[key] = row
+            self._pending.append(
+                (DataEvent(EventKind.INSERT, "S", row), f"insert_s #{key}")
+            )
+        elif kind == op_mod.DELETE_R:
+            row = self._r_rows.pop(key)
+            self._pending.append(
+                (DataEvent(EventKind.DELETE, "R", row), f"delete_r #{key}")
+            )
+        elif kind == op_mod.DELETE_S:
+            row = self._s_rows.pop(key)
+            self._pending.append(
+                (DataEvent(EventKind.DELETE, "S", row), f"delete_s #{key}")
+            )
+        elif kind == op_mod.SUB_BAND:
+            self._flush()
+            query = BandJoinQuery(Interval(op.values[0], op.values[1]), qid=key)
+            self._queries[key] = query
+            for pipe in self._pipes.values():
+                pipe.subscribe(query)
+        elif kind == op_mod.SUB_SELECT:
+            self._flush()
+            query = SelectJoinQuery(
+                Interval(op.values[0], op.values[1]),
+                Interval(op.values[2], op.values[3]),
+                qid=key,
+            )
+            self._queries[key] = query
+            for pipe in self._pipes.values():
+                pipe.subscribe(query)
+        elif kind == op_mod.UNSUB:
+            self._flush()
+            query = self._queries.pop(key)
+            for pipe in self._pipes.values():
+                pipe.unsubscribe(query)
+
+    def _flush(self) -> None:
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        events = [entry[0] for entry in pending]
+        results = {
+            mode: pipe.run(list(events)) for mode, pipe in self._pipes.items()
+        }
+        shm_run, inline_run = results["process-shm"], results["inline"]
+        expect(
+            len(shm_run) == len(inline_run) == len(pending),
+            self.name,
+            f"process-shm applied {len(shm_run)} event(s), inline "
+            f"{len(inline_run)}, submitted {len(pending)}",
+        )
+        for (_, label), (_, _, shm_delta), (_, _, inline_delta) in zip(
+            pending, shm_run, inline_run
+        ):
+            got = normalize_deltas(shm_delta)
+            want = normalize_deltas(inline_delta)
+            expect(
+                got == want,
+                self.name,
+                f"{label}: process-shm deltas {got} != inline deltas {want}",
+            )
+
+    def check(self, model: ModelState) -> None:
+        self._flush()
+        for mode, pipe in self._pipes.items():
+            expect(
+                pipe.subscription_count == model.subscription_count(),
+                self.name,
+                f"{mode} pipeline holds {pipe.subscription_count} "
+                f"subscription(s), model {model.subscription_count()}",
+            )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for pipe in self._pipes.values():
+            pipe.close()
+
+
 # -- registry ----------------------------------------------------------------
 
 TARGET_FACTORIES: Dict[str, Callable[[], FuzzTarget]] = {
@@ -707,6 +851,10 @@ TARGET_FACTORIES: Dict[str, Callable[[], FuzzTarget]] = {
     "sharded": EngineTarget,
     "fastpath": FastpathTarget,
     "durability": DurabilityTarget,
+    # Spawns worker processes + shm segments; select explicitly with
+    # ``repro fuzz --targets transport`` (deliberately not in
+    # DEFAULT_TARGETS so the default campaign stays in-process).
+    "transport": TransportTarget,
 }
 
 DEFAULT_TARGETS = (

@@ -27,8 +27,9 @@ Self-contained utilities that do not require the repository checkout:
   valid checkpoint + sequence-deduped WAL replay) and report what was
   restored;
 * ``bench``     — run the batched-throughput benchmark (columnar batch fast
-  path vs per-event probing on the Fig-10(i) band-join workload) and
-  optionally write the ``BENCH_batch_fastpath.json`` record.
+  path vs per-event probing on the Fig-10(i) band-join workload) and write
+  the ``BENCH_batch_fastpath.json`` record at the repo root (the
+  ``BENCH_*.json`` convention in ``docs/RUNTIME.md``; ``--out`` overrides).
 
 Figure regeneration itself lives in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only`` from a checkout).
@@ -314,8 +315,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if args.policy != "block":
             print("serve: --wal-dir requires --policy block", file=sys.stderr)
             return 2
-        if args.mode == "process":
-            print("serve: --wal-dir is not supported with --mode process", file=sys.stderr)
+        if args.mode in ("process", "process-shm"):
+            print(
+                f"serve: --wal-dir is not supported with --mode {args.mode}",
+                file=sys.stderr,
+            )
             return 2
         durability = DurabilityManager(
             Path(args.wal_dir),
@@ -586,7 +590,11 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--churn", type=float, default=0.0,
                         help="fraction of deletions targeting just-inserted rows")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--mode", choices=["inline", "thread", "process"], default="inline")
+    parser.add_argument(
+        "--mode",
+        choices=["inline", "thread", "process", "process-shm"],
+        default="inline",
+    )
     parser.add_argument("--policy", choices=["block", "drop-oldest", "reject"], default="block")
 
 
@@ -626,7 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--targets",
         default=None,
         help="comma-separated target subset (default: all of "
-        "lazy,refined,multidim,tracker,batcher,sharded,fastpath,durability)",
+        "lazy,refined,multidim,tracker,batcher,sharded,fastpath,durability; "
+        "'transport' — the process-shm vs inline pipeline check — is "
+        "opt-in because it spawns worker processes)",
     )
     fuzz.add_argument(
         "--shrink",
@@ -753,8 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--warmup", type=int, default=1, help="untimed warmup passes")
     bench.add_argument("--seed", type=int, default=9)
     bench.add_argument(
-        "--out", default=None, metavar="FILE",
-        help="write the benchmark record as JSON (e.g. BENCH_batch_fastpath.json)",
+        "--out", default="BENCH_batch_fastpath.json", metavar="FILE",
+        help="write the benchmark record as JSON; BENCH_*.json at the repo "
+        "root is the convention CI artifact globs pick up (see "
+        "docs/RUNTIME.md); pass --out '' to skip writing",
     )
     bench.set_defaults(func=_cmd_bench)
 

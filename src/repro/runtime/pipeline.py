@@ -32,6 +32,7 @@ stream order an unsharded system would see.
 from __future__ import annotations
 
 import enum
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Set, Tuple
@@ -40,6 +41,9 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard (durability → run
     from repro.durability.manager import DurabilityManager
 
 from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.runtime.transport import frames as _frames
+from repro.runtime.transport.shm import RingTimeoutError, ShmRing, TransportError
+from repro.runtime.transport.worker import shard_worker_main
 from repro.obs.hotspot_telemetry import HeadroomSample
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.runtime.batching import BatchEntry, MicroBatcher, _row_key
@@ -238,6 +242,191 @@ class _ProcessBackend:
             pool.shutdown(wait=True)
 
 
+class _ProcessShmBackend:
+    """Shard state pinned to worker processes behind shared-memory rings.
+
+    The pickle-free process data plane (``docs/RUNTIME.md``): one
+    persistent worker per shard, each owning a request ring and a response
+    ring (:mod:`repro.runtime.transport`).  Batches cross the boundary as
+    columnar frames, results come back as row tables plus
+    (seq, qid, sign, row-ref) tuples resolved to the caller's query
+    objects; subscribe/unsubscribe travel as control frames with ACKs.
+
+    The protocol is one frame in flight per shard, so dispatch sends every
+    shard's batch first and only then collects responses — shard workers
+    overlap.  ``close()`` is idempotent and unlinks every segment even
+    after a worker crash (shutdown frame → join with timeout → kill →
+    unlink).
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        alpha: Optional[float],
+        epsilon: float,
+        resolve_query: Callable[[int], Any],
+        metrics: MetricsRegistry,
+        tracer: Tracer = NULL_TRACER,
+        ring_capacity: int = 4 << 20,
+        timeout: float = 60.0,
+    ):
+        self._resolve = resolve_query
+        self.metrics = metrics
+        self.tracer = tracer
+        self._timeout = timeout
+        self._closed = False
+        self._requests: List[ShmRing] = []
+        self._responses: List[ShmRing] = []
+        self._workers: List[multiprocessing.process.BaseProcess] = []
+        ctx = multiprocessing.get_context()
+        try:
+            for index in range(num_shards):
+                request_bell = ctx.Semaphore(0)
+                response_bell = ctx.Semaphore(0)
+                self._requests.append(
+                    ShmRing.create(ring_capacity, doorbell=request_bell)
+                )
+                self._responses.append(
+                    ShmRing.create(ring_capacity, doorbell=response_bell)
+                )
+                worker = ctx.Process(
+                    target=shard_worker_main,
+                    args=(
+                        index,
+                        alpha,
+                        epsilon,
+                        self._requests[index].name,
+                        self._responses[index].name,
+                        request_bell,
+                        response_bell,
+                    ),
+                    name=f"repro-shm-shard-{index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- framed request/response ---------------------------------------------
+
+    def _await_raw(self, index: int) -> bytes:
+        """Block for one response frame, failing fast if the worker died."""
+        ring = self._responses[index]
+        deadline = time.monotonic() + self._timeout
+        while True:
+            payload = ring.recv(timeout=0.05)
+            if payload is not None:
+                return payload
+            if not self._workers[index].is_alive():
+                raise TransportError(
+                    f"shard {index} worker exited "
+                    f"(exitcode {self._workers[index].exitcode}) mid-request"
+                )
+            if time.monotonic() >= deadline:
+                raise RingTimeoutError(
+                    f"no response from shard {index} within {self._timeout:.1f}s"
+                )
+
+    def _expect_ack(self, index: int) -> None:
+        frame_type, body = _frames.decode_frame(self._await_raw(index))
+        if frame_type == _frames.FRAME_ERROR:
+            raise TransportError(str(body))
+        if frame_type != _frames.FRAME_ACK:
+            raise TransportError(
+                f"shard {index}: expected ACK, got frame type {frame_type}"
+            )
+
+    def _send(self, index: int, payload: bytes) -> None:
+        self._requests[index].send(payload, timeout=self._timeout)
+        self.metrics.counter("transport/bytes_out").inc(len(payload))
+        self.metrics.gauge(f"transport/ring/{index}/request_bytes").set(
+            self._requests[index].occupancy()
+        )
+
+    # -- backend protocol ----------------------------------------------------
+
+    def subscribe(self, indices: Sequence[int], query: Any) -> None:
+        payload = _frames.encode_control_frame(QueryEvent(EventKind.INSERT, query))
+        for index in indices:
+            self._send(index, payload)
+            self._expect_ack(index)
+
+    def unsubscribe(self, indices: Sequence[int], query: Any) -> None:
+        payload = _frames.encode_control_frame(QueryEvent(EventKind.DELETE, query))
+        for index in indices:
+            self._send(index, payload)
+            self._expect_ack(index)
+
+    def apply_shard_batches(
+        self, shard_entries: Dict[int, List[ShardEntry]]
+    ) -> ShardBatchResults:
+        out: ShardBatchResults = {}
+        with self.tracer.span("transport.roundtrip", shards=len(shard_entries)):
+            start = time.perf_counter()
+            payloads = {
+                index: _frames.encode_batch_frame(entries)
+                for index, entries in shard_entries.items()
+            }
+            self.metrics.histogram("transport/encode_us").observe(
+                (time.perf_counter() - start) * 1e6
+            )
+            # Dispatch everything before collecting anything: one frame in
+            # flight per shard, all shards in flight at once.
+            for index, payload in payloads.items():
+                self._send(index, payload)
+            bytes_in = self.metrics.counter("transport/bytes_in")
+            decode_us = self.metrics.histogram("transport/decode_us")
+            for index in payloads:
+                raw = self._await_raw(index)
+                bytes_in.inc(len(raw))
+                self.metrics.gauge(f"transport/ring/{index}/response_bytes").set(
+                    self._responses[index].occupancy()
+                )
+                start = time.perf_counter()
+                frame_type, body = _frames.decode_frame(raw)
+                decode_us.observe((time.perf_counter() - start) * 1e6)
+                if frame_type == _frames.FRAME_ERROR:
+                    raise TransportError(str(body))
+                if frame_type != _frames.FRAME_RESULT:
+                    raise TransportError(
+                        f"shard {index}: expected RESULT, got frame type {frame_type}"
+                    )
+                elapsed, results = body
+                out[index] = (
+                    elapsed,
+                    [
+                        (seq, {self._resolve(qid): rows for qid, rows in deltas.items()})
+                        for seq, deltas in results
+                    ],
+                )
+        return out
+
+    def close(self) -> None:
+        """Stop workers and unlink every segment.  Idempotent; tolerates
+        workers that already crashed or never started."""
+        if self._closed:
+            return
+        self._closed = True
+        shutdown = _frames.encode_shutdown_frame()
+        for index, worker in enumerate(self._workers):
+            if worker.is_alive():
+                try:
+                    self._requests[index].send(shutdown, timeout=1.0)
+                except TransportError:
+                    pass
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+        for worker in self._workers:
+            if worker.is_alive():  # pragma: no cover — crash-path hammer
+                worker.kill()
+                worker.join(timeout=5.0)
+        for ring in (*self._requests, *self._responses):
+            ring.close()
+            ring.unlink()
+
+
 # -- the pipeline ------------------------------------------------------------
 
 
@@ -277,7 +466,7 @@ class EventPipeline:
             # the checkpointer.
             if BackpressurePolicy(backpressure) is not BackpressurePolicy.BLOCK:
                 raise ValueError("durability requires the 'block' backpressure policy")
-            if mode == "process":
+            if mode in ("process", "process-shm"):
                 raise ValueError("durability is not supported in process mode")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer
@@ -329,8 +518,24 @@ class EventPipeline:
             self._backend = _ProcessBackend(
                 num_shards, per_shard_alpha, epsilon, self._queries.__getitem__
             )
+        elif mode == "process-shm":
+            # Same process-isolation model, pickle-free data plane: batches
+            # and deltas cross worker boundaries as columnar shared-memory
+            # frames (repro.runtime.transport).  Caller-side transport
+            # metrics and the transport.roundtrip span are recorded here;
+            # per-shard spans/telemetry stay off as in process mode.
+            self._backend = _ProcessShmBackend(
+                num_shards,
+                per_shard_alpha,
+                epsilon,
+                self._queries.__getitem__,
+                self.metrics,
+                tracer,
+            )
         else:
-            raise ValueError(f"unknown mode {mode!r} (inline|thread|process)")
+            raise ValueError(
+                f"unknown mode {mode!r} (inline|thread|process|process-shm)"
+            )
 
     # -- subscriptions (barrier semantics) -----------------------------------
 

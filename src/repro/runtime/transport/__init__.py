@@ -1,0 +1,55 @@
+"""Zero-copy shared-memory transport for the process data plane.
+
+``mode="process"`` pays pickle both ways on every batch: each
+:class:`~repro.engine.events.DataEvent` and every qid-keyed delta dict is
+serialized through the ``ProcessPoolExecutor`` pipe.  This package replaces
+that boundary with a pickle-free data plane:
+
+* :mod:`repro.runtime.transport.shm` — a fixed-capacity SPSC ring buffer
+  over :mod:`multiprocessing.shared_memory` with CRC32-framed records,
+  ring-full backpressure (block with deadline) and idempotent
+  teardown/unlink semantics.
+* :mod:`repro.runtime.transport.frames` — a versioned columnar frame
+  codec in the tagged-binary style of :mod:`repro.durability.codec`:
+  insert runs travel as flat id/float arrays, deletes as compact
+  per-entry records, result deltas as (seq, qid, sign, row-ref) tuples
+  resolved against the frame's own row table.
+* :mod:`repro.runtime.transport.worker` — the persistent shard-worker
+  loop: drain the request ring, apply, answer on the response ring, exit
+  on a shutdown frame.
+
+The pipeline side lives in :class:`repro.runtime.pipeline.EventPipeline`
+(``mode="process-shm"``).
+"""
+
+from repro.runtime.transport.frames import (
+    FRAME_VERSION,
+    FrameError,
+    decode_batch_frame,
+    decode_frame,
+    decode_result_frame,
+    encode_batch_frame,
+    encode_control_frame,
+    encode_result_frame,
+)
+from repro.runtime.transport.shm import (
+    FrameCorruptionError,
+    RingTimeoutError,
+    ShmRing,
+    TransportError,
+)
+
+__all__ = [
+    "FRAME_VERSION",
+    "FrameError",
+    "FrameCorruptionError",
+    "RingTimeoutError",
+    "ShmRing",
+    "TransportError",
+    "decode_batch_frame",
+    "decode_frame",
+    "decode_result_frame",
+    "encode_batch_frame",
+    "encode_control_frame",
+    "encode_result_frame",
+]

@@ -1,0 +1,396 @@
+"""Versioned columnar frame codec for the shard data plane.
+
+Same philosophy as :mod:`repro.durability.codec` (tagged little-endian
+``struct`` layouts, no pickle: pickle executes code on load, changes shape
+across refactors, and cannot be validated byte-by-byte) — but framed for
+*throughput* rather than durability: a micro-batch crosses the process
+boundary as a handful of flat arrays instead of one pickled object per
+event.
+
+Every frame starts ``[u8 frame_type][u8 version]``.  Frame types::
+
+    1  BATCH     ordered shard entries, columnar (below)
+    2  RESULT    elapsed + row table + (seq, qid, sign, row-ref) deltas
+    3  CONTROL   one durability-codec record (SUB band/select, UNSUB)
+    4  ACK       empty body — control acknowledged
+    5  SHUTDOWN  empty body — worker drains and exits
+    6  ERROR     utf-8 message — worker-side exception report
+
+**BATCH** — ``u32 n_entries`` then *segments*.  The entry list is split
+into maximal runs of the same (kind, relation); each run is one segment
+``[u8 seg_tag][u32 count]`` followed by flat columns::
+
+    seqs   <{n}q    event sequence numbers
+    ids    <{n}q    rid (R) or sid (S)
+    x      <{n}d    a (R) or b (S)
+    y      <{n}d    b (R) or c (S)
+    flags  {n}B     bit0 = select_probe, bit1 = select_state
+
+Segment tags: 1 INSERT_R, 2 INSERT_S, 3 DELETE_R, 4 DELETE_S.  Columns
+are contiguous little-endian int64/float64, so a numpy consumer can
+``frombuffer`` them with zero copies (the worker's fastpath kernels
+consume exactly such flat columns); this module itself stays pure-``struct``
+— numpy imports are confined to the kernel allowlist (RA002).
+
+**RESULT** — ``f64 elapsed``, a deduplicated row table of ``u32 n_rows``
+records ``<Bqdd>`` (tag 1 = R row rid/a/b, tag 2 = S row sid/b/c), then
+the delta tuples as flat columns — one *group* per (seq, qid) pair with a
+non-empty delta, groups in sequence order::
+
+    u32 n_groups
+    seqs    <{g}q   event sequence number per group
+    qids    <{g}q   query id per group
+    signs   <{g}b   +1 for every current delta
+    counts  <{g}I   row references per group
+    u32 total_refs
+    refs    <{t}I   row-table indices, group-major
+
+``sign`` is +1 always today (the engine emits matches only); it is
+carried on the wire so retractions can ship without a version bump.  Row
+references index the frame's own row table, so a row matched by many
+queries crosses the boundary once; empty deltas are elided entirely —
+the pipeline pre-initializes every sequence's result slot, so absence
+and emptiness are indistinguishable on the consuming side.
+
+NaN endpoints round-trip bit-exactly (values are moved by ``struct``,
+never compared), which the property tests pin down.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.durability.codec import decode_record, encode_event
+from repro.engine.events import DataEvent, EventKind
+from repro.engine.table import RTuple, STuple
+from repro.runtime.sharding import ShardEntry
+from repro.runtime.transport.shm import TransportError
+
+__all__ = [
+    "FRAME_VERSION",
+    "FRAME_BATCH",
+    "FRAME_RESULT",
+    "FRAME_CONTROL",
+    "FRAME_ACK",
+    "FRAME_SHUTDOWN",
+    "FRAME_ERROR",
+    "FrameError",
+    "QidDeltas",
+    "SeqResults",
+    "encode_batch_frame",
+    "decode_batch_frame",
+    "encode_result_frame",
+    "decode_result_frame",
+    "encode_control_frame",
+    "encode_ack_frame",
+    "encode_shutdown_frame",
+    "encode_error_frame",
+    "decode_frame",
+]
+
+FRAME_VERSION = 1
+
+FRAME_BATCH = 1
+FRAME_RESULT = 2
+FRAME_CONTROL = 3
+FRAME_ACK = 4
+FRAME_SHUTDOWN = 5
+FRAME_ERROR = 6
+
+_SEG_INSERT_R = 1
+_SEG_INSERT_S = 2
+_SEG_DELETE_R = 3
+_SEG_DELETE_S = 4
+
+_HDR = struct.Struct("<BB")
+_U32 = struct.Struct("<I")
+_SEG = struct.Struct("<BI")
+_F64 = struct.Struct("<d")
+_ROW = struct.Struct("<Bqdd")  # row-table record: tag, id, x, y
+
+_ROW_TAG_R = 1
+_ROW_TAG_S = 2
+
+#: Per-query delta rows keyed by qid (the worker side of
+#: :data:`repro.runtime.sharding.Delta`, which keys by query object).
+QidDeltas = Dict[int, List[Any]]
+#: One batch's results: ``(seq, deltas)`` in application order.
+SeqResults = List[Tuple[int, QidDeltas]]
+
+
+class FrameError(TransportError):
+    """A frame does not match the wire format."""
+
+
+def _seg_tag(event: DataEvent) -> int:
+    if event.relation == "R":
+        return _SEG_INSERT_R if event.kind is EventKind.INSERT else _SEG_DELETE_R
+    return _SEG_INSERT_S if event.kind is EventKind.INSERT else _SEG_DELETE_S
+
+
+# -- BATCH -------------------------------------------------------------------
+
+
+def encode_batch_frame(entries: Sequence[ShardEntry]) -> bytes:
+    """Encode an ordered shard batch as columnar run segments."""
+    parts: List[bytes] = [
+        _HDR.pack(FRAME_BATCH, FRAME_VERSION),
+        _U32.pack(len(entries)),
+    ]
+    i, total = 0, len(entries)
+    while i < total:
+        tag = _seg_tag(entries[i][1])
+        j = i + 1
+        while j < total and _seg_tag(entries[j][1]) == tag:
+            j += 1
+        n = j - i
+        run = entries[i:j]
+        seqs = [entry[0] for entry in run]
+        if tag in (_SEG_INSERT_R, _SEG_DELETE_R):
+            ids = [entry[1].row.rid for entry in run]
+            xs = [entry[1].row.a for entry in run]
+            ys = [entry[1].row.b for entry in run]
+        else:
+            ids = [entry[1].row.sid for entry in run]
+            xs = [entry[1].row.b for entry in run]
+            ys = [entry[1].row.c for entry in run]
+        flags = bytes(
+            (1 if entry[2] else 0) | (2 if entry[3] else 0) for entry in run
+        )
+        parts.append(_SEG.pack(tag, n))
+        parts.append(struct.pack(f"<{n}q", *seqs))
+        parts.append(struct.pack(f"<{n}q", *ids))
+        parts.append(struct.pack(f"<{n}d", *xs))
+        parts.append(struct.pack(f"<{n}d", *ys))
+        parts.append(flags)
+        i = j
+    return b"".join(parts)
+
+
+def decode_batch_frame(payload: bytes) -> List[ShardEntry]:
+    """Decode a BATCH frame body back into ordered shard entries."""
+    offset = _HDR.size
+    (n_entries,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    entries: List[ShardEntry] = []
+    while len(entries) < n_entries:
+        if offset + _SEG.size > len(payload):
+            raise FrameError("truncated batch segment header")
+        tag, n = _SEG.unpack_from(payload, offset)
+        offset += _SEG.size
+        need = 2 * 8 * n + 2 * 8 * n + n
+        if offset + need > len(payload):
+            raise FrameError(f"truncated batch segment (tag {tag}, n {n})")
+        seqs = struct.unpack_from(f"<{n}q", payload, offset)
+        offset += 8 * n
+        ids = struct.unpack_from(f"<{n}q", payload, offset)
+        offset += 8 * n
+        xs = struct.unpack_from(f"<{n}d", payload, offset)
+        offset += 8 * n
+        ys = struct.unpack_from(f"<{n}d", payload, offset)
+        offset += 8 * n
+        flags = payload[offset : offset + n]
+        offset += n
+        if tag in (_SEG_INSERT_R, _SEG_DELETE_R):
+            kind = EventKind.INSERT if tag == _SEG_INSERT_R else EventKind.DELETE
+            for k in range(n):
+                entries.append(
+                    (
+                        seqs[k],
+                        DataEvent(kind, "R", RTuple(ids[k], xs[k], ys[k])),
+                        bool(flags[k] & 1),
+                        bool(flags[k] & 2),
+                    )
+                )
+        elif tag in (_SEG_INSERT_S, _SEG_DELETE_S):
+            kind = EventKind.INSERT if tag == _SEG_INSERT_S else EventKind.DELETE
+            for k in range(n):
+                entries.append(
+                    (
+                        seqs[k],
+                        DataEvent(kind, "S", STuple(ids[k], xs[k], ys[k])),
+                        bool(flags[k] & 1),
+                        bool(flags[k] & 2),
+                    )
+                )
+        else:
+            raise FrameError(f"unknown batch segment tag {tag}")
+    if offset != len(payload):
+        raise FrameError(
+            f"{len(payload) - offset} trailing byte(s) after batch segments"
+        )
+    return entries
+
+
+# -- RESULT ------------------------------------------------------------------
+
+
+def encode_result_frame(elapsed: float, results: SeqResults) -> bytes:
+    """Encode one batch's worker results against a deduplicated row table.
+
+    Empty deltas are elided (see module docstring).  Rows are deduplicated
+    by object identity first — within one batch a matched row is the same
+    stored table object however many queries it satisfies — with value
+    identity as the correctness backstop on the decode side (decoded rows
+    are frozen value-equal dataclasses).
+    """
+    row_index: Dict[int, int] = {}
+    row_records: List[bytes] = []
+    seqs: List[int] = []
+    qids: List[int] = []
+    counts: List[int] = []
+    refs: List[int] = []
+    for seq, deltas in results:
+        for qid, rows in deltas.items():
+            if not rows:
+                continue
+            seqs.append(seq)
+            qids.append(qid)
+            counts.append(len(rows))
+            for row in rows:
+                key = id(row)
+                index = row_index.get(key)
+                if index is None:
+                    index = len(row_records)
+                    row_index[key] = index
+                    if isinstance(row, RTuple):
+                        row_records.append(
+                            _ROW.pack(_ROW_TAG_R, row.rid, row.a, row.b)
+                        )
+                    elif isinstance(row, STuple):
+                        row_records.append(
+                            _ROW.pack(_ROW_TAG_S, row.sid, row.b, row.c)
+                        )
+                    else:
+                        raise FrameError(
+                            f"unsupported result row type: {type(row).__name__}"
+                        )
+                refs.append(index)
+    g = len(seqs)
+    return b"".join(
+        [
+            _HDR.pack(FRAME_RESULT, FRAME_VERSION),
+            _F64.pack(elapsed),
+            _U32.pack(len(row_records)),
+            *row_records,
+            _U32.pack(g),
+            struct.pack(f"<{g}q", *seqs),
+            struct.pack(f"<{g}q", *qids),
+            struct.pack(f"<{g}b", *([1] * g)),
+            struct.pack(f"<{g}I", *counts),
+            _U32.pack(len(refs)),
+            struct.pack(f"<{len(refs)}I", *refs),
+        ]
+    )
+
+
+def decode_result_frame(payload: bytes) -> Tuple[float, SeqResults]:
+    """Decode a RESULT frame body back into ``(elapsed, results)``."""
+    offset = _HDR.size
+    (elapsed,) = _F64.unpack_from(payload, offset)
+    offset += _F64.size
+    (n_rows,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    if offset + n_rows * _ROW.size > len(payload):
+        raise FrameError("truncated result row table")
+    rows: List[Any] = []
+    for tag, row_id, x, y in _ROW.iter_unpack(
+        payload[offset : offset + n_rows * _ROW.size]
+    ):
+        if tag == _ROW_TAG_R:
+            rows.append(RTuple(row_id, x, y))
+        elif tag == _ROW_TAG_S:
+            rows.append(STuple(row_id, x, y))
+        else:
+            raise FrameError(f"unknown result row tag {tag}")
+    offset += n_rows * _ROW.size
+    (g,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    if offset + g * (8 + 8 + 1 + 4) + _U32.size > len(payload):
+        raise FrameError("truncated result delta columns")
+    seqs = struct.unpack_from(f"<{g}q", payload, offset)
+    offset += 8 * g
+    qids = struct.unpack_from(f"<{g}q", payload, offset)
+    offset += 8 * g
+    signs = struct.unpack_from(f"<{g}b", payload, offset)
+    offset += g
+    counts = struct.unpack_from(f"<{g}I", payload, offset)
+    offset += 4 * g
+    (total_refs,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    if offset + 4 * total_refs != len(payload):
+        raise FrameError("result refs array does not match frame length")
+    refs = struct.unpack_from(f"<{total_refs}I", payload, offset)
+    if sum(counts) != total_refs:
+        raise FrameError("result group counts do not sum to total refs")
+    results: SeqResults = []
+    deltas: QidDeltas = {}
+    last_seq = None
+    pos = 0
+    row_at = rows.__getitem__
+    try:
+        for i in range(g):
+            if signs[i] != 1:
+                raise FrameError(f"unsupported delta sign {signs[i]}")
+            if seqs[i] != last_seq:
+                deltas = {}
+                results.append((seqs[i], deltas))
+                last_seq = seqs[i]
+            deltas[qids[i]] = list(map(row_at, refs[pos : pos + counts[i]]))
+            pos += counts[i]
+    except IndexError:
+        raise FrameError("result row reference out of range") from None
+    return elapsed, results
+
+
+# -- control / lifecycle frames ----------------------------------------------
+
+
+def encode_control_frame(event: object) -> bytes:
+    """Wrap one durability-codec record (SUB/UNSUB) as a control frame."""
+    return _HDR.pack(FRAME_CONTROL, FRAME_VERSION) + encode_event(event)
+
+
+def encode_ack_frame() -> bytes:
+    return _HDR.pack(FRAME_ACK, FRAME_VERSION)
+
+
+def encode_shutdown_frame() -> bytes:
+    return _HDR.pack(FRAME_SHUTDOWN, FRAME_VERSION)
+
+
+def encode_error_frame(message: str) -> bytes:
+    return _HDR.pack(FRAME_ERROR, FRAME_VERSION) + message.encode(
+        "utf-8", errors="replace"
+    )
+
+
+def decode_frame(payload: bytes) -> Tuple[int, Any]:
+    """Validate the frame header and decode the body.
+
+    Returns ``(frame_type, body)`` where the body is: decoded entries for
+    BATCH, ``(elapsed, results)`` for RESULT, a durability
+    :data:`~repro.durability.codec.DecodedRecord` for CONTROL, the message
+    string for ERROR, and ``None`` for ACK/SHUTDOWN.
+    """
+    if len(payload) < _HDR.size:
+        raise FrameError(f"frame of {len(payload)} byte(s) has no header")
+    frame_type, version = _HDR.unpack_from(payload, 0)
+    if version != FRAME_VERSION:
+        raise FrameError(
+            f"frame version {version} unsupported (expected {FRAME_VERSION})"
+        )
+    if frame_type == FRAME_BATCH:
+        return frame_type, decode_batch_frame(payload)
+    if frame_type == FRAME_RESULT:
+        return frame_type, decode_result_frame(payload)
+    if frame_type == FRAME_CONTROL:
+        return frame_type, decode_record(payload[_HDR.size :])
+    if frame_type in (FRAME_ACK, FRAME_SHUTDOWN):
+        if len(payload) != _HDR.size:
+            raise FrameError(f"frame type {frame_type} carries no body")
+        return frame_type, None
+    if frame_type == FRAME_ERROR:
+        return frame_type, payload[_HDR.size :].decode("utf-8", errors="replace")
+    raise FrameError(f"unknown frame type {frame_type}")

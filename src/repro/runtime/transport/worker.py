@@ -1,0 +1,119 @@
+"""The persistent shard-worker loop for ``mode="process-shm"``.
+
+One worker process owns one :class:`~repro.runtime.sharding.Shard` and a
+pair of rings: it blocks on the *request* ring, applies whatever arrives,
+and answers on the *response* ring.  The protocol is strictly
+request/response — the pipeline never has more than one frame in flight
+per shard — so worker-side ring sends can use a short deadline: a full
+response ring means the pipeline stopped consuming, and dying loudly beats
+blocking forever.
+
+Queries unpickle— *decode* — to fresh objects on every control frame and
+the engine tracks subscriptions by identity, so the worker keeps its own
+qid → object registry, exactly like the pickle-based process backend.
+
+Exceptions inside a request are reported back as ERROR frames (the
+pipeline re-raises them as :class:`TransportError`); the loop itself only
+exits on a SHUTDOWN frame or an unrecoverable transport failure.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from multiprocessing.synchronize import Semaphore
+
+from repro.durability.codec import Unsubscribe
+from repro.engine.events import QueryEvent
+from repro.runtime.sharding import Shard, ShardEntry
+from repro.runtime.transport import frames
+from repro.runtime.transport.shm import ShmRing, TransportError
+
+__all__ = ["shard_worker_main"]
+
+#: Response-ring send deadline (see module docstring).
+_RESPONSE_TIMEOUT = 30.0
+
+
+def _apply_batch(
+    shard: Shard, entries: List[ShardEntry]
+) -> Tuple[float, frames.SeqResults]:
+    start = time.perf_counter()
+    results: frames.SeqResults = [
+        (seq, {query.qid: rows for query, rows in deltas.items()})
+        for seq, deltas in shard.apply_batch(entries)
+    ]
+    return time.perf_counter() - start, results
+
+
+def _handle(
+    shard: Shard, queries: Dict[int, Any], frame_type: int, body: Any
+) -> bytes:
+    if frame_type == frames.FRAME_BATCH:
+        elapsed, results = _apply_batch(shard, body)
+        return frames.encode_result_frame(elapsed, results)
+    if frame_type == frames.FRAME_CONTROL:
+        if isinstance(body, Unsubscribe):
+            shard.unsubscribe(queries.pop(body.qid))
+        elif isinstance(body, QueryEvent):
+            queries[body.query.qid] = body.query
+            shard.subscribe(body.query)
+        else:
+            raise TransportError(
+                f"unsupported control record: {type(body).__name__}"
+            )
+        return frames.encode_ack_frame()
+    raise TransportError(f"unexpected request frame type {frame_type}")
+
+
+def shard_worker_main(
+    index: int,
+    alpha: Optional[float],
+    epsilon: float,
+    request_ring: str,
+    response_ring: str,
+    request_doorbell: Optional["Semaphore"] = None,
+    response_doorbell: Optional["Semaphore"] = None,
+) -> None:
+    """Drain ``request_ring`` into a freshly built shard until SHUTDOWN.
+
+    The doorbell semaphores (created by the pipeline, inherited through
+    the :class:`~multiprocessing.Process` arguments) give both sides
+    blocking wake-ups instead of sleep-polling — see
+    :class:`~repro.runtime.transport.shm.ShmRing`.
+    """
+    requests = ShmRing.attach(request_ring, doorbell=request_doorbell)
+    responses = ShmRing.attach(response_ring, doorbell=response_doorbell)
+    shard = Shard(index, alpha=alpha, epsilon=epsilon)
+    queries: Dict[int, Any] = {}
+    try:
+        while True:
+            payload = requests.recv(timeout=None)
+            assert payload is not None  # timeout=None never yields None
+            try:
+                frame_type, body = frames.decode_frame(payload)
+            except frames.FrameError as exc:
+                # The protocol is strictly one frame in flight, so a
+                # malformed request still gets its response — the pipeline
+                # re-raises it; only SHUTDOWN ends the loop.
+                responses.send(
+                    frames.encode_error_frame(
+                        f"shard {index} worker: bad request frame: {exc}"
+                    ),
+                    timeout=_RESPONSE_TIMEOUT,
+                )
+                continue
+            if frame_type == frames.FRAME_SHUTDOWN:
+                break
+            try:
+                response = _handle(shard, queries, frame_type, body)
+            except Exception as exc:  # surfaced to the pipeline, not lost
+                response = frames.encode_error_frame(
+                    f"shard {index} worker: {type(exc).__name__}: {exc}"
+                )
+            responses.send(response, timeout=_RESPONSE_TIMEOUT)
+    finally:
+        requests.close()
+        responses.close()

@@ -285,6 +285,33 @@ class TestScoping:
         assert run("RA001", OBS, "import time\nx = time.time()\n")
         assert run("RA001", OBS, "import datetime\nx = datetime.datetime.now()\n")
 
+    def test_ra001_covers_the_transport_package(self):
+        """The shm data plane is on the replay-equivalence plane: RNG and
+        set-iteration findings fire exactly as in core/."""
+        transport = "src/repro/runtime/transport/fake_codec.py"
+        assert run("RA001", transport, "import random\nx = random.random()\n")
+        assert run("RA001", transport, "out = [x for x in {1, 2}]\n")
+
+    def test_ra001_transport_monotonic_clock_carveout(self):
+        """transport/ may read monotonic clocks (ring deadlines, grace
+        windows) but wall clocks still fire, and the carve-out stays out
+        of the rest of runtime/."""
+        transport = "src/repro/runtime/transport/fake_ring.py"
+        for call in ("time.monotonic()", "time.perf_counter()"):
+            src = f"import time\nx = {call}\n"
+            assert run("RA001", transport, src) == [], call
+        assert run("RA001", transport, "import time\nx = time.time()\n")
+        assert run(
+            "RA001", transport, "import datetime\nx = datetime.datetime.now()\n"
+        )
+
+    def test_ra006_covers_transport_hotpath_modules(self):
+        src = "class Plain:\n    pass\n"
+        assert run("RA006", "src/repro/runtime/transport/shm.py", src)
+        assert run("RA006", "src/repro/runtime/transport/frames.py", src)
+        # worker.py is control-plane (one loop per process), not hot path.
+        assert run("RA006", "src/repro/runtime/transport/worker.py", src) == []
+
     def test_ra002_allowlist_may_import_numpy(self):
         src = "import numpy as np\n"
         assert run("RA002", KERNELS, src) == []

@@ -1,0 +1,267 @@
+"""Shared-memory transport: ring semantics, lifecycle, and crash paths.
+
+The transport's contract (``docs/RUNTIME.md``) in test form:
+
+* the SPSC ring blocks on backpressure — frames are never dropped — and
+  raises :class:`RingTimeoutError` only when the caller bounded the wait;
+* ``close``/``unlink`` are idempotent on rings and on the pipeline, and a
+  closed process-shm pipeline leaves zero worker processes and zero
+  shared-memory segments behind, even when a worker was killed mid-run;
+* validation fails loudly: foreign segments, layout-version mismatches,
+  forged all-zero headers (the transient-zero-page hazard the seeded CRC
+  exists for), and worker-side decode errors all surface as typed
+  ``TransportError`` subclasses rather than hangs or silent drops;
+* the process-shm data plane is delta-for-delta equivalent to the inline
+  backend on a mixed insert/delete/subscribe stream.
+"""
+
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.core.intervals import Interval
+from repro.engine.events import DataEvent, EventKind
+from repro.engine.queries import BandJoinQuery
+from repro.engine.table import RTuple
+from repro.runtime.pipeline import EventPipeline
+from repro.runtime.replay import StreamProfile, generate_mixed_stream, run_replay
+from repro.runtime.transport import frames
+from repro.runtime.transport.shm import (
+    _DATA,
+    _FRAME,
+    _OFF_TAIL,
+    _U64,
+    FrameCorruptionError,
+    RingTimeoutError,
+    ShmRing,
+    TransportError,
+)
+
+
+def _r_insert(rid, a=10.0, b=20.0):
+    return DataEvent(EventKind.INSERT, "R", RTuple(rid, a, b))
+
+
+class TestRingBasics:
+    def test_roundtrip_and_fifo_order(self):
+        with ShmRing.create(1 << 16) as ring:
+            payloads = [bytes([i]) * (i + 1) for i in range(64)]
+            for payload in payloads:
+                ring.send(payload)
+            assert [ring.recv(timeout=1.0) for _ in payloads] == payloads
+            assert ring.occupancy() == 0
+
+    def test_wraparound(self):
+        # Capacity forces every frame to straddle the ring boundary sooner
+        # or later; contents must survive the byte-wise wrap.
+        with ShmRing.create(64) as ring:
+            for i in range(200):
+                payload = bytes([i % 256]) * 40
+                ring.send(payload)
+                assert ring.recv(timeout=1.0) == payload
+
+    def test_oversize_frame_rejected(self):
+        with ShmRing.create(128) as ring:
+            with pytest.raises(TransportError, match="exceeds ring capacity"):
+                ring.send(b"x" * 256)
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        try:
+            with pytest.raises(TransportError, match="not a transport ring"):
+                ShmRing.attach(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attach_rejects_layout_version_mismatch(self):
+        ring = ShmRing.create(1 << 12)
+        try:
+            struct.pack_into("<I", ring._shm.buf, 4, 999)
+            with pytest.raises(TransportError, match="layout version"):
+                ShmRing.attach(ring.name)
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+class TestRingBackpressure:
+    def test_full_ring_send_times_out_instead_of_dropping(self):
+        with ShmRing.create(64) as ring:
+            ring.send(b"a" * 40)
+            start = time.monotonic()
+            with pytest.raises(RingTimeoutError):
+                ring.send(b"b" * 40, timeout=0.05)
+            assert time.monotonic() - start >= 0.05
+            # The resident frame was not evicted or corrupted.
+            assert ring.recv(timeout=1.0) == b"a" * 40
+
+    def test_blocked_send_completes_once_consumer_drains(self):
+        ring = ShmRing.create(64)
+        received = []
+
+        def drain_later():
+            time.sleep(0.05)
+            received.append(ring.recv(timeout=2.0))
+            received.append(ring.recv(timeout=2.0))
+
+        try:
+            ring.send(b"a" * 40)
+            consumer = threading.Thread(target=drain_later)
+            consumer.start()
+            # Blocks until drain_later frees space, then must succeed.
+            ring.send(b"b" * 40, timeout=5.0)
+            consumer.join()
+            assert received == [b"a" * 40, b"b" * 40]
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+class TestRingValidation:
+    def test_forged_zero_header_never_validates(self):
+        # The transient-zero-page hazard: tail says a frame exists but its
+        # header reads as zeros.  With a plain CRC32 an all-zero header is
+        # a valid empty frame (crc32(b"") == 0); the length-seeded CRC must
+        # instead reject it until the grace window expires.
+        ring = ShmRing.create(1 << 12)
+        try:
+            _U64.pack_into(ring._shm.buf, _OFF_TAIL, _FRAME.size)
+            start = time.monotonic()
+            with pytest.raises(FrameCorruptionError):
+                ring.recv(timeout=1.0)
+            # It retried through the grace window rather than trusting the
+            # first bad read.
+            assert time.monotonic() - start >= 0.04
+        finally:
+            ring.close()
+            ring.unlink()
+
+    def test_transient_corruption_heals_within_grace(self):
+        # A frame whose bytes "appear" shortly after tail was published
+        # (the observed zero-page healing pattern) must be delivered, not
+        # declared corrupt.
+        ring = ShmRing.create(1 << 12)
+        payload = b"late frame"
+
+        def heal():
+            time.sleep(0.01)
+            from repro.runtime.transport.shm import _frame_crc
+
+            header = _FRAME.pack(len(payload), _frame_crc(payload))
+            ring._shm.buf[_DATA : _DATA + len(header)] = header
+            ring._shm.buf[
+                _DATA + len(header) : _DATA + len(header) + len(payload)
+            ] = payload
+
+        try:
+            _U64.pack_into(ring._shm.buf, _OFF_TAIL, _FRAME.size + len(payload))
+            healer = threading.Thread(target=heal)
+            healer.start()
+            assert ring.recv(timeout=1.0) == payload
+            healer.join()
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+class TestRingLifecycle:
+    def test_close_and_unlink_are_idempotent(self):
+        ring = ShmRing.create(1 << 12)
+        ring.close()
+        ring.close()
+        ring.unlink()
+        ring.unlink()
+
+    def test_operations_on_closed_ring_raise(self):
+        ring = ShmRing.create(1 << 12)
+        name = ring.name
+        ring.close()
+        with pytest.raises(TransportError, match="closed ring"):
+            ring.send(b"x")
+        with pytest.raises(TransportError, match="closed ring"):
+            ring.recv(timeout=0.01)
+        ring.unlink()
+        with pytest.raises(FileNotFoundError):
+            ShmRing.attach(name)
+
+
+def _segment_names(pipe):
+    backend = pipe._backend
+    return [ring.name for ring in (*backend._requests, *backend._responses)]
+
+
+def _workers(pipe):
+    return list(pipe._backend._workers)
+
+
+class TestPipelineLifecycle:
+    def test_close_idempotent_no_leaked_workers_or_segments(self):
+        pipe = EventPipeline(num_shards=2, batch_size=8, mode="process-shm")
+        pipe.subscribe(BandJoinQuery(Interval(0.0, 100.0), qid=1))
+        pipe.run([_r_insert(i, float(i), float(i) + 5.0) for i in range(32)])
+        names = _segment_names(pipe)
+        workers = _workers(pipe)
+        pipe.close()
+        pipe.close()  # idempotent
+        for worker in workers:
+            assert not worker.is_alive()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                ShmRing.attach(name)
+
+    def test_worker_killed_mid_run_fails_fast_and_closes_clean(self):
+        pipe = EventPipeline(num_shards=2, batch_size=8, mode="process-shm")
+        names = _segment_names(pipe)
+        try:
+            pipe.subscribe(BandJoinQuery(Interval(0.0, 100.0), qid=1))
+            pipe.run([_r_insert(i, float(i), float(i) + 5.0) for i in range(16)])
+            victim = _workers(pipe)[0]
+            victim.kill()
+            victim.join(timeout=5.0)
+            with pytest.raises(TransportError, match="worker exited"):
+                pipe.run([_r_insert(100 + i, 1.0, 2.0) for i in range(16)])
+        finally:
+            pipe.close()
+        for worker in _workers(pipe):
+            assert not worker.is_alive()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                ShmRing.attach(name)
+
+    def test_worker_survives_bad_request_frame(self):
+        # A decode error inside the worker must come back as an ERROR
+        # frame — the worker stays alive and the next request still works.
+        pipe = EventPipeline(num_shards=1, batch_size=4, mode="process-shm")
+        try:
+            backend = pipe._backend
+            garbage = frames._HDR.pack(frames.FRAME_BATCH, frames.FRAME_VERSION)
+            backend._send(0, garbage + b"\xff\xff\xff\xff")
+            with pytest.raises(TransportError, match="bad request frame"):
+                backend._expect_ack(0)
+            assert _workers(pipe)[0].is_alive()
+            pipe.subscribe(BandJoinQuery(Interval(0.0, 100.0), qid=7))
+            out = pipe.run([_r_insert(0, 10.0, 12.0)])
+            assert len(out) == 1
+        finally:
+            pipe.close()
+
+
+class TestReplayEquivalence:
+    def test_process_shm_matches_reference_on_mixed_stream(self):
+        stream = generate_mixed_stream(
+            StreamProfile(
+                n_events=1_500,
+                n_initial_queries=40,
+                query_event_fraction=0.03,
+                delete_fraction=0.25,
+                churn=0.0,
+                seed=11,
+            )
+        )
+        report = run_replay(stream, num_shards=2, batch_size=32, mode="process-shm")
+        assert report.equivalent, report.summary()

@@ -1,0 +1,189 @@
+"""Property tests for the columnar frame codec (hypothesis-driven).
+
+The wire contract under test:
+
+* BATCH frames round-trip arbitrary insert/delete interleavings over both
+  relations exactly — sequence numbers, row payloads (including NaN and
+  ±inf coordinates), and the per-entry probe/state flags;
+* RESULT frames round-trip ``(seq, {qid: rows})`` deltas against the
+  frame's own deduplicated row table, with the documented normalization
+  that *empty* deltas are elided on encode;
+* ``encode → decode → encode`` is a fixed point, which is how NaN-bearing
+  payloads are compared (bytes are exact where ``==`` on floats is not);
+* every lifecycle frame survives ``decode_frame`` dispatch, and corrupted
+  headers fail as :class:`FrameError`, never as silent misdecodes.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.engine.events import DataEvent, EventKind, QueryEvent
+from repro.core.intervals import Interval
+from repro.engine.queries import BandJoinQuery
+from repro.engine.table import RTuple, STuple
+from repro.runtime.transport import frames
+
+# Any IEEE double the tables can hold, NaN and infinities included.
+coords = st.floats(allow_nan=True, allow_infinity=True, width=64)
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+@st.composite
+def shard_entries(draw, min_size=0, max_size=40):
+    """Arbitrary interleavings of R/S inserts and deletes."""
+    out = []
+    for _ in range(draw(st.integers(min_size, max_size))):
+        relation = draw(st.sampled_from(["R", "S"]))
+        kind = draw(st.sampled_from([EventKind.INSERT, EventKind.DELETE]))
+        x, y = draw(coords), draw(coords)
+        row_id = draw(i64)
+        row = RTuple(row_id, x, y) if relation == "R" else STuple(row_id, x, y)
+        out.append(
+            (
+                draw(i64),
+                DataEvent(kind, relation, row),
+                draw(st.booleans()),
+                draw(st.booleans()),
+            )
+        )
+    return out
+
+
+rows = st.one_of(
+    st.builds(RTuple, i64, coords, coords),
+    st.builds(STuple, i64, coords, coords),
+)
+
+
+@st.composite
+def seq_results(draw):
+    """``(seq, {qid: rows})`` lists with strictly increasing seqs (the
+    worker emits them in batch order) and possibly-empty delta lists."""
+    seqs = sorted(draw(st.sets(i64, max_size=8)))
+    out = []
+    for seq in seqs:
+        qids = draw(st.sets(i64, max_size=4))
+        out.append(
+            (seq, {qid: draw(st.lists(rows, max_size=5)) for qid in qids})
+        )
+    return out
+
+
+def _entries_equal(got, want):
+    """Structural equality that treats NaN as equal to itself."""
+    if len(got) != len(want):
+        return False
+    for (g_seq, g_ev, g_p, g_s), (w_seq, w_ev, w_p, w_s) in zip(got, want):
+        if (g_seq, g_p, g_s) != (w_seq, w_p, w_s):
+            return False
+        if g_ev.kind is not w_ev.kind or g_ev.relation != w_ev.relation:
+            return False
+        g_vals = (
+            (g_ev.row.rid, g_ev.row.a, g_ev.row.b)
+            if g_ev.relation == "R"
+            else (g_ev.row.sid, g_ev.row.b, g_ev.row.c)
+        )
+        w_vals = (
+            (w_ev.row.rid, w_ev.row.a, w_ev.row.b)
+            if w_ev.relation == "R"
+            else (w_ev.row.sid, w_ev.row.b, w_ev.row.c)
+        )
+        for g, w in zip(g_vals, w_vals):
+            if g != w and not (
+                isinstance(g, float) and math.isnan(g) and math.isnan(w)
+            ):
+                return False
+    return True
+
+
+class TestBatchFrameRoundTrip:
+    @settings(max_examples=200)
+    @given(shard_entries())
+    def test_roundtrip(self, entries):
+        payload = frames.encode_batch_frame(entries)
+        frame_type, decoded = frames.decode_frame(payload)
+        assert frame_type == frames.FRAME_BATCH
+        assert _entries_equal(decoded, entries)
+
+    @settings(max_examples=100)
+    @given(shard_entries())
+    def test_encode_decode_encode_fixed_point(self, entries):
+        payload = frames.encode_batch_frame(entries)
+        _, decoded = frames.decode_frame(payload)
+        assert frames.encode_batch_frame(decoded) == payload
+
+    def test_empty_batch(self):
+        payload = frames.encode_batch_frame([])
+        assert frames.decode_frame(payload) == (frames.FRAME_BATCH, [])
+
+
+class TestResultFrameRoundTrip:
+    @settings(max_examples=200)
+    @given(seq_results(), st.floats(min_value=0.0, max_value=1e6))
+    def test_roundtrip_modulo_empty_elision(self, results, elapsed):
+        payload = frames.encode_result_frame(elapsed, results)
+        frame_type, (got_elapsed, got) = frames.decode_frame(payload)
+        assert frame_type == frames.FRAME_RESULT
+        assert got_elapsed == elapsed
+        # The documented normalization: empty per-qid deltas are elided,
+        # and with them any seq left with no non-empty delta at all.
+        want = [
+            (seq, {qid: rows for qid, rows in deltas.items() if rows})
+            for seq, deltas in results
+        ]
+        want = [(seq, deltas) for seq, deltas in want if deltas]
+        assert frames.encode_result_frame(elapsed, got) == frames.encode_result_frame(
+            elapsed, want
+        )
+
+    @settings(max_examples=100)
+    @given(seq_results(), st.floats(min_value=0.0, max_value=1e6))
+    def test_encode_decode_encode_fixed_point(self, results, elapsed):
+        payload = frames.encode_result_frame(elapsed, results)
+        _, (got_elapsed, got) = frames.decode_frame(payload)
+        assert frames.encode_result_frame(got_elapsed, got) == payload
+
+    def test_row_table_deduplicates_shared_rows(self):
+        row = RTuple(1, 2.0, 3.0)
+        results = [(0, {7: [row], 8: [row]})]
+        payload = frames.encode_result_frame(0.0, results)
+        _, (_, decoded) = frames.decode_frame(payload)
+        assert decoded == [(0, {7: [row], 8: [row]})]
+
+
+class TestLifecycleFrames:
+    def test_ack_shutdown_error_roundtrip(self):
+        assert frames.decode_frame(frames.encode_ack_frame()) == (
+            frames.FRAME_ACK,
+            None,
+        )
+        assert frames.decode_frame(frames.encode_shutdown_frame()) == (
+            frames.FRAME_SHUTDOWN,
+            None,
+        )
+        frame_type, message = frames.decode_frame(
+            frames.encode_error_frame("shard 3 exploded: déjà vu")
+        )
+        assert frame_type == frames.FRAME_ERROR
+        assert message == "shard 3 exploded: déjà vu"
+
+    def test_control_frame_roundtrip(self):
+        query = BandJoinQuery(Interval(5.0, 25.0), qid=42)
+        payload = frames.encode_control_frame(QueryEvent(EventKind.INSERT, query))
+        frame_type, record = frames.decode_frame(payload)
+        assert frame_type == frames.FRAME_CONTROL
+        assert record is not None
+
+    def test_header_validation(self):
+        with pytest.raises(frames.FrameError, match="no header"):
+            frames.decode_frame(b"")
+        with pytest.raises(frames.FrameError, match="version"):
+            frames.decode_frame(bytes([frames.FRAME_ACK, 99]))
+        with pytest.raises(frames.FrameError, match="unknown frame type"):
+            frames.decode_frame(bytes([250, frames.FRAME_VERSION]))
+        with pytest.raises(frames.FrameError, match="carries no body"):
+            frames.decode_frame(frames.encode_ack_frame() + b"junk")

@@ -42,6 +42,18 @@ def test_mypy_config_declares_the_gate():
     assert relaxed["module"] == ["repro.runtime.*"], (
         "only the runtime may call the untyped operator layer"
     )
+    # The shm transport (wire format + ring) must stay inside the strict
+    # gate: none of the "unchecked" override globs may capture it.
+    import fnmatch
+
+    unchecked = next(o for o in overrides if o.get("ignore_errors"))
+    for mod in (
+        "repro.runtime.transport.shm",
+        "repro.runtime.transport.frames",
+        "repro.runtime.transport.worker",
+    ):
+        assert any(fnmatch.fnmatch(mod, g) for g in strict["module"]), mod
+        assert not any(fnmatch.fnmatch(mod, g) for g in unchecked["module"]), mod
 
 
 def test_strict_packages_pass_mypy():
