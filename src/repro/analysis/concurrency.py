@@ -1,0 +1,668 @@
+"""Concurrency-safety rules RA201–RA206: guarded-by lock discipline,
+shared-state escape analysis, and static lock-order checking.
+
+The convention: a shared attribute declares its synchronization on the
+line that assigns it, as a trailing comment —
+
+* ``self._value = 0  # guarded-by: _lock`` — every read or write outside
+  ``__init__`` must happen under ``with self._lock:`` (RA201);
+* ``self._next_tail = 0  # guarded-by: spsc:send`` — single-writer
+  discipline for lock-free SPSC state: only the named method (plus
+  ``__init__``) may write the attribute; reads are free (RA201).
+
+The pass builds one access summary per class (every ``self.X`` read,
+write, container mutation, with the set of ``self.<lock>`` regions held
+at that point) and checks, within :data:`repro.analysis.project.CONCURRENCY_SCOPE`:
+
+* RA201 — guarded attribute accessed without its declared lock (or
+  spsc attribute written outside its declared writer);
+* RA202 — an attribute that *escapes* to another thread of control
+  (``threading.Thread(target=self.m)``, ``pool.submit(self.m, ...)``,
+  ``ctx.Process(target=self.m)``) is written after construction with no
+  lock held and no guarded-by declaration;
+* RA203 — the same guarded attribute is touched in two *disjoint*
+  acquisitions of its lock within one method (check-then-act across a
+  lock release: the first observation may be stale by the second hold);
+* RA204 — an externally supplied callable (a stored callable attribute,
+  or a local pulled out of a ``self`` container) is invoked while a lock
+  is held — re-entrant or slow callbacks deadlock or convoy the lock;
+* RA205 — an attribute the class demonstrably guards (written under a
+  lock region) carries no ``# guarded-by:`` declaration, or a
+  declaration references an unknown lock/writer;
+* RA206 — two locks of one class are acquired in both nesting orders in
+  different methods (static deadlock potential; the dynamic witness in
+  :mod:`repro.analysis.racecheck` covers cross-class orders).
+
+This is the static half of the Eraser-style design: annotations make the
+intended lock-set explicit, the checker compares every access against it.
+The dynamic half (the ``REPRO_RACECHECK=1`` lock-order witness) lives in
+:mod:`repro.analysis.racecheck`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis import project
+from repro.analysis.engine import Finding, LintContext, Rule, Severity, register
+from repro.analysis.rules import _is_self_attr, _lock_attrs, _MUTATORS
+
+__all__ = [
+    "GuardSpec",
+    "GuardedAttrRule",
+    "EscapeAnalysisRule",
+    "LockReentryRule",
+    "CallbackUnderLockRule",
+    "MissingGuardDeclRule",
+    "LockOrderRule",
+    "CONCURRENCY_RULE_CODES",
+    "guarded_specs",
+    "guarded_specs_from_source",
+]
+
+#: The codes ``repro lint --concurrency`` selects.
+CONCURRENCY_RULE_CODES: Tuple[str, ...] = (
+    "RA201",
+    "RA202",
+    "RA203",
+    "RA204",
+    "RA205",
+    "RA206",
+)
+
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*(?P<spec>[A-Za-z0-9_:.\-]+)")
+
+
+@dataclass(frozen=True)
+class GuardSpec:
+    """One parsed ``# guarded-by:`` declaration."""
+
+    raw: str
+    lock: Optional[str] = None  # lock attribute name (lock discipline)
+    writer: Optional[str] = None  # sole writer method (spsc discipline)
+
+    @staticmethod
+    def parse(raw: str) -> "GuardSpec":
+        if raw.startswith("spsc:"):
+            return GuardSpec(raw=raw, writer=raw[len("spsc:") :])
+        return GuardSpec(raw=raw, lock=raw)
+
+
+def guarded_specs(
+    cls: ast.ClassDef, lines: Sequence[str]
+) -> Dict[str, GuardSpec]:
+    """Collect ``# guarded-by:`` declarations for a class.
+
+    A declaration sits on any line that assigns ``self.X`` (usually in
+    ``__init__``) or on a class-level annotated attribute.
+    """
+    specs: Dict[str, GuardSpec] = {}
+
+    def line_spec(lineno: int) -> Optional[GuardSpec]:
+        if 1 <= lineno <= len(lines):
+            match = GUARDED_BY_RE.search(lines[lineno - 1])
+            if match is not None:
+                return GuardSpec.parse(match.group("spec"))
+        return None
+
+    for node in ast.walk(cls):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr: Optional[str] = None
+            if _is_self_attr(target):
+                assert isinstance(target, ast.Attribute)
+                attr = target.attr
+            elif isinstance(target, ast.Name) and node in cls.body:
+                attr = target.id  # class-level declaration
+            if attr is None:
+                continue
+            spec = line_spec(node.lineno)
+            if spec is not None:
+                specs.setdefault(attr, spec)
+    return specs
+
+
+def guarded_specs_from_source(
+    source: str, class_name: str
+) -> Dict[str, GuardSpec]:
+    """Parse declarations out of raw source — the dynamic witness uses this
+    (via ``inspect.getsource``) so the runtime barrier enforces exactly the
+    annotations the static rules check."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return {}
+    lines = source.splitlines()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return guarded_specs(node, lines)
+    return {}
+
+
+# --------------------------------------------------------------------------
+# per-class access summaries
+
+
+@dataclass(frozen=True)
+class Access:
+    """One ``self.X`` touch inside a method."""
+
+    attr: str
+    node: ast.AST
+    is_write: bool
+    locks_held: FrozenSet[str]
+    #: Acquisition ids of each currently-held lock: ``{lock: region_id}``.
+    #: Two accesses under the same lock but different ids sit in disjoint
+    #: ``with`` regions — the lock was released in between (RA203).
+    hold_ids: Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class LockEvent:
+    """One nested lock acquisition: ``inner`` acquired while ``outer`` held."""
+
+    outer: str
+    inner: str
+    node: ast.AST
+
+
+class _MethodSummary:
+    """Accesses, nested-acquisition events, and under-lock calls of one
+    method, produced by a single region-tracking walk."""
+
+    __slots__ = ("name", "accesses", "lock_events", "calls_under_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.accesses: List[Access] = []
+        self.lock_events: List[LockEvent] = []
+        #: (call node, locks held) for every Call evaluated under >=1 lock.
+        self.calls_under_lock: List[Tuple[ast.Call, FrozenSet[str]]] = []
+
+
+def _summarize_method(
+    method: ast.FunctionDef | ast.AsyncFunctionDef, locks: Set[str]
+) -> _MethodSummary:
+    summary = _MethodSummary(method.name)
+    consumed: Set[int] = set()  # id() of Attribute nodes folded into a write
+    next_region = [0]
+
+    def record(attr: str, node: ast.AST, is_write: bool, held: Dict[str, int]) -> None:
+        summary.accesses.append(
+            Access(
+                attr=attr,
+                node=node,
+                is_write=is_write,
+                locks_held=frozenset(held),
+                hold_ids=tuple(sorted(held.items())),
+            )
+        )
+
+    def classify(node: ast.AST, held: Dict[str, int]) -> None:
+        # writes that subsume an inner Attribute load
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(node.value, ast.Attribute)
+            and _is_self_attr(node.value)
+            and node.value.attr not in locks
+        ):
+            consumed.add(id(node.value))
+            record(node.value.attr, node, True, held)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and isinstance(node.func.value, ast.Attribute)
+            and _is_self_attr(node.func.value)
+            and node.func.value.attr not in locks
+        ):
+            consumed.add(id(node.func.value))
+            record(node.func.value.attr, node, True, held)
+        elif (
+            isinstance(node, ast.Attribute)
+            and _is_self_attr(node)
+            and node.attr not in locks
+            and id(node) not in consumed
+        ):
+            record(node.attr, node, isinstance(node.ctx, (ast.Store, ast.Del)), held)
+        if isinstance(node, ast.Call) and held:
+            summary.calls_under_lock.append((node, frozenset(held)))
+
+    def walk(nodes: Sequence[ast.AST], held: Dict[str, int]) -> None:
+        for node in nodes:
+            classify(node, held)
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                grabbed: List[str] = []
+                for item in node.items:
+                    expr = item.context_expr
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and _is_self_attr(expr)
+                        and expr.attr in locks
+                    ):
+                        grabbed.append(expr.attr)
+                        for outer in held:
+                            if outer != expr.attr:
+                                summary.lock_events.append(
+                                    LockEvent(outer=outer, inner=expr.attr, node=expr)
+                                )
+                # the acquire expressions themselves run outside the region
+                walk(list(node.items), held)
+                inner = dict(held)
+                for name in grabbed:
+                    next_region[0] += 1
+                    inner[name] = next_region[0]
+                walk(list(node.body), inner)
+            else:
+                walk(list(ast.iter_child_nodes(node)), held)
+
+    walk(list(method.body), {})
+    return summary
+
+
+def _methods(cls: ast.ClassDef) -> List[ast.FunctionDef | ast.AsyncFunctionDef]:
+    return [
+        stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _entry_targets(cls: ast.ClassDef) -> Dict[str, str]:
+    """Attributes/methods handed to another thread of control.
+
+    Returns ``{name: how}`` where ``name`` is a method name (for
+    ``target=self.m`` / ``pool.submit(self.m, ...)``) or an attribute root
+    (for ``target=self.x.y`` — ``x`` escapes), and ``how`` is a short
+    description for the finding message.
+    """
+    entries: Dict[str, str] = {}
+
+    def note(expr: ast.expr, how: str) -> None:
+        # self.m  -> m escapes;  self.x.y -> x escapes (root attribute)
+        cur = expr
+        while isinstance(cur, ast.Attribute) and not _is_self_attr(cur):
+            cur = cur.value
+        if _is_self_attr(cur):
+            assert isinstance(cur, ast.Attribute)
+            entries.setdefault(cur.attr, how)
+
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        callee = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if callee in project.THREAD_SPAWN_CALLEES:
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    note(kw.value, f"{callee}(target=...)")
+        elif callee == "submit" and node.args:
+            note(node.args[0], "executor submit()")
+    return entries
+
+
+# --------------------------------------------------------------------------
+# shared rule plumbing
+
+
+class _ConcurrencyRule(Rule):
+    """Base: iterate classes in CONCURRENCY_SCOPE with their summaries."""
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not project.in_scope(ctx.module_path, project.CONCURRENCY_SCOPE):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self.check_class(ctx, node)
+
+    def check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@register
+class GuardedAttrRule(_ConcurrencyRule):
+    code = "RA201"
+    name = "guarded-by-discipline"
+    severity = Severity.ERROR
+    description = (
+        "an attribute declared `# guarded-by: <lock>` accessed outside "
+        "`with self.<lock>:` (or `# guarded-by: spsc:<m>` written outside "
+        "its declared writer method)"
+    )
+
+    def check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        specs = guarded_specs(cls, ctx.lines)
+        if not specs:
+            return
+        locks = _lock_attrs(cls)
+        for method in _methods(cls):
+            if method.name == "__init__":
+                continue  # construction happens-before publication
+            summary = _summarize_method(method, locks)
+            for access in summary.accesses:
+                spec = specs.get(access.attr)
+                if spec is None:
+                    continue
+                if spec.lock is not None and spec.lock not in access.locks_held:
+                    verb = "written" if access.is_write else "read"
+                    yield ctx.finding(
+                        self,
+                        access.node,
+                        f"{cls.name}.{access.attr} is declared `# guarded-by: "
+                        f"{spec.lock}` but {verb} without holding "
+                        f"self.{spec.lock} in {method.name}()",
+                    )
+                elif (
+                    spec.writer is not None
+                    and access.is_write
+                    and method.name != spec.writer
+                ):
+                    yield ctx.finding(
+                        self,
+                        access.node,
+                        f"{cls.name}.{access.attr} is declared `# guarded-by: "
+                        f"spsc:{spec.writer}` (single writer) but written in "
+                        f"{method.name}()",
+                    )
+
+
+@register
+class EscapeAnalysisRule(_ConcurrencyRule):
+    code = "RA202"
+    name = "escaping-state"
+    severity = Severity.ERROR
+    description = (
+        "an attribute reachable from another thread (Thread target, "
+        "executor submit, worker spawn) is accessed after construction "
+        "with no lock held and no `# guarded-by:` declaration"
+    )
+
+    def check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        entries = _entry_targets(cls)
+        if not entries:
+            return
+        locks = _lock_attrs(cls)
+        specs = guarded_specs(cls, ctx.lines)
+        methods = _methods(cls)
+        entry_methods = [m for m in methods if m.name in entries]
+        if not entry_methods:
+            # targets are attribute roots only (e.g. self._httpd.serve_forever):
+            # the root attribute escapes, but has no body of its own to scan.
+            entry_methods = []
+        summaries = {m.name: _summarize_method(m, locks) for m in methods}
+        escaping: Dict[str, str] = {}  # attr -> how it escaped
+        for name, how in entries.items():
+            if name in summaries:  # a method escaped: its accesses are remote
+                for access in summaries[name].accesses:
+                    escaping.setdefault(access.attr, f"via {how} -> {name}()")
+            else:  # an attribute root escaped directly
+                escaping.setdefault(name, f"via {how}")
+        for attr in sorted(escaping):
+            if attr in specs:
+                continue  # declared: RA201 enforces its discipline
+            post_init_writes = [
+                (m, a)
+                for m in methods
+                if m.name != "__init__"
+                for a in summaries[m.name].accesses
+                if a.attr == attr and a.is_write
+            ]
+            if not post_init_writes:
+                continue  # effectively immutable after publication
+            for method in methods:
+                if method.name == "__init__":
+                    continue
+                for access in summaries[method.name].accesses:
+                    if access.attr != attr or access.locks_held:
+                        continue
+                    verb = "written" if access.is_write else "read"
+                    yield ctx.finding(
+                        self,
+                        access.node,
+                        f"{cls.name}.{attr} escapes to another thread "
+                        f"({escaping[attr]}) but is {verb} without "
+                        f"synchronization in {method.name}(); guard it with a "
+                        "lock and declare `# guarded-by:`",
+                    )
+
+
+@register
+class LockReentryRule(_ConcurrencyRule):
+    code = "RA203"
+    name = "lock-released-reentry"
+    severity = Severity.ERROR
+    description = (
+        "a guarded attribute touched under two disjoint acquisitions of its "
+        "lock in one method — state observed under the first hold may be "
+        "stale after the release (check-then-act hazard)"
+    )
+
+    def check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        specs = guarded_specs(cls, ctx.lines)
+        lock_specs = {a: s.lock for a, s in specs.items() if s.lock is not None}
+        if not lock_specs:
+            return
+        locks = _lock_attrs(cls)
+        for method in _methods(cls):
+            if method.name == "__init__":
+                continue
+            summary = _summarize_method(method, locks)
+            seen_region: Dict[str, int] = {}  # attr -> first acquisition id
+            for access in summary.accesses:
+                lock = lock_specs.get(access.attr)
+                if lock is None:
+                    continue
+                hold = dict(access.hold_ids).get(lock)
+                if hold is None:
+                    continue  # unguarded access: RA201's finding, not ours
+                first = seen_region.setdefault(access.attr, hold)
+                if hold != first:
+                    yield ctx.finding(
+                        self,
+                        access.node,
+                        f"{cls.name}.{access.attr} is re-examined under a "
+                        f"re-acquired self.{lock} in {method.name}(); the "
+                        "value observed under the earlier hold may be stale — "
+                        "merge the critical sections or re-validate",
+                    )
+
+
+@register
+class CallbackUnderLockRule(_ConcurrencyRule):
+    code = "RA204"
+    name = "callback-under-lock"
+    severity = Severity.ERROR
+    description = (
+        "an externally supplied callable (stored callable attribute, or a "
+        "local pulled out of a self container) invoked while holding a lock; "
+        "re-entrant or slow callbacks deadlock the lock — snapshot under the "
+        "lock, call after release"
+    )
+
+    def check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locks = _lock_attrs(cls)
+        if not locks:
+            return
+        method_names = {m.name for m in _methods(cls)}
+        stored_attrs = self._assigned_attrs(cls)
+        for method in _methods(cls):
+            from_self = self._locals_from_self(method, locks)
+            summary = _summarize_method(method, locks)
+            for call, held in summary.calls_under_lock:
+                func = call.func
+                if (
+                    _is_self_attr(func)
+                    and isinstance(func, ast.Attribute)
+                    and func.attr not in method_names
+                    and func.attr in stored_attrs
+                ):
+                    name = f"self.{func.attr}"
+                elif isinstance(func, ast.Name) and func.id in from_self:
+                    name = func.id
+                else:
+                    continue
+                lock = sorted(held)[0]
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"callback {name}() invoked while holding self.{lock} in "
+                    f"{cls.name}.{method.name}(); copy it under the lock and "
+                    "invoke after release",
+                )
+
+    @staticmethod
+    def _assigned_attrs(cls: ast.ClassDef) -> Set[str]:
+        attrs: Set[str] = set()
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if _is_self_attr(target):
+                        assert isinstance(target, ast.Attribute)
+                        attrs.add(target.attr)
+            elif isinstance(node, ast.AnnAssign) and _is_self_attr(node.target):
+                assert isinstance(node.target, ast.Attribute)
+                attrs.add(node.target.attr)
+        return attrs
+
+    @staticmethod
+    def _locals_from_self(
+        method: ast.FunctionDef | ast.AsyncFunctionDef, locks: Set[str]
+    ) -> Set[str]:
+        """Local names bound from a non-lock ``self`` attribute expression
+        (``cb = self._callbacks[qid]``, ``for cb in self._callbacks:``)."""
+
+        def roots_in_self(expr: ast.expr) -> bool:
+            return any(
+                _is_self_attr(sub) and sub.attr not in locks
+                for sub in ast.walk(expr)
+                if isinstance(sub, ast.Attribute)
+            )
+
+        names: Set[str] = set()
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign) and roots_in_self(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, (ast.For, ast.AsyncFor)) and roots_in_self(
+                node.iter
+            ):
+                if isinstance(node.target, ast.Name):
+                    names.add(node.target.id)
+                elif isinstance(node.target, ast.Tuple):
+                    names.update(
+                        elt.id
+                        for elt in node.target.elts
+                        if isinstance(elt, ast.Name)
+                    )
+        return names
+
+
+@register
+class MissingGuardDeclRule(_ConcurrencyRule):
+    code = "RA205"
+    name = "missing-guarded-by"
+    severity = Severity.ERROR
+    description = (
+        "an attribute written under a lock region has no `# guarded-by:` "
+        "declaration (or a declaration names an unknown lock/writer); the "
+        "convention must stay machine-checkable"
+    )
+
+    def check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locks = _lock_attrs(cls)
+        specs = guarded_specs(cls, ctx.lines)
+        # declaration hygiene first — these fire with or without locks
+        method_names = {m.name for m in _methods(cls)}
+        for attr in sorted(specs):
+            spec = specs[attr]
+            if spec.lock is not None and spec.lock not in locks:
+                yield ctx.finding(
+                    self,
+                    cls,
+                    f"{cls.name}.{attr} declares `# guarded-by: {spec.lock}` "
+                    f"but {cls.name} has no lock attribute {spec.lock!r}",
+                )
+            elif spec.writer is not None and spec.writer not in method_names:
+                yield ctx.finding(
+                    self,
+                    cls,
+                    f"{cls.name}.{attr} declares `# guarded-by: "
+                    f"spsc:{spec.writer}` but {cls.name} has no method "
+                    f"{spec.writer}()",
+                )
+        if not locks:
+            return
+        inferred: Dict[str, Tuple[str, ast.AST]] = {}
+        for method in _methods(cls):
+            summary = _summarize_method(method, locks)
+            for access in summary.accesses:
+                if access.is_write and access.locks_held:
+                    inferred.setdefault(
+                        access.attr, (sorted(access.locks_held)[0], access.node)
+                    )
+        for attr in sorted(set(inferred) - set(specs)):
+            lock, node = inferred[attr]
+            yield ctx.finding(
+                self,
+                node,
+                f"{cls.name}.{attr} is written under self.{lock} but carries "
+                f"no declaration; add `# guarded-by: {lock}` to its __init__ "
+                "assignment",
+            )
+
+
+@register
+class LockOrderRule(_ConcurrencyRule):
+    code = "RA206"
+    name = "lock-order"
+    severity = Severity.ERROR
+    description = (
+        "two locks of one class acquired in both nesting orders in "
+        "different code paths — a cross-thread deadlock waiting for the "
+        "right interleaving; pick one global order"
+    )
+
+    def check_class(
+        self, ctx: LintContext, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        locks = _lock_attrs(cls)
+        if len(locks) < 2:
+            return
+        events: List[LockEvent] = []
+        for method in _methods(cls):
+            events.extend(_summarize_method(method, locks).lock_events)
+        edges = {(e.outer, e.inner) for e in events}
+        flagged: Set[int] = set()
+        for event in events:
+            if (event.inner, event.outer) in edges and id(event.node) not in flagged:
+                flagged.add(id(event.node))
+                yield ctx.finding(
+                    self,
+                    event.node,
+                    f"inconsistent lock order in {cls.name}: self.{event.outer} "
+                    f"and self.{event.inner} are acquired in both orders; pick "
+                    "one global order to rule out deadlock",
+                )

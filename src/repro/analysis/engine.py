@@ -14,7 +14,9 @@ from __future__ import annotations
 
 import ast
 import enum
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
@@ -100,10 +102,23 @@ class LintContext:
     source: str
     tree: ast.Module
     lines: List[str] = field(default_factory=list)
+    _noqa: Optional[Dict[int, frozenset[str]]] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.lines:
             self.lines = self.source.splitlines()
+
+    def noqa_pragmas(self) -> Dict[int, frozenset[str]]:
+        """Map of line number -> codes suppressed by a ``# repro: noqa``
+        pragma on that line (empty frozenset = bare noqa, suppress all).
+
+        Pragmas are recognized only inside real comment tokens, so a
+        docstring *mentioning* the pragma syntax (as this module's does)
+        neither suppresses findings nor counts as a suppression for RA104.
+        """
+        if self._noqa is None:
+            self._noqa = _collect_noqa_pragmas(self.source)
+        return self._noqa
 
     @property
     def module_path(self) -> str:
@@ -152,6 +167,11 @@ class Rule:
     name: str = "unnamed"
     severity: Severity = Severity.ERROR
     description: str = ""
+    #: Rules auditing the suppression mechanism itself (RA104) opt out of
+    #: *bare* pragmas (ones without a ``[CODE]`` list) — otherwise a stale
+    #: bare pragma could suppress the very finding that reports it.  An
+    #: explicit ``noqa[CODE]`` naming the rule still works.
+    bare_noqa_exempt: bool = False
 
     def check(self, ctx: LintContext) -> Iterable[Finding]:
         raise NotImplementedError
@@ -202,31 +222,65 @@ def rule_catalog() -> List[Dict[str, str]]:
 def _ensure_rules_loaded() -> None:
     # Rule modules self-register on import; importing here (not at module
     # top) keeps engine importable from the rule modules themselves.
+    from repro.analysis import concurrency as _concurrency  # noqa: F401
     from repro.analysis import rules as _rules  # noqa: F401
 
-    del _rules
+    del _concurrency, _rules
 
 
-def _suppressed_codes(line: str) -> Optional[frozenset[str]]:
-    """Return the codes suppressed by a ``# repro: noqa`` pragma on
-    ``line`` — an empty frozenset means "suppress everything" (bare noqa),
-    ``None`` means no pragma present."""
-    match = _NOQA_RE.search(line)
-    if match is None:
+def _suppressed_codes(text: str) -> Optional[frozenset[str]]:
+    """Return the codes suppressed by ``# repro: noqa`` pragmas in
+    ``text`` — an empty frozenset means "suppress everything" (bare noqa),
+    ``None`` means no pragma present.  Multiple pragmas on one line union
+    their codes; any bare pragma wins."""
+    matches = list(_NOQA_RE.finditer(text))
+    if not matches:
         return None
-    codes = match.group("codes")
-    if codes is None:
-        return frozenset()
-    return frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+    union: Set[str] = set()
+    for match in matches:
+        codes = match.group("codes")
+        if codes is None:
+            return frozenset()
+        union.update(c.strip().upper() for c in codes.split(",") if c.strip())
+    return frozenset(union)
+
+
+def _collect_noqa_pragmas(source: str) -> Dict[int, frozenset[str]]:
+    """Per-line suppression map, built from real comment tokens only.
+
+    Falls back to raw-line scanning when the token stream is malformed
+    (the AST parsed, so this is a backstop, not the normal path)."""
+    pragmas: Dict[int, frozenset[str]] = {}
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                codes = _suppressed_codes(tok.string)
+                if codes is not None:
+                    pragmas[tok.start[0]] = codes
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pragmas = {}
+        for lineno, line in enumerate(source.splitlines(), 1):
+            codes = _suppressed_codes(line)
+            if codes is not None:
+                pragmas[lineno] = codes
+    return pragmas
+
+
+def _bare_noqa_exempt(rule_code: str) -> bool:
+    rule_cls = _REGISTRY.get(rule_code)
+    return rule_cls is not None and rule_cls.bare_noqa_exempt
 
 
 def apply_noqa(ctx: LintContext, findings: Iterable[Finding]) -> List[Finding]:
     """Drop findings whose source line carries a matching noqa pragma."""
+    pragmas = ctx.noqa_pragmas()
     kept: List[Finding] = []
     for f in findings:
-        codes = _suppressed_codes(ctx.line_text(f.line))
+        codes = pragmas.get(f.line)
         if codes is None:
             kept.append(f)
+        elif not codes and _bare_noqa_exempt(f.rule):
+            kept.append(f)  # bare noqa cannot silence the noqa auditor
         elif codes and f.rule not in codes:
             kept.append(f)
         # bare noqa (empty set) or a matching code suppresses the finding

@@ -20,6 +20,9 @@ __all__ = [
     "NUMPY_IMPORT_ALLOWLIST",
     "KERNEL_HANDLE_MODULE",
     "LOCK_DISCIPLINE_SCOPE",
+    "CONCURRENCY_SCOPE",
+    "LOCK_FACTORY_NAMES",
+    "THREAD_SPAWN_CALLEES",
     "SNAPSHOT_METHODS",
     "FLOAT_EQ_ALLOWLIST",
     "CANONICAL_COMPARATORS",
@@ -75,9 +78,14 @@ WALLCLOCK_METADATA_ALLOWLIST: Dict[str, str] = {
 #: corruption grace windows, worker-response timeouts), not data.  No
 #: clock value ever reaches a frame's bytes — timeouts only decide when
 #: to raise — so replay equivalence is untouched; wall clocks stay banned.
+#: ``repro/durability/manager.py`` rides the same argument as obs/: its
+#: ``perf_counter`` reads time WAL appends and checkpoints purely for the
+#: ``durability/*_seconds`` histograms — nothing on the recovery path ever
+#: reads a duration back (recovery is driven by sequence numbers and CRCs).
 MONOTONIC_CLOCK_SCOPE: Tuple[str, ...] = (
     "repro/obs/",
     "repro/runtime/transport/",
+    "repro/durability/manager.py",
 )
 
 #: The clock calls :data:`MONOTONIC_CLOCK_SCOPE` exempts (a strict subset
@@ -110,6 +118,31 @@ KERNEL_HANDLE_MODULE = "repro.fastpath.kernels"
 #: RA003 — packages whose classes are used across threads; attributes
 #: written under ``with self._lock`` must never be touched outside one.
 LOCK_DISCIPLINE_SCOPE: Tuple[str, ...] = ("repro/runtime/", "repro/obs/")
+
+#: RA201–RA206 — the concurrency-safety plane: every package whose objects
+#: are reachable from more than one thread or process (shard worker pools,
+#: the metrics HTTP server thread, WAL/checkpoint state shared with the
+#: serve loop, the SPSC shm rings).  The ``# guarded-by:`` annotation
+#: convention and the escape/lock-order passes apply here; see
+#: ``repro.analysis.concurrency``.  ``repro/runtime/transport/`` is covered
+#: via the ``repro/runtime/`` prefix.
+CONCURRENCY_SCOPE: Tuple[str, ...] = (
+    "repro/runtime/",
+    "repro/obs/",
+    "repro/durability/",
+)
+
+#: Callables recognized as lock constructors when inferring a class's lock
+#: attributes (RA003, RA201–RA206).  ``new_lock``/``new_rlock`` are the
+#: project factories from :mod:`repro.analysis.racecheck` — they return a
+#: plain lock normally and a witness-tracked lock under ``REPRO_RACECHECK=1``.
+LOCK_FACTORY_NAMES: FrozenSet[str] = frozenset(
+    {"Lock", "RLock", "Condition", "new_lock", "new_rlock"}
+)
+
+#: Callee names whose ``target=`` / first argument hands a bound method to
+#: another thread of control (RA202 escape analysis).
+THREAD_SPAWN_CALLEES: FrozenSet[str] = frozenset({"Thread", "Process", "Timer"})
 
 #: RA004 — methods returning cached, shared snapshots.  Their return values
 #: are reused across calls (``StabbingSetIndex.group_table`` until a

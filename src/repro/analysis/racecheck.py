@@ -1,0 +1,350 @@
+"""Dynamic lock-order witness and guarded-state barrier (``REPRO_RACECHECK=1``).
+
+The static rules in :mod:`repro.analysis.concurrency` prove what the AST
+can see; this module is the runtime half of the same contract.  When the
+``REPRO_RACECHECK`` environment variable is truthy:
+
+* :func:`new_lock` / :func:`new_rlock` — the project lock factories used
+  by every concurrent subsystem — return :class:`TrackedLock` wrappers
+  instead of bare ``threading`` primitives.  Each acquisition is checked
+  against a process-global held-lock DAG *before* blocking on the inner
+  lock: if the new ``held -> wanted`` edge closes a cycle, the acquire
+  raises :class:`LockOrderViolation` immediately — the witness reports the
+  potential deadlock without needing the adversarial interleaving that
+  would actually deadlock.
+* :func:`guarded` (a class decorator) reads the class's own
+  ``# guarded-by: <lock>`` annotations — the same ones the static RA201
+  pass checks — and installs a ``__setattr__`` barrier: writing a guarded
+  attribute after ``__init__`` without holding the declared lock raises
+  :class:`GuardedStateViolation`.
+
+When the variable is unset both factories return plain locks and
+:func:`guarded` is an identity decorator, so production and the default
+test tier pay nothing.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import textwrap
+import threading
+from typing import Any, Dict, List, Optional, Protocol, Set, Type, TypeVar
+
+__all__ = [
+    "ENV_VAR",
+    "enabled",
+    "LockLike",
+    "TrackedLock",
+    "LockOrderWitness",
+    "LockOrderViolation",
+    "GuardedStateViolation",
+    "RaceCheckError",
+    "new_lock",
+    "new_rlock",
+    "guarded",
+    "witness",
+    "reset",
+    "report",
+]
+
+ENV_VAR = "REPRO_RACECHECK"
+
+_T = TypeVar("_T")
+
+
+def enabled() -> bool:
+    """True when the witness is active.  Read per call, not at import:
+    ``repro racecheck`` flips the variable before building the pipeline,
+    and tests toggle it with ``monkeypatch.setenv``."""
+    return os.environ.get(ENV_VAR, "").strip() not in ("", "0", "false", "False")
+
+
+class RaceCheckError(RuntimeError):
+    """Base class for witness failures — fail fast, never limp on."""
+
+
+class LockOrderViolation(RaceCheckError):
+    """Acquiring this lock here completes a cycle in the held-lock DAG
+    (or re-acquires a non-reentrant lock already held by this thread)."""
+
+
+class GuardedStateViolation(RaceCheckError):
+    """A ``# guarded-by:`` attribute was written without its lock held."""
+
+
+class LockLike(Protocol):
+    """What the factories return: enough of the ``threading.Lock`` surface
+    for ``with``-statement discipline plus explicit acquire/release."""
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(self, *exc: object) -> Any: ...
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of currently held :class:`TrackedLock` instances."""
+
+    def __init__(self) -> None:
+        self.stack: List["TrackedLock"] = []
+
+
+class LockOrderWitness:
+    """Process-global lock-order DAG and guarded-state bookkeeping.
+
+    Edges are keyed by lock *name* (``"MetricsRegistry._lock"``), not
+    instance, so the order discipline generalizes across instances of the
+    same class — exactly the granularity a static lock-order rule uses.
+    """
+
+    def __init__(self) -> None:
+        self._mu = threading.Lock()
+        self._edges: Dict[str, Set[str]] = {}
+        self._held = _HeldStack()
+        self.locks_created = 0
+        self.acquisitions = 0
+        self.guard_checks = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def on_created(self, lock: "TrackedLock") -> None:
+        with self._mu:
+            self.locks_created += 1
+
+    def before_acquire(self, lock: "TrackedLock") -> None:
+        """Validate the pending acquisition against this thread's held set.
+
+        Runs *before* the inner acquire so a would-be deadlock raises
+        instead of blocking forever.
+        """
+        held = self._held.stack
+        for h in held:
+            if h is lock and lock.reentrant:
+                return  # RLock re-entry: no new edge, no violation
+            if h.name == lock.name and (h is not lock or not lock.reentrant):
+                raise LockOrderViolation(
+                    f"thread {threading.current_thread().name!r} acquiring "
+                    f"{lock.name!r} while already holding {h.name!r} — "
+                    "self-deadlock (non-reentrant re-acquisition)"
+                )
+        if not held:
+            return
+        with self._mu:
+            for h in held:
+                if self._reachable(lock.name, h.name):
+                    cycle = " -> ".join(
+                        [h.name, lock.name, "...", h.name]
+                    )
+                    raise LockOrderViolation(
+                        f"lock-order cycle: thread "
+                        f"{threading.current_thread().name!r} holds "
+                        f"{h.name!r} and wants {lock.name!r}, but the witness "
+                        f"has seen the reverse order ({cycle}); pick one "
+                        "global acquisition order"
+                    )
+            for h in held:
+                self._edges.setdefault(h.name, set()).add(lock.name)
+
+    def on_acquired(self, lock: "TrackedLock") -> None:
+        self._held.stack.append(lock)
+        with self._mu:
+            self.acquisitions += 1
+
+    def on_released(self, lock: "TrackedLock") -> None:
+        stack = self._held.stack
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                return
+
+    # -- queries -----------------------------------------------------------
+
+    def holds(self, lock: object) -> bool:
+        """Identity check: does the calling thread hold ``lock``?"""
+        inner = lock._inner if isinstance(lock, TrackedLock) else lock
+        for h in self._held.stack:
+            if h is lock or h._inner is inner:
+                return True
+        return False
+
+    def note_guard_check(self) -> None:
+        with self._mu:
+            self.guard_checks += 1
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        """DFS over recorded edges: can ``src`` reach ``dst``?  Caller holds
+        ``_mu``."""
+        if src == dst:
+            return True
+        seen: Set[str] = set()
+        todo = [src]
+        while todo:
+            node = todo.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            todo.extend(self._edges.get(node, ()))
+        return False
+
+    def report(self) -> Dict[str, Any]:
+        """Stable, JSON-friendly summary for the CLI and tests."""
+        with self._mu:
+            edges = sorted(
+                (src, dst)
+                for src, dsts in self._edges.items()
+                for dst in dsts
+            )
+            return {
+                "locks_created": self.locks_created,
+                "acquisitions": self.acquisitions,
+                "guard_checks": self.guard_checks,
+                "edges": [f"{src} -> {dst}" for src, dst in edges],
+            }
+
+    def reset(self) -> None:
+        with self._mu:
+            self._edges.clear()
+            self.locks_created = 0
+            self.acquisitions = 0
+            self.guard_checks = 0
+        self._held = _HeldStack()
+
+
+_WITNESS = LockOrderWitness()
+
+
+def witness() -> LockOrderWitness:
+    return _WITNESS
+
+
+def reset() -> None:
+    """Clear the global witness (between CLI runs / tests)."""
+    _WITNESS.reset()
+
+
+def report() -> Dict[str, Any]:
+    return _WITNESS.report()
+
+
+class TrackedLock:
+    """A named lock wrapper that reports every acquire/release to the
+    witness.  Not re-exported to user code — :func:`new_lock` hands these
+    out only under ``REPRO_RACECHECK=1``."""
+
+    __slots__ = ("name", "reentrant", "_inner")
+
+    def __init__(self, name: str, reentrant: bool = False) -> None:
+        self.name = name
+        self.reentrant = reentrant
+        self._inner: Any = (
+            threading.RLock() if reentrant else threading.Lock()
+        )
+        _WITNESS.on_created(self)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _WITNESS.before_acquire(self)
+        got = bool(self._inner.acquire(blocking, timeout))
+        if got:
+            _WITNESS.on_acquired(self)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        _WITNESS.on_released(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self.name!r}, reentrant={self.reentrant})"
+
+
+def new_lock(name: str) -> LockLike:
+    """Project lock factory.  A plain ``threading.Lock`` normally; a
+    witness-:class:`TrackedLock` under ``REPRO_RACECHECK=1``.  ``name``
+    should be ``"Class._attr"`` so DAG edges read like the source."""
+    if enabled():
+        return TrackedLock(name)
+    return threading.Lock()
+
+
+def new_rlock(name: str) -> LockLike:
+    """Re-entrant variant of :func:`new_lock`."""
+    if enabled():
+        return TrackedLock(name, reentrant=True)
+    return threading.RLock()
+
+
+# --------------------------------------------------------------------------
+# guarded-state write barrier
+
+#: Objects currently inside ``__init__`` — construction happens-before
+#: publication, so writes there are exempt (mirrors RA201's exemption).
+#: An id-set rather than an instance attribute so it works with __slots__.
+_UNDER_CONSTRUCTION: Set[int] = set()
+
+
+def _guard_table(cls: type) -> Dict[str, str]:
+    """``{attr: lock_attr}`` from the class's own ``# guarded-by:`` comments
+    (lock-form only; spsc single-writer discipline has no runtime hook)."""
+    from repro.analysis.concurrency import guarded_specs_from_source
+
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError):
+        return {}
+    specs = guarded_specs_from_source(source, cls.__name__)
+    return {attr: s.lock for attr, s in specs.items() if s.lock is not None}
+
+
+def guarded(cls: Type[_T]) -> Type[_T]:
+    """Class decorator enforcing ``# guarded-by:`` at runtime.
+
+    A no-op unless :func:`enabled` at decoration time (class definition
+    normally happens at import, after ``repro racecheck`` sets the env
+    var) or the class has no lock-form annotations.
+    """
+    if not enabled():
+        return cls
+    guards = _guard_table(cls)
+    if not guards:
+        return cls
+
+    original_init = cls.__init__
+    original_setattr = cls.__setattr__
+
+    @functools.wraps(original_init)
+    def init(self: Any, *args: Any, **kwargs: Any) -> None:
+        _UNDER_CONSTRUCTION.add(id(self))
+        try:
+            original_init(self, *args, **kwargs)
+        finally:
+            _UNDER_CONSTRUCTION.discard(id(self))
+
+    @functools.wraps(original_setattr)
+    def barrier(self: Any, attr: str, value: Any) -> None:
+        lock_attr = guards.get(attr)
+        if lock_attr is not None and id(self) not in _UNDER_CONSTRUCTION:
+            _WITNESS.note_guard_check()
+            lock: Optional[object] = getattr(self, lock_attr, None)
+            if lock is not None and not _WITNESS.holds(lock):
+                raise GuardedStateViolation(
+                    f"{cls.__name__}.{attr} is `# guarded-by: {lock_attr}` "
+                    f"but thread {threading.current_thread().name!r} wrote it "
+                    f"without holding self.{lock_attr}"
+                )
+        original_setattr(self, attr, value)
+
+    setattr(cls, "__init__", init)
+    setattr(cls, "__setattr__", barrier)
+    return cls

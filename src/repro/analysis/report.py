@@ -60,15 +60,25 @@ def render_json(delta: BaselineDelta, files_checked: int) -> str:
         entry = f.to_json()
         entry["baselined"] = True
         findings.append(entry)
+    # Total order on every key the entries can differ in — the JSON is a
+    # CI artifact diffed across runs, so two runs over the same tree must
+    # be byte-identical (dict iteration order of the merged new+baselined
+    # lists is an implementation detail, never the output order).
     findings.sort(
-        key=lambda e: (str(e["path"]), int(str(e["line"])), str(e["rule"]))
+        key=lambda e: (
+            str(e["path"]),
+            int(str(e["line"])),
+            str(e["rule"]),
+            int(str(e["col"])),
+            str(e["message"]),
+        )
     )
     payload: Dict[str, object] = {
         "tool": "repro lint",
         "version": 1,
         "files_checked": files_checked,
         "summary": summarize(delta),
-        "stale_baseline": delta.stale,
+        "stale_baseline": dict(sorted(delta.stale.items())),
         "rules": rule_catalog(),
         "findings": findings,
     }

@@ -30,6 +30,7 @@ __all__ = [
     "MutableDefaultRule",
     "BareExceptRule",
     "ShadowedBuiltinRule",
+    "StaleNoqaRule",
 ]
 
 
@@ -284,7 +285,9 @@ class KernelIsolationRule(Rule):
 
 
 def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
-    """Attribute names assigned a ``*.Lock()``/``*.RLock()`` in the class."""
+    """Attribute names assigned a lock constructor in the class —
+    ``*.Lock()``/``*.RLock()``/``*.Condition()`` or the racecheck
+    factories ``new_lock()``/``new_rlock()`` (project.LOCK_FACTORY_NAMES)."""
     locks: Set[str] = set()
     for node in ast.walk(cls):
         if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
@@ -292,7 +295,7 @@ def _lock_attrs(cls: ast.ClassDef) -> Set[str]:
             name = callee.attr if isinstance(callee, ast.Attribute) else (
                 callee.id if isinstance(callee, ast.Name) else None
             )
-            if name in ("Lock", "RLock", "Condition"):
+            if name in project.LOCK_FACTORY_NAMES:
                 for target in node.targets:
                     if _is_self_attr(target):
                         assert isinstance(target, ast.Attribute)
@@ -705,6 +708,75 @@ _SHADOWABLE_BUILTINS: FrozenSet[str] = frozenset(
         "print",
     }
 )
+
+
+@register
+class StaleNoqaRule(Rule):
+    """RA104 — a ``# repro: noqa`` pragma that suppresses nothing.
+
+    Stale suppressions are worse than none: they read as "a finding was
+    judged acceptable here" when in fact the finding no longer exists (the
+    code was fixed, the rule's scope changed, or the code never fired), and
+    they silently swallow the *next* genuine finding on the line.  The rule
+    re-runs every other registered rule on the file and flags each
+    suppressed code that did not fire on its line.
+
+    A bare pragma cannot silence this rule (``bare_noqa_exempt``); an
+    explicit ``noqa[RA104]`` on the line still can, so deliberate
+    placeholders remain expressible.
+    """
+
+    code = "RA104"
+    name = "stale-noqa"
+    severity = Severity.WARNING
+    bare_noqa_exempt = True
+    description = (
+        "a # repro: noqa pragma whose suppressed rule(s) no longer fire on "
+        "that line; remove the stale suppression"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        pragmas = ctx.noqa_pragmas()
+        if not pragmas:
+            return
+        from repro.analysis.engine import all_rules
+
+        fired: Dict[int, Set[str]] = {}
+        for rule in all_rules():
+            if rule.code == self.code:
+                continue
+            for f in rule.check(ctx):
+                fired.setdefault(f.line, set()).add(f.rule)
+        for lineno in sorted(pragmas):
+            codes = pragmas[lineno]
+            hit = fired.get(lineno, set())
+            if not codes:  # bare noqa
+                if not hit:
+                    yield self._at(
+                        ctx, lineno, "stale suppression: bare `# repro: noqa` "
+                        "suppresses nothing on this line"
+                    )
+                continue
+            for code in sorted(codes - {self.code}):
+                if code not in hit:
+                    yield self._at(
+                        ctx,
+                        lineno,
+                        f"stale suppression: `# repro: noqa[{code}]` suppresses "
+                        "nothing on this line",
+                    )
+
+    def _at(self, ctx: LintContext, lineno: int, message: str) -> Finding:
+        text = ctx.line_text(lineno)
+        col = text.find("#")
+        return Finding(
+            rule=self.code,
+            path=ctx.path,
+            line=lineno,
+            col=col if col >= 0 else 0,
+            message=message,
+            severity=self.severity,
+        )
 
 
 @register

@@ -17,7 +17,7 @@ import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 
 @dataclass
@@ -177,7 +177,7 @@ def bench_env() -> Dict[str, object]:
     }
 
 
-def emit_json(tag: str, payload: dict) -> None:
+def emit_json(tag: str, payload: Dict[str, Any]) -> None:
     """Emit one machine-readable benchmark record.
 
     Prints a single ``BENCH-JSON`` line (grep-friendly in pytest output) and,

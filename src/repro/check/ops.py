@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.workload.generator import (
     clustered_intervals,
@@ -90,11 +90,11 @@ class Op:
         if self.kind not in ALL_KINDS:
             raise ValueError(f"unknown op kind {self.kind!r}")
 
-    def to_json(self) -> dict:
+    def to_json(self) -> Dict[str, Any]:
         return {"kind": self.kind, "key": self.key, "values": list(self.values)}
 
     @staticmethod
-    def from_json(data: dict) -> "Op":
+    def from_json(data: Dict[str, Any]) -> "Op":
         return Op(data["kind"], int(data.get("key", 0)),
                   tuple(float(v) for v in data.get("values", ())))
 

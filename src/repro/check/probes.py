@@ -23,7 +23,9 @@ Each probe inspects one target against the ground-truth
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.core.intervals import Interval
 
 from repro.check.oracles import (
     IntervalPair,
@@ -39,7 +41,9 @@ _EPS = 1e-9
 class Divergence(AssertionError):
     """A target disagreed with an oracle or violated an invariant."""
 
-    def __init__(self, target: str, message: str, op_index: int | None = None):
+    def __init__(
+        self, target: str, message: str, op_index: int | None = None
+    ) -> None:
         self.target = target
         self.op_index = op_index
         super().__init__(f"[{target}] {message}")
@@ -63,11 +67,11 @@ def _multiset(pairs: Sequence[IntervalPair]) -> List[IntervalPair]:
 
 def check_partition(
     target_name: str,
-    partition,
+    partition: Any,
     model: ModelState,
     *,
     epsilon: float,
-    interval_of=lambda item: item,
+    interval_of: Callable[[Any], Interval] = lambda item: item,
 ) -> None:
     """Validity + membership + the (1 + eps) * tau size bound."""
     items = [item for group in partition.groups for item in group]
@@ -128,16 +132,14 @@ def check_canonical_against_piercing(model: ModelState) -> None:
         )
 
 
-def _pair_interval(pair):
-    from repro.core.intervals import Interval
-
+def _pair_interval(pair: Sequence[float]) -> Interval:
     return Interval(pair[0], pair[1])
 
 
 # -- hotspot tracker ---------------------------------------------------------
 
 
-def check_tracker(target_name: str, tracker, model: ModelState) -> None:
+def check_tracker(target_name: str, tracker: Any, model: ModelState) -> None:
     """Theorem 1: I1/I2 via validate(), I3 via the crossing counters, plus
     membership and the oracle-tau group bound."""
     items = [item for group in tracker.hotspot_groups for item in group]
@@ -203,8 +205,8 @@ def check_batcher_drain(
     by_row: Dict[Tuple[str, int], List[Tuple[int, str]]] = {}
     for seq, relation, row_id, kind in pending_before:
         by_row.setdefault((relation, row_id), []).append((seq, kind))
-    expected_cancelled = set()
-    expected_pairs = set()
+    expected_cancelled: set[int] = set()
+    expected_pairs: set[Tuple[int, int]] = set()
     for events in by_row.values():
         kinds = [kind for __, kind in events]
         if "insert" in kinds and "delete" in kinds:

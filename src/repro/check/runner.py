@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.check.ops import FuzzConfig, Op, generate_ops
 from repro.check.oracles import ModelState
@@ -36,7 +36,7 @@ class DivergenceRecord:
     target: str
     message: str
 
-    def to_json(self) -> dict:
+    def to_json(self) -> Dict[str, Any]:
         return {
             "op_index": self.op_index,
             "target": self.target,
@@ -44,7 +44,7 @@ class DivergenceRecord:
         }
 
     @staticmethod
-    def from_json(data: dict) -> "DivergenceRecord":
+    def from_json(data: Dict[str, Any]) -> "DivergenceRecord":
         return DivergenceRecord(
             int(data["op_index"]), data["target"], data["message"]
         )
@@ -260,7 +260,7 @@ def reproducer_dict(
     *,
     targets: Sequence[str] = DEFAULT_TARGETS,
     seed: Optional[int] = None,
-) -> dict:
+) -> Dict[str, Any]:
     return {
         "version": 1,
         "seed": seed,
@@ -270,15 +270,16 @@ def reproducer_dict(
     }
 
 
-def save_reproducer(path: str, data: dict) -> None:
+def save_reproducer(path: str, data: Dict[str, Any]) -> None:
     with open(path, "w") as handle:
         json.dump(data, handle, indent=2)
         handle.write("\n")
 
 
-def load_reproducer(path: str) -> dict:
+def load_reproducer(path: str) -> Dict[str, Any]:
     with open(path) as handle:
-        return json.load(handle)
+        data: Dict[str, Any] = json.load(handle)
+    return data
 
 
 def replay_reproducer(
@@ -311,7 +312,7 @@ class FuzzReport:
     def ok(self) -> bool:
         return self.outcome.ok
 
-    def reproducer(self) -> dict:
+    def reproducer(self) -> Dict[str, Any]:
         assert self.outcome.divergence is not None, "no divergence to dump"
         if self.shrunk_ops is not None and self.shrunk_divergence is not None:
             return reproducer_dict(

@@ -18,7 +18,7 @@ import random
 import shutil
 import tempfile
 from pathlib import Path
-from typing import Callable, Dict, FrozenSet, List, Optional
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.check import ops as op_mod
 from repro.check.ops import ENGINE_KINDS, INTERVAL_KINDS, Op
@@ -82,7 +82,7 @@ class _IntervalPartitionTarget(FuzzTarget):
         self._epsilon = 1.0
         self._structure = self._build([])
 
-    def _build(self, items: List[Interval]):
+    def _build(self, items: List[Interval]) -> Any:
         raise NotImplementedError
 
     def apply(self, op: Op, model: ModelState) -> None:
@@ -107,14 +107,14 @@ class LazyTarget(_IntervalPartitionTarget):
 
     def __init__(
         self,
-        partition_cls: type = LazyStabbingPartition,
+        partition_cls: type[Any] = LazyStabbingPartition,
         trigger: str = "relaxed",
     ) -> None:
         self._partition_cls = partition_cls
         self._trigger = trigger
         super().__init__()
 
-    def _build(self, items: List[Interval]):
+    def _build(self, items: List[Interval]) -> Any:
         return self._partition_cls(
             items, epsilon=self._epsilon, trigger=self._trigger
         )
@@ -123,11 +123,11 @@ class LazyTarget(_IntervalPartitionTarget):
 class RefinedTarget(_IntervalPartitionTarget):
     name = "refined"
 
-    def __init__(self, partition_cls: type = RefinedStabbingPartition) -> None:
+    def __init__(self, partition_cls: type[Any] = RefinedStabbingPartition) -> None:
         self._partition_cls = partition_cls
         super().__init__()
 
-    def _build(self, items: List[Interval]):
+    def _build(self, items: List[Interval]) -> Any:
         # Fixed treap seed keeps runs reproducible per op sequence.
         return self._partition_cls(items, epsilon=self._epsilon, seed=0)
 
@@ -140,13 +140,13 @@ class MultidimTarget(FuzzTarget):
     name = "multidim"
     kinds = INTERVAL_KINDS
 
-    def __init__(self, partition_cls: type = DynamicBoxPartition) -> None:
+    def __init__(self, partition_cls: type[Any] = DynamicBoxPartition) -> None:
         self._partition_cls = partition_cls
         self._items: Dict[int, Box] = {}
         self._epsilon = 1.0
         self._structure = self._build([])
 
-    def _build(self, items: List[Box]):
+    def _build(self, items: List[Box]) -> Any:
         return self._partition_cls(items, epsilon=self._epsilon)
 
     def apply(self, op: Op, model: ModelState) -> None:
@@ -174,14 +174,14 @@ class TrackerTarget(FuzzTarget):
     name = "tracker"
     kinds = INTERVAL_KINDS
 
-    def __init__(self, tracker_cls: type = HotspotTracker) -> None:
+    def __init__(self, tracker_cls: type[Any] = HotspotTracker) -> None:
         self._tracker_cls = tracker_cls
         self._items: Dict[int, Interval] = {}
         self._alpha = 0.2
         self._epsilon = 1.0
         self._tracker = self._build([])
 
-    def _build(self, items: List[Interval]):
+    def _build(self, items: List[Interval]) -> Any:
         return self._tracker_cls(items, alpha=self._alpha, epsilon=self._epsilon)
 
     def apply(self, op: Op, model: ModelState) -> None:
@@ -219,8 +219,8 @@ class BatcherTarget(FuzzTarget):
         self.batcher = MicroBatcher(max_batch)
         self._seq = 0
         # Shadow of the pending queue: (seq, relation, row_id, kind).
-        self._shadow: List[tuple] = []
-        self._rows: Dict[tuple, object] = {}
+        self._shadow: List[Tuple[Any, ...]] = []
+        self._rows: Dict[Tuple[Any, ...], object] = {}
 
     def apply(self, op: Op, model: ModelState) -> None:
         if op.kind == op_mod.INSERT_R:
@@ -419,7 +419,7 @@ class FastpathTarget(FuzzTarget):
         self.flushes = 0
         # Pending (event, label, reference delta, oracle delta); delta
         # entries are None for deletes, which produce no results.
-        self._pending: List[tuple] = []
+        self._pending: List[Tuple[Any, ...]] = []
         self._r_rows: Dict[int, RTuple] = {}
         self._s_rows: Dict[int, STuple] = {}
         self._queries: Dict[int, object] = {}
@@ -478,7 +478,13 @@ class FastpathTarget(FuzzTarget):
             self.batched.unsubscribe(query)
             self.reference.unsubscribe(query)
 
-    def _defer(self, event, label, got_reference, want) -> None:
+    def _defer(
+        self,
+        event: DataEvent,
+        label: str,
+        got_reference: Optional[Dict[int, Tuple[int, ...]]],
+        want: Optional[Dict[int, Tuple[int, ...]]],
+    ) -> None:
         self._pending.append((event, label, got_reference, want))
         if len(self._pending) >= self.max_batch:
             self.flush()
@@ -569,7 +575,7 @@ class DurabilityTarget(FuzzTarget):
         self._alpha = alpha
         self._epsilon = epsilon
         # One entry per engine op: (kind, payload, normalized live delta).
-        self._journal: List[tuple] = []
+        self._journal: List[Tuple[Any, ...]] = []
         self._r_rows: Dict[int, RTuple] = {}
         self._s_rows: Dict[int, STuple] = {}
         self._queries: Dict[int, object] = {}
@@ -620,7 +626,9 @@ class DurabilityTarget(FuzzTarget):
 
     # -- crash simulation ----------------------------------------------------
 
-    def _replay_entry(self, system, entry: tuple, index: int) -> None:
+    def _replay_entry(
+        self, system: Any, entry: Tuple[Any, ...], index: int
+    ) -> None:
         kind, payload, recorded = entry
         if kind == op_mod.INSERT_R:
             got = normalize_deltas(system.insert_r_row(payload))
@@ -744,7 +752,7 @@ class TransportTarget(FuzzTarget):
             )
             for mode in ("process-shm", "inline")
         }
-        self._pending: List[tuple] = []  # (event, label)
+        self._pending: List[Tuple[Any, ...]] = []  # (event, label)
         self._r_rows: Dict[int, RTuple] = {}
         self._s_rows: Dict[int, STuple] = {}
         self._queries: Dict[int, object] = {}

@@ -146,9 +146,9 @@ class DurabilityManager:
         payload = encode_event(event)
         # Timing instrumentation only; nothing downstream reads this clock.
         with self.tracer.span("wal.append"):
-            start = time.perf_counter()  # repro: noqa[RA001]
+            start = time.perf_counter()
             seq = self._wal.append(payload)
-            self._append_seconds.observe(time.perf_counter() - start)  # repro: noqa[RA001]
+            self._append_seconds.observe(time.perf_counter() - start)
         self._events_since_checkpoint += 1
         return seq
 
@@ -180,7 +180,7 @@ class DurabilityManager:
         if self._wal is None:
             raise DurabilityError("checkpoint before attach()")
         with self.tracer.span("checkpoint"):
-            start = time.perf_counter()  # repro: noqa[RA001]
+            start = time.perf_counter()
             drain = getattr(source, "drain", None)
             if drain is not None:
                 drain()
@@ -196,7 +196,7 @@ class DurabilityManager:
             self._wal.prune(next_seq)
             self._events_since_checkpoint = 0
             self.metrics.counter("durability/checkpoints_total").inc()
-            elapsed = time.perf_counter() - start  # repro: noqa[RA001]
+            elapsed = time.perf_counter() - start
             self._checkpoint_seconds.observe(elapsed)
             return path
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.durability.codec import (
     DecodedRecord,
@@ -152,7 +152,7 @@ def recover_system(
     epsilon: float = 1.0,
     domain_lo: Optional[float] = None,
     domain_hi: Optional[float] = None,
-) -> tuple:
+) -> Tuple[Any, RecoveryReport]:
     """Build a :class:`ShardedContinuousQuerySystem` from durable state.
 
     Construction parameters come from the checkpoint manifest's recorded

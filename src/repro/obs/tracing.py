@@ -16,9 +16,11 @@ is a two-implementation protocol:
   package precisely because span durations never feed replay or recovery
   decisions (see ``repro.analysis.project.MONOTONIC_CLOCK_SCOPE``).
 
-Lock discipline follows RA003: the ring state (``_spans``, ``_next``) is
-only ever touched under ``self._lock``; snapshot readers copy under the
-lock and format outside it.  Span *objects* are thread-local by usage
+Lock discipline follows RA003/RA201: the ring state (``_spans``,
+``_next``) declares ``guarded-by: _lock`` and is only ever touched under
+``self._lock``; snapshot readers copy under the lock and format outside
+it.  The lock comes from the project factory so ``repro racecheck`` can
+witness its acquisition order.  Span *objects* are thread-local by usage
 (created, entered and exited on one thread), so only the final
 ``_record`` call synchronizes.
 
@@ -33,7 +35,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 from types import TracebackType
-from typing import Any, ContextManager, Dict, List, Optional, Protocol, Sequence
+from typing import Any, ContextManager, Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.analysis.racecheck import guarded, new_lock
 
 __all__ = [
     "SpanRecord",
@@ -146,6 +150,7 @@ class _Span:
         )
 
 
+@guarded
 class RingTracer:
     """Thread-safe ring buffer of closed spans with bounded memory.
 
@@ -161,9 +166,9 @@ class RingTracer:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
-        self._lock = threading.Lock()
-        self._spans: List[Optional[SpanRecord]] = [None] * capacity
-        self._next = 0  # total spans ever recorded; write slot = _next % capacity
+        self._lock = new_lock("RingTracer._lock")
+        self._spans: List[Optional[SpanRecord]] = [None] * capacity  # guarded-by: _lock
+        self._next = 0  # total spans ever recorded  # guarded-by: _lock
 
     def span(self, name: str, **args: Any) -> _Span:
         return _Span(self, name, args or None)
@@ -187,6 +192,14 @@ class RingTracer:
 
     def snapshot(self) -> List[SpanRecord]:
         """The retained spans, oldest first (a consistent copy)."""
+        records, _ = self._ring_copy()
+        return records
+
+    def _ring_copy(self) -> Tuple[List[SpanRecord], int]:
+        """(retained spans oldest-first, total ever recorded) from *one*
+        lock acquisition — exporters need both to agree, and reading them
+        via two separate properties is exactly the torn-read hazard RA203
+        exists to flag."""
         with self._lock:
             total = self._next
             if total <= self.capacity:
@@ -194,7 +207,7 @@ class RingTracer:
             else:
                 start = total % self.capacity
                 head = self._spans[start:] + self._spans[:start]
-        return [record for record in head if record is not None]
+        return [record for record in head if record is not None], total
 
     def clear(self) -> None:
         with self._lock:
@@ -202,8 +215,9 @@ class RingTracer:
             self._next = 0
 
     def to_chrome_trace(self, *, pid: int = 1) -> Dict[str, Any]:
-        trace = to_chrome_trace(self.snapshot(), pid=pid)
-        trace["otherData"] = {"dropped_spans": self.dropped}
+        records, total = self._ring_copy()
+        trace = to_chrome_trace(records, pid=pid)
+        trace["otherData"] = {"dropped_spans": max(0, total - self.capacity)}
         return trace
 
 

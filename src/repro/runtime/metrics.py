@@ -6,12 +6,15 @@ Histograms bucket observations by powers of two, which is precise enough
 for the latency/batch-size distributions the runtime reports and keeps
 ``observe`` allocation-free.
 
-Lock discipline (enforced statically by lint rule RA003): every field
-written under ``self._lock`` is also *read* under it.  Readers either
-return a single value from inside the lock or copy the fields into locals
-under the lock and compute outside it — multi-field reads without the
-lock can observe torn snapshots (e.g. a ``_sum`` that includes an
-observation ``_count`` does not).
+Lock discipline (enforced statically by lint rules RA003 and
+RA201–RA206, and dynamically under ``REPRO_RACECHECK=1``): every shared
+field declares its lock with a ``guarded-by`` annotation, and every
+access happens under ``with self._lock``.  Readers either return a
+single value from inside the lock or copy the fields into locals under
+the lock and compute outside it — multi-field reads without the lock can
+observe torn snapshots (e.g. a ``_sum`` that includes an observation
+``_count`` does not).  Locks come from the project factories so the
+``repro racecheck`` witness can track the held-lock DAG.
 
 ``MetricsRegistry.snapshot()`` returns a plain nested dict (JSON-friendly);
 ``render()`` formats it as aligned text for the CLI.
@@ -19,8 +22,9 @@ observation ``_count`` does not).
 
 from __future__ import annotations
 
-import threading
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.racecheck import guarded, new_lock
 
 __all__ = [
     "Counter",
@@ -50,14 +54,15 @@ def bucket_index(value: float) -> int:
     return min(index, N_HISTOGRAM_BUCKETS - 1)
 
 
+@guarded
 class Counter:
     """A monotonically increasing counter."""
 
     __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
-        self._value = 0
-        self._lock = threading.Lock()
+        self._lock = new_lock("Counter._lock")
+        self._value = 0  # guarded-by: _lock
 
     def inc(self, n: int = 1) -> None:
         with self._lock:
@@ -69,14 +74,15 @@ class Counter:
             return self._value
 
 
+@guarded
 class Gauge:
     """A point-in-time value (e.g. current queue depth)."""
 
     __slots__ = ("_value", "_lock")
 
     def __init__(self) -> None:
-        self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = new_lock("Gauge._lock")
+        self._value = 0.0  # guarded-by: _lock
 
     def set(self, value: float) -> None:
         with self._lock:
@@ -103,6 +109,7 @@ def _bucket_quantile(
     return max_value
 
 
+@guarded
 class Histogram:
     """Log2-bucketed histogram of non-negative observations.
 
@@ -117,12 +124,12 @@ class Histogram:
     N_BUCKETS = N_HISTOGRAM_BUCKETS
 
     def __init__(self) -> None:
-        self._buckets: List[int] = [0] * self.N_BUCKETS
-        self._count = 0
-        self._sum = 0.0
-        self._min = float("inf")
-        self._max = 0.0
-        self._lock = threading.Lock()
+        self._lock = new_lock("Histogram._lock")
+        self._buckets: List[int] = [0] * self.N_BUCKETS  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._min = float("inf")  # guarded-by: _lock
+        self._max = 0.0  # guarded-by: _lock
 
     def observe(self, value: float) -> None:
         if value < 0:
@@ -184,6 +191,7 @@ class Histogram:
         }
 
 
+@guarded
 class MetricsRegistry:
     """Named counters/gauges/histograms with one-shot snapshot/rendering.
 
@@ -195,10 +203,10 @@ class MetricsRegistry:
     __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._lock = threading.Lock()
+        self._lock = new_lock("MetricsRegistry._lock")
+        self._counters: Dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, Gauge] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, Histogram] = {}  # guarded-by: _lock
 
     def counter(self, name: str) -> Counter:
         with self._lock:

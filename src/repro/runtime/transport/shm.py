@@ -156,8 +156,8 @@ class ShmRing:
         # so both shared counters are still zero here; same-process
         # loopback (one object sending to itself, handy in tests and
         # micro-benchmarks) works because the roles keep separate slots.
-        self._next_tail = 0
-        self._next_head = 0
+        self._next_tail = 0  # guarded-by: spsc:send
+        self._next_head = 0  # guarded-by: spsc:recv
 
     # -- construction --------------------------------------------------------
 

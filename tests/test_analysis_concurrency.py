@@ -1,0 +1,404 @@
+"""Per-rule fixtures for the concurrency-safety rules RA201–RA206, the
+guarded-by annotation parser, and the repo self-check asserting the tree
+carries zero unannotated violations.  Mirrors the harness in
+``test_analysis_rules.py``: every rule fires on a seeded true positive,
+stays quiet on the idiomatic counterpart, suppresses with noqa, and rides
+the baseline ratchet."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, all_rules, lint_paths, lint_source
+from repro.analysis.concurrency import (
+    CONCURRENCY_RULE_CODES,
+    GuardSpec,
+    guarded_specs_from_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+
+RUNTIME = "src/repro/runtime/fake_worker.py"
+OBS = "src/repro/obs/fake_sink.py"
+DURABILITY = "src/repro/durability/fake_log.py"
+ELSEWHERE = "src/repro/workload/fake_gen.py"
+
+
+def run(code, path, src):
+    return lint_source(src, path, all_rules([code]))
+
+
+RA201_BAD = """\
+import threading
+
+class Buf:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def add(self, x):
+        with self._lock:
+            self._items.append(x)
+
+    def size(self):
+        return len(self._items)
+"""
+
+RA201_GOOD = RA201_BAD.replace(
+    "    def size(self):\n        return len(self._items)\n",
+    "    def size(self):\n"
+    "        with self._lock:\n"
+    "            return len(self._items)\n",
+)
+
+RA201_SPSC_BAD = """\
+class Ring:
+    def __init__(self):
+        self._tail = 0  # guarded-by: spsc:send
+
+    def send(self):
+        self._tail += 1
+
+    def reset(self):
+        self._tail = 0
+"""
+
+RA201_SPSC_GOOD = """\
+class Ring:
+    def __init__(self):
+        self._tail = 0  # guarded-by: spsc:send
+
+    def send(self):
+        self._tail += 1
+
+    def occupancy(self):
+        return self._tail
+"""
+
+RA202_BAD = """\
+import threading
+
+class Server:
+    def __init__(self):
+        self.count = 0
+        self.thread = threading.Thread(target=self.run)
+
+    def run(self):
+        while self.count < 10:
+            self.count += 1
+"""
+
+RA202_GOOD = """\
+import threading
+
+class Server:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  # guarded-by: _lock
+        self.thread = threading.Thread(target=self.run)
+
+    def run(self):
+        with self._lock:
+            self.count += 1
+"""
+
+RA203_BAD = """\
+import threading
+
+class Queue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def move(self):
+        with self._lock:
+            n = len(self._items)
+        with self._lock:
+            if n:
+                self._items.pop()
+"""
+
+RA203_GOOD = """\
+import threading
+
+class Queue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = []  # guarded-by: _lock
+
+    def move(self):
+        with self._lock:
+            n = len(self._items)
+            if n:
+                self._items.pop()
+"""
+
+RA204_BAD = """\
+import threading
+
+class Notifier:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._callbacks = []  # guarded-by: _lock
+
+    def fire(self):
+        with self._lock:
+            for cb in self._callbacks:
+                cb()
+"""
+
+RA204_GOOD = """\
+import threading
+
+class Notifier:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._callbacks = []  # guarded-by: _lock
+
+    def fire(self):
+        with self._lock:
+            callbacks = list(self._callbacks)
+        for cb in callbacks:
+            cb()
+"""
+
+RA205_BAD = """\
+import threading
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self):
+        with self._lock:
+            self._value += 1
+"""
+
+RA205_GOOD = RA205_BAD.replace(
+    "        self._value = 0\n",
+    "        self._value = 0  # guarded-by: _lock\n",
+)
+
+RA205_HYGIENE_BAD = """\
+class Tally:
+    def __init__(self):
+        self._value = 0  # guarded-by: _mutex
+"""
+
+RA205_HYGIENE_GOOD = """\
+import threading
+
+class Tally:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._value = 0  # guarded-by: _mutex
+"""
+
+RA206_BAD = """\
+import threading
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def one(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def two(self):
+        with self._b:
+            with self._a:
+                pass
+"""
+
+RA206_GOOD = RA206_BAD.replace(
+    "    def two(self):\n"
+    "        with self._b:\n"
+    "            with self._a:\n"
+    "                pass\n",
+    "    def two(self):\n"
+    "        with self._a:\n"
+    "            with self._b:\n"
+    "                pass\n",
+)
+
+# (code, path, firing source, quiet source, substring expected in message)
+CASES = [
+    pytest.param(
+        "RA201", RUNTIME, RA201_BAD, RA201_GOOD,
+        "without holding self._lock",
+        id="RA201-unguarded-access",
+    ),
+    pytest.param(
+        "RA201", RUNTIME, RA201_SPSC_BAD, RA201_SPSC_GOOD,
+        "single writer",
+        id="RA201-spsc-foreign-writer",
+    ),
+    pytest.param(
+        "RA202", RUNTIME, RA202_BAD, RA202_GOOD,
+        "escapes to another thread",
+        id="RA202-escape",
+    ),
+    pytest.param(
+        "RA203", OBS, RA203_BAD, RA203_GOOD,
+        "re-acquired self._lock",
+        id="RA203-lock-reentry",
+    ),
+    pytest.param(
+        "RA204", RUNTIME, RA204_BAD, RA204_GOOD,
+        "invoked while holding self._lock",
+        id="RA204-callback-under-lock",
+    ),
+    pytest.param(
+        "RA205", DURABILITY, RA205_BAD, RA205_GOOD,
+        "carries no declaration",
+        id="RA205-missing-annotation",
+    ),
+    pytest.param(
+        "RA205", RUNTIME, RA205_HYGIENE_BAD, RA205_HYGIENE_GOOD,
+        "no lock attribute",
+        id="RA205-unknown-lock",
+    ),
+    pytest.param(
+        "RA206", RUNTIME, RA206_BAD, RA206_GOOD,
+        "inconsistent lock order",
+        id="RA206-lock-order",
+    ),
+]
+
+
+@pytest.mark.parametrize("code,path,bad,good,fragment", CASES)
+class TestEveryConcurrencyRule:
+    def test_fires_on_violation(self, code, path, bad, good, fragment):
+        findings = run(code, path, bad)
+        assert findings, f"{code} did not fire on its fixture"
+        assert all(f.rule == code for f in findings)
+        assert fragment in findings[0].message
+
+    def test_quiet_on_idiomatic_code(self, code, path, bad, good, fragment):
+        assert run(code, path, good) == []
+
+    def test_noqa_suppresses(self, code, path, bad, good, fragment):
+        findings = run(code, path, bad)
+        lines = bad.splitlines()
+        for f in findings:
+            lines[f.line - 1] += f"  # repro: noqa[{code}]"
+        assert run(code, path, "\n".join(lines) + "\n") == []
+
+    def test_baseline_ratchet_round_trip(self, code, path, bad, good, fragment):
+        findings = run(code, path, bad)
+        baseline = Baseline().ratchet(findings)
+        assert baseline.check(findings).ok
+        clean = baseline.check(run(code, path, good))
+        assert clean.ok and clean.stale
+        assert not baseline.check(findings + findings).ok
+
+
+class TestScoping:
+    def test_rules_only_fire_in_concurrency_scope(self):
+        for code, bad in (
+            ("RA201", RA201_BAD),
+            ("RA202", RA202_BAD),
+            ("RA203", RA203_BAD),
+            ("RA204", RA204_BAD),
+            ("RA205", RA205_BAD),
+            ("RA206", RA206_BAD),
+        ):
+            assert run(code, RUNTIME, bad), code
+            assert run(code, ELSEWHERE, bad) == [], code
+
+    def test_scope_covers_all_concurrent_packages(self):
+        for path in (RUNTIME, OBS, DURABILITY,
+                     "src/repro/runtime/transport/fake_ring.py"):
+            assert run("RA201", path, RA201_BAD), path
+
+    def test_init_writes_are_exempt(self):
+        src = (
+            "import threading\n"
+            "class Boot:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._state = {}  # guarded-by: _lock\n"
+            "        self._state['k'] = 1\n"
+        )
+        assert run("RA201", RUNTIME, src) == []
+
+    def test_ra201_both_reads_and_writes_fire(self):
+        write_only = RA201_BAD.replace(
+            "    def size(self):\n        return len(self._items)\n",
+            "    def clear(self):\n        self._items = []\n",
+        )
+        findings = run("RA201", RUNTIME, write_only)
+        assert findings and "written" in findings[0].message
+
+    def test_ra202_init_only_attributes_are_exempt(self):
+        src = (
+            "import threading\n"
+            "class Srv:\n"
+            "    def __init__(self):\n"
+            "        self.httpd = object()\n"
+            "        self.thread = threading.Thread(target=self.httpd.serve)\n"
+            "    def url(self):\n"
+            "        return self.httpd\n"
+        )
+        assert run("RA202", RUNTIME, src) == []
+
+    def test_ra202_executor_submit_escapes(self):
+        src = (
+            "class Pool:\n"
+            "    def __init__(self, ex):\n"
+            "        self.n = 0\n"
+            "        ex.submit(self.work)\n"
+            "    def work(self):\n"
+            "        self.n += 1\n"
+        )
+        findings = run("RA202", RUNTIME, src)
+        assert findings and "submit" in findings[0].message
+
+    def test_ra205_unknown_spsc_writer_flagged(self):
+        src = (
+            "class Ring:\n"
+            "    def __init__(self):\n"
+            "        self._tail = 0  # guarded-by: spsc:send\n"
+        )
+        findings = run("RA205", RUNTIME, src)
+        assert findings and "no method send()" in findings[0].message
+
+
+class TestGuardSpecParsing:
+    def test_lock_and_spsc_forms(self):
+        assert GuardSpec.parse("_lock") == GuardSpec(raw="_lock", lock="_lock")
+        assert GuardSpec.parse("spsc:send") == GuardSpec(
+            raw="spsc:send", writer="send"
+        )
+
+    def test_specs_from_source_finds_the_class(self):
+        specs = guarded_specs_from_source(RA201_BAD, "Buf")
+        assert specs == {"_items": GuardSpec(raw="_lock", lock="_lock")}
+        assert guarded_specs_from_source(RA201_BAD, "Missing") == {}
+
+    def test_docstring_mention_is_not_an_annotation(self):
+        src = (
+            "class C:\n"
+            '    """Uses the  # guarded-by: _lock  convention."""\n'
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+        )
+        assert guarded_specs_from_source(src, "C") == {}
+
+
+class TestRepoSelfCheck:
+    def test_tree_has_zero_unannotated_violations(self):
+        """`repro lint --concurrency` on the shipped tree must be clean:
+        every shared attribute is annotated and disciplined."""
+        rules = all_rules(list(CONCURRENCY_RULE_CODES))
+        findings = lint_paths([SRC], REPO_ROOT, rules)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_catalog_contains_the_concurrency_rules(self):
+        codes = {type(r).code for r in all_rules()}
+        assert set(CONCURRENCY_RULE_CODES) <= codes

@@ -162,3 +162,27 @@ class TestDriver:
         assert payload["summary"]["new"] == 1
         assert payload["findings"][0]["baselined"] is False
         assert {r["code"] for r in payload["rules"]} >= {"RA001", "RA006"}
+
+    def test_render_json_order_is_deterministic(self):
+        """The JSON artifact is diffed across CI runs: findings must sort
+        on (path, line, rule, col, message) no matter the input order."""
+        findings = [
+            Finding("RA002", "b.py", 3, 0, "zz"),
+            Finding("RA001", "a.py", 9, 0, "mm"),
+            Finding("RA002", "a.py", 9, 4, "mm"),
+            Finding("RA002", "a.py", 9, 1, "nn"),
+            Finding("RA002", "a.py", 9, 1, "mm"),
+        ]
+        import itertools
+
+        baseline = Baseline()
+        rendered = {
+            render_json(baseline.check(list(perm)), 2)
+            for perm in itertools.permutations(findings)
+        }
+        assert len(rendered) == 1, "output depends on input order"
+        ordered = [
+            (f["path"], f["line"], f["rule"], f["col"], f["message"])
+            for f in json.loads(rendered.pop())["findings"]
+        ]
+        assert ordered == sorted(ordered)

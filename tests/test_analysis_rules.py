@@ -204,6 +204,19 @@ CASES.append(
     )
 )
 
+CASES.append(
+    pytest.param(
+        "RA104",
+        ELSEWHERE,
+        # Nothing fires on this line, so the suppression is dead weight.
+        "items = [1]  # repro: noqa[RA103]\n",
+        # Here the pragma genuinely silences RA103 (shadowed builtin).
+        "list = [1]  # repro: noqa[RA103]\n",
+        "suppresses nothing",
+        id="RA104-stale-noqa",
+    )
+)
+
 
 @pytest.mark.parametrize("code,path,bad,good,fragment", CASES)
 class TestEveryRule:
@@ -346,3 +359,33 @@ class TestScoping:
             "class BadThingError(Exception):\n    pass\n",
         ):
             assert run("RA006", HOTPATH, src) == [], src
+
+
+class TestStaleNoqa:
+    """RA104 audits the suppression mechanism itself."""
+
+    def test_partially_stale_pragma_names_only_the_dead_codes(self):
+        # RA103 fires (and is suppressed); RA001 never could here.
+        src = "list = [1]  # repro: noqa[RA103,RA001]\n"
+        findings = run("RA104", ELSEWHERE, src)
+        assert len(findings) == 1
+        assert "RA001" in findings[0].message
+        assert "RA103" not in findings[0].message
+
+    def test_stale_bare_noqa_is_flagged(self):
+        findings = run("RA104", ELSEWHERE, "items = [1]  # repro: noqa\n")
+        assert findings and "bare" in findings[0].message
+
+    def test_useful_bare_noqa_is_quiet(self):
+        assert run("RA104", ELSEWHERE, "list = [1]  # repro: noqa\n") == []
+
+    def test_bare_noqa_cannot_silence_ra104(self):
+        """A stale bare pragma must not suppress the finding reporting it —
+        the auditor opts out of bare suppression (an explicit
+        ``noqa[RA104]`` still works, exercised by the shared harness)."""
+        findings = run("RA104", ELSEWHERE, "items = [1]  # repro: noqa\n")
+        assert findings, "stale bare noqa suppressed its own report"
+
+    def test_docstring_mention_is_not_a_pragma(self):
+        src = '"""Docs mention  # repro: noqa[RA103]  syntax."""\nx = 1\n'
+        assert run("RA104", ELSEWHERE, src) == []

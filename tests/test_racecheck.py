@@ -1,0 +1,202 @@
+"""The dynamic race witness (``REPRO_RACECHECK=1``): lock-order cycle
+detection fails fast on a seeded deadlock, the guarded-state barrier
+rejects unlocked writes, and everything degrades to plain locks when the
+variable is unset."""
+
+import threading
+
+import pytest
+
+from repro.analysis import racecheck
+from repro.analysis.racecheck import (
+    GuardedStateViolation,
+    LockOrderViolation,
+    TrackedLock,
+    guarded,
+    new_lock,
+    new_rlock,
+)
+
+
+@pytest.fixture
+def witness_on(monkeypatch):
+    monkeypatch.setenv(racecheck.ENV_VAR, "1")
+    racecheck.reset()
+    yield
+    racecheck.reset()
+
+
+@pytest.fixture
+def witness_off(monkeypatch):
+    monkeypatch.delenv(racecheck.ENV_VAR, raising=False)
+    racecheck.reset()
+    yield
+    racecheck.reset()
+
+
+class TestSeededDeadlock:
+    def test_cycle_fails_fast_without_blocking(self, witness_on):
+        """The canonical AB/BA deadlock: thread 1 establishes a -> b, the
+        main thread then tries b -> a.  The witness raises on the *edge*,
+        before the inner acquire, so no interleaving ever blocks."""
+        a, b = new_lock("A"), new_lock("B")
+
+        def establish():
+            with a:
+                with b:
+                    pass
+
+        t = threading.Thread(target=establish)
+        t.start()
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+
+        with pytest.raises(LockOrderViolation, match="lock-order cycle"):
+            with b:
+                with a:
+                    pass
+
+    def test_disabled_bypass(self, witness_off):
+        """Same seeded deadlock pattern, witness off: plain locks, no
+        tracking, no failure (single-threaded, so no actual deadlock)."""
+        a, b = new_lock("A"), new_lock("B")
+        assert not isinstance(a, TrackedLock)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        assert racecheck.report()["locks_created"] == 0
+
+    def test_non_reentrant_self_acquisition(self, witness_on):
+        c = new_lock("C")
+        with c:
+            with pytest.raises(LockOrderViolation, match="self-deadlock"):
+                c.acquire()
+
+    def test_rlock_reentry_is_fine(self, witness_on):
+        r = new_rlock("R")
+        with r:
+            with r:
+                pass
+        assert racecheck.report()["acquisitions"] == 2
+
+    def test_consistent_order_is_clean(self, witness_on):
+        a, b = new_lock("A"), new_lock("B")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert racecheck.report()["edges"] == ["A -> B"]
+
+
+class TestGuardedBarrier:
+    def test_unlocked_write_raises(self, witness_on):
+        @guarded
+        class Box:
+            def __init__(self):
+                self._lock = new_lock("Box._lock")
+                self._v = 0  # guarded-by: _lock
+
+            def set(self, v):
+                with self._lock:
+                    self._v = v
+
+        box = Box()
+        box.set(5)
+        assert box._v == 5
+        with pytest.raises(GuardedStateViolation, match="without holding"):
+            box._v = 9
+        assert racecheck.report()["guard_checks"] >= 2
+
+    def test_init_writes_are_exempt(self, witness_on):
+        @guarded
+        class Box:
+            def __init__(self):
+                self._lock = new_lock("Box._lock")
+                self._v = 41  # guarded-by: _lock
+                self._v += 1  # still under construction
+
+        assert Box()._v == 42
+
+    def test_unannotated_attrs_unaffected(self, witness_on):
+        @guarded
+        class Box:
+            def __init__(self):
+                self._lock = new_lock("Box._lock")
+                self._v = 0  # guarded-by: _lock
+                self.free = 0
+
+        box = Box()
+        box.free = 7  # no declaration, no barrier
+        assert box.free == 7
+
+    def test_decorator_is_identity_when_disabled(self, witness_off):
+        class Box:
+            def __init__(self):
+                self._lock = new_lock("Box._lock")
+                self._v = 0  # guarded-by: _lock
+
+        assert guarded(Box) is Box
+        Box()._v = 9  # no barrier installed
+
+    def test_works_with_slots(self, witness_on):
+        @guarded
+        class Slotted:
+            __slots__ = ("_lock", "_v")
+
+            def __init__(self):
+                self._lock = new_lock("Slotted._lock")
+                self._v = 0  # guarded-by: _lock
+
+        s = Slotted()
+        with pytest.raises(GuardedStateViolation):
+            s._v = 1
+
+
+class TestRuntimeIntegration:
+    def test_metrics_instruments_use_tracked_locks(self, witness_on):
+        """The runtime factories read the env per call, so instruments
+        created while the witness is on are tracked even though the module
+        was imported earlier."""
+        from repro.runtime.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.histogram("y").observe(3.0)
+        report = racecheck.report()
+        assert report["locks_created"] >= 3
+        assert report["acquisitions"] >= 4
+
+    def test_tracer_export_is_single_acquisition(self, witness_on):
+        """`to_chrome_trace` takes the ring state in one hold (the RA203
+        torn-read fix): nested or repeated acquisition would show up as
+        extra acquisitions per export."""
+        from repro.obs.tracing import RingTracer
+
+        tracer = RingTracer(capacity=8)
+        with tracer.span("phase"):
+            pass
+        before = racecheck.report()["acquisitions"]
+        tracer.to_chrome_trace()
+        assert racecheck.report()["acquisitions"] == before + 1
+
+    def test_report_shape(self, witness_on):
+        report = racecheck.report()
+        assert set(report) == {
+            "locks_created", "acquisitions", "guard_checks", "edges",
+        }
+        assert report["edges"] == []
+
+
+class TestCliVerb:
+    def test_racecheck_verb_runs_clean(self, monkeypatch):
+        monkeypatch.setenv(racecheck.ENV_VAR, "1")
+        racecheck.reset()
+        from repro.cli import main
+
+        assert main([
+            "racecheck", "--events", "300", "--queries", "30", "--shards", "2",
+        ]) == 0
+        racecheck.reset()
