@@ -23,6 +23,10 @@ Self-contained utilities that do not require the repository checkout:
   Prometheus/JSON metrics, ``--snapshot-out`` appends JSONL snapshots;
 * ``stats``     — render a metric snapshot from a ``--snapshot-out`` JSONL
   stream or a live ``--metrics-port`` endpoint (text, Prometheus, or JSON);
+  ``--watch SECONDS`` re-renders on an interval like ``watch(1)``;
+* ``top``       — a refreshing terminal dashboard over the same sources:
+  throughput, end-to-end latency quantiles, hotspot churn, and a per-shard
+  table (events, e2e/lag p95, ring occupancy, headroom);
 * ``recover``   — rebuild a sharded system from a WAL directory (newest
   valid checkpoint + sequence-deduped WAL replay) and report what was
   restored;
@@ -61,7 +65,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.runtime", "sharded micro-batched pipeline: routing, backpressure, metrics, replay"),
         ("repro.check", "differential fuzzing: brute-force oracles, invariant probes, shrinking"),
         ("repro.durability", "write-ahead log, checkpoints, crash recovery (serve --wal-dir, recover)"),
-        ("repro.obs", "tracing spans, Prometheus/JSONL metric export, hotspot telemetry (serve --trace-out, stats)"),
+        ("repro.obs", "tracing spans, Prometheus/JSONL export, cross-process telemetry merge, dashboards (serve --trace-out, stats, top)"),
         ("repro.analysis", _analysis_summary()),
     ]:
         print(f"  {name:<16} {what}")
@@ -340,7 +344,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         durability=durability,
         tracer=tracer,
     )
-    snapshots = SnapshotWriter(args.snapshot_out) if args.snapshot_out else None
+    snapshots = (
+        SnapshotWriter(args.snapshot_out, max_bytes=args.snapshot_max_bytes or None)
+        if args.snapshot_out
+        else None
+    )
     server = None
     if args.metrics_port is not None:
         server = MetricsServer(
@@ -428,6 +436,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if (args.jsonl is None) == (args.url is None):
         print("stats: exactly one of --jsonl or --url is required", file=sys.stderr)
         return 2
+    if args.watch is not None:
+        from repro.obs import top as obs_top
+
+        if args.format != "text":
+            print("stats: --watch implies --format text", file=sys.stderr)
+            return 2
+        if args.seq is not None:
+            print("stats: --watch cannot be combined with --seq", file=sys.stderr)
+            return 2
+        fetch = (
+            (lambda: obs_top.fetch_record_from_jsonl(args.jsonl))
+            if args.jsonl is not None
+            else (lambda: obs_top.fetch_record_from_url(args.url))
+        )
+
+        def render_stats(record, previous):
+            header = f"snapshot seq={record['seq']}" if "seq" in record else "live"
+            return header + "\n" + render_snapshot(record["metrics"])
+
+        obs_top.watch(
+            fetch,
+            render_stats,
+            interval=args.watch,
+            iterations=args.iterations,
+        )
+        return 0
     header = ""
     if args.jsonl is not None:
         try:
@@ -468,6 +502,27 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     else:
         print(header)
         print(render_snapshot(snapshot))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import top as obs_top
+
+    if (args.jsonl is None) == (args.url is None):
+        print("top: exactly one of --jsonl or --url is required", file=sys.stderr)
+        return 2
+    fetch = (
+        (lambda: obs_top.fetch_record_from_jsonl(args.jsonl))
+        if args.jsonl is not None
+        else (lambda: obs_top.fetch_record_from_url(args.url))
+    )
+    obs_top.watch(
+        fetch,
+        obs_top.render_dashboard,
+        interval=args.interval,
+        iterations=args.iterations,
+        clear=not args.no_clear,
+    )
     return 0
 
 
@@ -803,6 +858,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="append a JSONL metric snapshot every --report-every events "
         "(read back with: repro stats --jsonl FILE)",
     )
+    serve.add_argument(
+        "--snapshot-max-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate --snapshot-out once it exceeds this size (the previous "
+        "generation is kept at FILE.1; readers see both)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser(
@@ -826,7 +886,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=["text", "prom", "json"], default="text",
         help="text table (default), Prometheus exposition, or raw JSON",
     )
+    stats.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="re-render the text snapshot on this interval (Ctrl-C to stop)",
+    )
+    stats.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="with --watch: stop after N frames (default: run until Ctrl-C)",
+    )
     stats.set_defaults(func=_cmd_stats)
+
+    top = sub.add_parser(
+        "top",
+        help="refreshing terminal dashboard: throughput, e2e latency "
+        "quantiles, hotspot churn, and a per-shard table, from a serve "
+        "--snapshot-out stream or --metrics-port endpoint",
+    )
+    top.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="JSONL snapshot stream written by serve --snapshot-out",
+    )
+    top.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a serve --metrics-port endpoint",
+    )
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECONDS")
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (for logs/pipes)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     recover = sub.add_parser(
         "recover",

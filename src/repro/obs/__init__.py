@@ -13,10 +13,19 @@ package makes that visibility operational:
   histograms, and a background HTTP endpoint;
 * :mod:`repro.obs.hotspot_telemetry` — tracker/partition listeners
   recording promotion/demotion churn, reconstruction durations, and the
-  invariant I2 headroom ``(1 + eps) * tau + 2/alpha - |I|``.
+  invariant I2 headroom ``(1 + eps) * tau + 2/alpha - |I|``;
+* :mod:`repro.obs.remote` — cross-process telemetry for the shm
+  transport: worker-side delta collection and parent-side merge into one
+  registry and one trace (imported directly, not re-exported here — it
+  sits above :mod:`repro.runtime.transport` in the import order);
+* :mod:`repro.obs.top` — the ``repro top`` dashboard renderer and the
+  ``stats --watch`` refresh loop (imported directly for the same reason
+  ``remote`` is: it pulls in no transport code but is CLI-facing, not a
+  library surface).
 
 Wired through ``repro serve --trace-out/--metrics-port/--snapshot-out``
-and read back by ``repro stats``; see ``docs/OBSERVABILITY.md``.
+and read back by ``repro stats`` / ``repro top``; see
+``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.export import (
@@ -27,6 +36,7 @@ from repro.obs.export import (
     estimate_quantile,
     estimate_quantiles,
     latest_snapshot,
+    metric_help,
     read_snapshots,
     render_prometheus,
     render_snapshot,
@@ -44,6 +54,7 @@ from repro.obs.tracing import (
     RingTracer,
     SpanRecord,
     Tracer,
+    new_trace_id,
     to_chrome_trace,
     write_chrome_trace,
 )
@@ -56,6 +67,7 @@ __all__ = [
     "estimate_quantile",
     "estimate_quantiles",
     "latest_snapshot",
+    "metric_help",
     "read_snapshots",
     "render_prometheus",
     "render_snapshot",
@@ -69,6 +81,7 @@ __all__ = [
     "RingTracer",
     "SpanRecord",
     "Tracer",
+    "new_trace_id",
     "to_chrome_trace",
     "write_chrome_trace",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -37,6 +38,7 @@ __all__ = [
     "bucket_bounds",
     "estimate_quantile",
     "estimate_quantiles",
+    "metric_help",
     "render_prometheus",
     "render_snapshot",
     "SnapshotWriter",
@@ -113,6 +115,54 @@ def sanitize_metric_name(name: str, *, prefix: str = "repro") -> str:
     return full
 
 
+#: First matching substring wins; checked in order, so put the most
+#: specific pattern first.  Fallback is a generic per-kind line — every
+#: instrument gets *some* ``# HELP``, Prometheus hygiene over prose.
+_HELP_RULES: Tuple[Tuple[str, str], ...] = (
+    ("e2e_us", "End-to-end latency from ingress to delta emission, microseconds."),
+    ("ingest_to_apply_us", "Latency from parent-side ingress to worker-side apply, microseconds."),
+    ("batch_us", "Per-shard batch application time, microseconds."),
+    ("encode_us", "Transport frame encode time per batch, microseconds."),
+    ("decode_us", "Transport frame decode time per response, microseconds."),
+    ("bytes_out", "Bytes sent to shard workers over the shm transport."),
+    ("bytes_in", "Bytes received from shard workers over the shm transport."),
+    ("request_bytes", "Request ring occupancy after the last send, bytes."),
+    ("response_bytes", "Response ring occupancy after the last receive, bytes."),
+    ("reconstruction_us", "Hotspot partition reconstruction duration, microseconds."),
+    ("reconstructions", "Hotspot partition reconstructions completed."),
+    ("promoted_group_size", "Size of groups at hotspot promotion."),
+    ("promotions", "Groups promoted to hotspot status."),
+    ("demotions", "Groups demoted from hotspot status."),
+    ("hot_items_added", "Items added to hotspot groups."),
+    ("hot_items_removed", "Items removed from hotspot groups."),
+    ("hotspot_coverage", "Fraction of items covered by hotspot groups."),
+    ("headroom", "Invariant I2 slack: (1+eps)*tau + 2/alpha minus live groups."),
+    ("groups", "Live partition groups (hotspot + scattered)."),
+    ("tau", "Current stabbing number tau of the plane's intervals."),
+    ("spans_dropped", "Tracing spans lost to ring-buffer overflow."),
+    ("queue_depth", "Pending events in the ingress micro-batcher."),
+    ("batch_size", "Events per flushed micro-batch."),
+    ("batches", "Micro-batches flushed."),
+    ("backpressure_blocks", "Submissions that blocked on a full ingress queue."),
+    ("events_submitted", "Events accepted by submit()."),
+    ("events_applied", "Events applied to shards."),
+    ("events_dropped", "Events evicted by the drop-oldest backpressure policy."),
+    ("events_rejected", "Events refused by the reject backpressure policy."),
+    ("results_produced", "Delta rows delivered to subscriptions."),
+    ("query_events", "Subscription changes processed."),
+    ("events", "Events routed to this shard."),
+)
+
+
+def metric_help(name: str, kind: str = "metric") -> str:
+    """One-line ``# HELP`` text for a metric name (original slash-path
+    form, not the sanitized one)."""
+    for pattern, text in _HELP_RULES:
+        if pattern in name:
+            return text
+    return f"Repro runtime {kind} {name}."
+
+
 def _format_value(value: float) -> str:
     if value == math.inf:
         return "+Inf"
@@ -130,21 +180,25 @@ def render_prometheus(
 
     Counters become ``<name>_total``; histograms become summaries
     (``{quantile="0.5"}`` sample lines from the interpolated estimator,
-    plus ``_sum``/``_count``).
+    plus ``_sum``/``_count``).  Every instrument gets ``# HELP`` and
+    ``# TYPE`` lines, in that order, as the exposition format specifies.
     """
     lines: List[str] = []
     for name, value in sorted(snapshot.get("counters", {}).items()):
         metric = sanitize_metric_name(name, prefix=prefix)
         if not metric.endswith("_total"):
             metric += "_total"
+        lines.append(f"# HELP {metric} {metric_help(name, 'counter')}")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {_format_value(float(value))}")
     for name, value in sorted(snapshot.get("gauges", {}).items()):
         metric = sanitize_metric_name(name, prefix=prefix)
+        lines.append(f"# HELP {metric} {metric_help(name, 'gauge')}")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_format_value(float(value))}")
     for name, hist in sorted(snapshot.get("histograms", {}).items()):
         metric = sanitize_metric_name(name, prefix=prefix)
+        lines.append(f"# HELP {metric} {metric_help(name, 'histogram')}")
         lines.append(f"# TYPE {metric} summary")
         for label, estimate in sorted(estimate_quantiles(hist).items()):
             q = int(label[1:]) / 100.0
@@ -202,12 +256,23 @@ class SnapshotWriter:
     hotspot headroom samples and span-drop counts).  ``uptime_us`` is
     monotonic-clock process uptime since the writer was created —
     forensics only, nothing replays from it.
+
+    ``max_bytes`` bounds disk for long serve runs by size-based rotation:
+    when an append pushes the file past the limit, it is renamed to
+    ``<path>.1`` (replacing any previous rotation) and writing restarts
+    on a fresh file — at most ``~2 * max_bytes`` on disk, with ``seq``
+    still strictly increasing across the pair.  :func:`read_snapshots`
+    reads the rotated file first, so consumers see one ordered stream.
     """
 
-    __slots__ = ("path", "_seq", "_start_ns")
+    __slots__ = ("path", "max_bytes", "rotations", "_seq", "_start_ns")
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
         self.path = path
+        self.max_bytes = max_bytes
+        self.rotations = 0
         self._seq = 0
         self._start_ns = time.perf_counter_ns()
         # Truncate: a snapshot stream documents one serve run.
@@ -228,22 +293,40 @@ class SnapshotWriter:
             record.update(extra)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+            size = handle.tell()
         self._seq += 1
+        if self.max_bytes is not None and size > self.max_bytes:
+            # Rotate whole records only — the freshly written line rolls
+            # into ``.1`` with everything before it.
+            os.replace(self.path, self.path + ".1")
+            self.rotations += 1
+            with open(self.path, "w", encoding="utf-8"):
+                pass
         return record
 
 
 def read_snapshots(path: str) -> List[Dict[str, Any]]:
-    """Parse every record of a JSONL snapshot stream."""
+    """Parse every record of a JSONL snapshot stream.
+
+    Reads the writer's rotation pair: ``<path>.1`` (older records, if a
+    rotation happened) followed by ``<path>`` itself, yielding one
+    seq-ordered stream.
+    """
     records: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_no, line in enumerate(handle, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{line_no}: invalid snapshot record: {exc}")
+    for candidate in (path + ".1", path):
+        if candidate.endswith(".1") and not os.path.exists(candidate):
+            continue
+        with open(candidate, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{candidate}:{line_no}: invalid snapshot record: {exc}"
+                    )
     return records
 
 

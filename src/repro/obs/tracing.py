@@ -26,11 +26,27 @@ witness its acquisition order.  Span *objects* are thread-local by usage
 
 Export is Chrome ``trace_event`` JSON ("X" complete events, microsecond
 timestamps) — load the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+
+**Distributed traces** (PR 10): every :class:`RingTracer` carries a
+``trace_id`` (derived from the monotonic clock and the pid — no RNG, so
+the RA001 determinism plane stays clean) and allocates a ``span_id`` per
+opened span.  A process boundary propagates the pair explicitly: the
+shm-transport pipeline stamps each BATCH frame with its trace id and the
+open ``transport.roundtrip`` span id, the worker's tracer *adopts* the
+trace id and stamps the remote id as ``parent_id`` on every span it
+records, and the worker ships its closed spans back as TELEMETRY frames.
+:meth:`RingTracer.record` merges such foreign records — each carries its
+own ``pid`` — and the Chrome export renders one lane per process via
+``M`` (``process_name``/``thread_name``) metadata events, so a single
+trace.json shows the parent and every worker on a shared clock
+(``perf_counter_ns`` reads CLOCK_MONOTONIC, whose origin is per-host,
+not per-process, on every platform CPython supports).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -45,11 +61,24 @@ __all__ = [
     "NullTracer",
     "RingTracer",
     "NULL_TRACER",
+    "new_trace_id",
     "to_chrome_trace",
     "write_chrome_trace",
 ]
 
 DEFAULT_CAPACITY = 65_536
+
+
+def new_trace_id() -> int:
+    """A fresh nonzero 63-bit trace id.
+
+    Seeded from the monotonic clock and the pid rather than an RNG: unique
+    enough to tell two runs (or two tracers) apart, and RA001-clean — the
+    obs package sits on the replay-equivalence plane where entropy sources
+    are banned but monotonic clock reads are carved out.
+    """
+    raw = (time.monotonic_ns() ^ (os.getpid() << 47)) & 0x7FFF_FFFF_FFFF_FFFF
+    return raw or 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +88,11 @@ class SpanRecord:
     ``ts_ns`` is a ``perf_counter_ns`` reading — monotonic with an
     arbitrary origin, so only differences between records are meaningful
     (exactly what a trace viewer needs).
+
+    The distributed-trace fields default to "not propagated": ``pid`` 0
+    means "the exporting process" (the exporter substitutes its default
+    lane), and a zero ``trace_id``/``span_id``/``parent_id`` is simply
+    omitted from the exported event's args.
     """
 
     name: str
@@ -66,6 +100,10 @@ class SpanRecord:
     dur_ns: int
     tid: int
     args: Optional[Dict[str, Any]] = field(default=None)
+    pid: int = 0
+    trace_id: int = 0
+    span_id: int = 0
+    parent_id: int = 0
 
     @property
     def end_ns(self) -> int:
@@ -118,7 +156,7 @@ class _Span:
     are separate callbacks — the partition-rebuild listener uses this.
     """
 
-    __slots__ = ("_tracer", "_name", "_args", "_start_ns")
+    __slots__ = ("_tracer", "_name", "_args", "_start_ns", "span_id")
 
     def __init__(
         self, tracer: "RingTracer", name: str, args: Optional[Dict[str, Any]]
@@ -127,9 +165,14 @@ class _Span:
         self._name = name
         self._args = args
         self._start_ns = 0
+        #: Allocated on ``__enter__`` — callers may read it while the span
+        #: is open to propagate it across a process boundary (the shm
+        #: transport stamps it on BATCH frames as the remote parent).
+        self.span_id = 0
 
     def __enter__(self) -> "_Span":
         self._start_ns = time.perf_counter_ns()
+        self.span_id = self._tracer._next_span_id()
         return self
 
     def __exit__(
@@ -139,14 +182,13 @@ class _Span:
         tb: Optional[TracebackType],
     ) -> None:
         end_ns = time.perf_counter_ns()
-        self._tracer._record(
-            SpanRecord(
-                name=self._name,
-                ts_ns=self._start_ns,
-                dur_ns=end_ns - self._start_ns,
-                tid=threading.get_ident(),
-                args=self._args,
-            )
+        self._tracer._record_closed(
+            name=self._name,
+            ts_ns=self._start_ns,
+            dur_ns=end_ns - self._start_ns,
+            tid=threading.get_ident(),
+            args=self._args,
+            span_id=self.span_id,
         )
 
 
@@ -160,23 +202,121 @@ class RingTracer:
     truncation.
     """
 
-    __slots__ = ("capacity", "_lock", "_spans", "_next")
+    __slots__ = (
+        "capacity",
+        "pid",
+        "_lock",
+        "_spans",
+        "_next",
+        "_trace_id",
+        "_remote_parent",
+        "_span_seq",
+        "_process_names",
+        "_thread_names",
+    )
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
+        self.pid = os.getpid()
         self._lock = new_lock("RingTracer._lock")
         self._spans: List[Optional[SpanRecord]] = [None] * capacity  # guarded-by: _lock
         self._next = 0  # total spans ever recorded  # guarded-by: _lock
+        self._trace_id = new_trace_id()  # guarded-by: _lock
+        self._remote_parent = 0  # cross-process parent span id  # guarded-by: _lock
+        self._span_seq = 0  # span ids allocated so far  # guarded-by: _lock
+        self._process_names: Dict[int, str] = {}  # guarded-by: _lock
+        self._thread_names: Dict[Tuple[int, int], str] = {}  # guarded-by: _lock
 
     def span(self, name: str, **args: Any) -> _Span:
         return _Span(self, name, args or None)
 
-    def _record(self, record: SpanRecord) -> None:
+    @property
+    def trace_id(self) -> int:
+        with self._lock:
+            return self._trace_id
+
+    def adopt_trace_id(self, trace_id: int) -> None:
+        """Join a trace started elsewhere (a worker adopting the parent's
+        id from an incoming BATCH frame).  Zero is ignored — untraced
+        callers must not reset an adopted id."""
+        if trace_id:
+            with self._lock:
+                self._trace_id = trace_id
+
+    def set_remote_parent(self, parent_span_id: int) -> None:
+        """Parent span id for subsequently *opened* spans whose caller is
+        in another process.  Stamped on every recorded span until changed;
+        zero clears it."""
+        with self._lock:
+            self._remote_parent = parent_span_id
+
+    def set_process_name(self, pid: int, name: str) -> None:
+        """Label a process lane in the exported trace (``M`` metadata)."""
+        with self._lock:
+            self._process_names[pid] = name
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        """Label a thread lane in the exported trace (``M`` metadata)."""
+        with self._lock:
+            self._thread_names[(pid, tid)] = name
+
+    def _next_span_id(self) -> int:
+        """Span ids unique across cooperating processes: pid in the high
+        bits, a per-tracer counter in the low 24 (wrap is harmless — by
+        then the early spans have long been overwritten in the ring)."""
+        with self._lock:
+            self._span_seq += 1
+            return (self.pid << 24) | (self._span_seq & 0xFF_FFFF)
+
+    def _record_closed(
+        self,
+        *,
+        name: str,
+        ts_ns: int,
+        dur_ns: int,
+        tid: int,
+        args: Optional[Dict[str, Any]],
+        span_id: int,
+    ) -> None:
+        """Close a locally opened span: stamp identity fields and store,
+        all under one lock acquisition (trace id / remote parent / ring
+        write must agree — two lock trips could interleave with an
+        ``adopt_trace_id`` and mix ids within one record)."""
+        with self._lock:
+            record = SpanRecord(
+                name=name,
+                ts_ns=ts_ns,
+                dur_ns=dur_ns,
+                tid=tid,
+                args=args,
+                pid=self.pid,
+                trace_id=self._trace_id,
+                span_id=span_id,
+                parent_id=self._remote_parent,
+            )
+            self._spans[self._next % self.capacity] = record
+            self._next += 1
+
+    def record(self, record: SpanRecord) -> None:
+        """Merge an already-built record (a worker span shipped over the
+        telemetry frame) into the ring as-is."""
         with self._lock:
             self._spans[self._next % self.capacity] = record
             self._next += 1
+
+    def since(self, seen: int) -> Tuple[List[SpanRecord], int]:
+        """Records closed after the first ``seen`` ever recorded, plus the
+        new total — the incremental read the worker-side telemetry
+        collector uses.  Records that overflowed the ring before being
+        read are silently absent (the ``dropped`` counter owns honesty
+        about that)."""
+        records, total = self._ring_copy()
+        fresh = total - seen
+        if fresh <= 0:
+            return [], total
+        return records[-fresh:] if fresh < len(records) else records, total
 
     @property
     def recorded(self) -> int:
@@ -200,6 +340,15 @@ class RingTracer:
         lock acquisition — exporters need both to agree, and reading them
         via two separate properties is exactly the torn-read hazard RA203
         exists to flag."""
+        records, total, _names, _threads, _tid = self._export_copy()
+        return records, total
+
+    def _export_copy(
+        self,
+    ) -> Tuple[List[SpanRecord], int, Dict[int, str], Dict[Tuple[int, int], str], int]:
+        """Everything an exporter reads, copied in one lock acquisition:
+        (spans oldest-first, total recorded, process lanes, thread lanes,
+        trace id)."""
         with self._lock:
             total = self._next
             if total <= self.capacity:
@@ -207,7 +356,11 @@ class RingTracer:
             else:
                 start = total % self.capacity
                 head = self._spans[start:] + self._spans[:start]
-        return [record for record in head if record is not None], total
+            process_names = dict(self._process_names)
+            thread_names = dict(self._thread_names)
+            trace_id = self._trace_id
+        records = [record for record in head if record is not None]
+        return records, total, process_names, thread_names, trace_id
 
     def clear(self) -> None:
         with self._lock:
@@ -215,33 +368,78 @@ class RingTracer:
             self._next = 0
 
     def to_chrome_trace(self, *, pid: int = 1) -> Dict[str, Any]:
-        records, total = self._ring_copy()
-        trace = to_chrome_trace(records, pid=pid)
-        trace["otherData"] = {"dropped_spans": max(0, total - self.capacity)}
+        records, total, process_names, thread_names, trace_id = (
+            self._export_copy()
+        )
+        trace = to_chrome_trace(
+            records,
+            pid=pid,
+            process_names=process_names,
+            thread_names=thread_names,
+        )
+        trace["otherData"] = {
+            "dropped_spans": max(0, total - self.capacity),
+            "trace_id": trace_id,
+        }
         return trace
 
 
 def to_chrome_trace(
-    spans: Sequence[SpanRecord], *, pid: int = 1
+    spans: Sequence[SpanRecord],
+    *,
+    pid: int = 1,
+    process_names: Optional[Dict[int, str]] = None,
+    thread_names: Optional[Dict[Tuple[int, int], str]] = None,
 ) -> Dict[str, Any]:
     """Render spans as a Chrome ``trace_event`` document.
 
     Each span becomes one "X" (complete) event; timestamps and durations
-    are microseconds, rebased so the earliest span starts at 0.
+    are microseconds, rebased so the earliest span starts at 0.  Records
+    with ``pid == 0`` fall back to the ``pid`` argument, so single-process
+    traces keep their historical shape.  ``process_names`` /
+    ``thread_names`` become ``M`` (metadata) events, which trace viewers
+    use to label per-process/per-thread lanes.
     """
     base_ns = min((record.ts_ns for record in spans), default=0)
     events: List[Dict[str, Any]] = []
+    for record_pid, name in sorted((process_names or {}).items()):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": record_pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for (record_pid, tid), name in sorted((thread_names or {}).items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": record_pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
     for record in spans:
         event: Dict[str, Any] = {
             "name": record.name,
             "ph": "X",
             "ts": (record.ts_ns - base_ns) / 1_000.0,
             "dur": record.dur_ns / 1_000.0,
-            "pid": pid,
+            "pid": record.pid or pid,
             "tid": record.tid,
         }
-        if record.args:
-            event["args"] = dict(record.args)
+        args: Dict[str, Any] = dict(record.args) if record.args else {}
+        if record.trace_id:
+            args["trace_id"] = record.trace_id
+        if record.span_id:
+            args["span_id"] = record.span_id
+        if record.parent_id:
+            args["parent_id"] = record.parent_id
+        if args:
+            event["args"] = args
         events.append(event)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 

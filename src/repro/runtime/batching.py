@@ -31,12 +31,19 @@ def _row_key(event: DataEvent) -> Tuple[str, int]:
 @dataclass(slots=True)
 class BatchEntry:
     """One pending event, tagged with its global sequence number and the
-    select-plane routing flags the router computed at submission."""
+    select-plane routing flags the router computed at submission.
+
+    ``ingest_ns`` is the submitter's ``perf_counter_ns`` reading at
+    ingress (0 = unknown) — the anchor for end-to-end latency, carried
+    through batching and across the shm transport so both the worker and
+    the parent can measure against the same monotonic clock.
+    """
 
     seq: int
     event: DataEvent
     select_probe: bool = True
     select_state: bool = True
+    ingest_ns: int = 0
 
 
 @dataclass(slots=True)

@@ -170,6 +170,35 @@ class Histogram:
         buckets, count, _, _, max_value = self._copy_state()
         return _bucket_quantile(buckets, count, max_value, q)
 
+    def merge_delta(
+        self,
+        *,
+        count: int,
+        total: float,
+        min_value: float,
+        max_value: float,
+        buckets: List[Tuple[int, int]],
+    ) -> None:
+        """Fold a remote histogram *delta* into this one.
+
+        The shm-transport telemetry path ships worker-side histograms as
+        bucket-wise deltas (``[index, added_count]`` pairs); merging is
+        plain addition because log2 bucketing is identical in every
+        process.  ``min_value``/``max_value`` describe the remote
+        histogram's lifetime extremes, so they fold via min/max.  A
+        zero-count delta is a no-op (its min/max are meaningless).
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            for index, added in buckets:
+                if 0 <= index < self.N_BUCKETS:
+                    self._buckets[index] += added
+            self._count += count
+            self._sum += total
+            self._min = min(self._min, min_value)
+            self._max = max(self._max, max_value)
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-friendly state.  ``"buckets"`` lists the nonzero log2
         buckets as ``[index, count]`` pairs (ascending index) — the raw

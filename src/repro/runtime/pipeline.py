@@ -45,7 +45,8 @@ from repro.runtime.transport import frames as _frames
 from repro.runtime.transport.shm import RingTimeoutError, ShmRing, TransportError
 from repro.runtime.transport.worker import shard_worker_main
 from repro.obs.hotspot_telemetry import HeadroomSample
-from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.obs.remote import merge_telemetry
+from repro.obs.tracing import NULL_TRACER, RingTracer, Tracer
 from repro.runtime.batching import BatchEntry, MicroBatcher, _row_key
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.sharding import (
@@ -76,14 +77,22 @@ class BackpressurePolicy(str, enum.Enum):
 
 
 class _Backend(Protocol):
-    """What the pipeline needs from an execution backend."""
+    """What the pipeline needs from an execution backend.
+
+    ``ingest_ns`` parallels each shard's entry list with submitter-side
+    monotonic ingest timestamps; backends that cannot use them (inline,
+    thread, pickle-process) simply ignore the argument — the pipeline
+    measures end-to-end latency itself on the emission side.
+    """
 
     def subscribe(self, indices: Sequence[int], query: Any) -> None: ...
 
     def unsubscribe(self, indices: Sequence[int], query: Any) -> None: ...
 
     def apply_shard_batches(
-        self, shard_entries: Dict[int, List[ShardEntry]]
+        self,
+        shard_entries: Dict[int, List[ShardEntry]],
+        ingest_ns: Optional[Dict[int, List[int]]] = None,
     ) -> ShardBatchResults: ...
 
     def close(self) -> None: ...
@@ -113,7 +122,9 @@ class _InlineBackend:
             return time.perf_counter() - start, results
 
     def apply_shard_batches(
-        self, shard_entries: Dict[int, List[ShardEntry]]
+        self,
+        shard_entries: Dict[int, List[ShardEntry]],
+        ingest_ns: Optional[Dict[int, List[int]]] = None,
     ) -> ShardBatchResults:
         return {
             index: self._timed_apply(index, entries)
@@ -139,7 +150,9 @@ class _ThreadBackend(_InlineBackend):
         )
 
     def apply_shard_batches(
-        self, shard_entries: Dict[int, List[ShardEntry]]
+        self,
+        shard_entries: Dict[int, List[ShardEntry]],
+        ingest_ns: Optional[Dict[int, List[int]]] = None,
     ) -> ShardBatchResults:
         futures = {
             index: self._pool.submit(self._timed_apply, index, entries)
@@ -219,7 +232,9 @@ class _ProcessBackend:
             self._pools[index].submit(_process_unsubscribe, query.qid).result()
 
     def apply_shard_batches(
-        self, shard_entries: Dict[int, List[ShardEntry]]
+        self,
+        shard_entries: Dict[int, List[ShardEntry]],
+        ingest_ns: Optional[Dict[int, List[int]]] = None,
     ) -> ShardBatchResults:
         futures = {
             index: self._pools[index].submit(_process_apply, entries)
@@ -257,6 +272,15 @@ class _ProcessShmBackend:
     overlap.  ``close()`` is idempotent and unlinks every segment even
     after a worker crash (shutdown frame → join with timeout → kill →
     unlink).
+
+    Telemetry (PR 10): every ``telemetry_every``-th batch roundtrip sets
+    the BATCH telemetry flag, so each worker follows its RESULT with one
+    TELEMETRY frame — spans since the last ship plus metric deltas —
+    which merges into the parent registry (``shard<N>/`` prefixes for
+    unscoped names) and, when the parent tracer records, into one unified
+    trace with per-process lanes.  ``drain_telemetry()`` forces a ship
+    via empty flagged batches (used by the reporting interval and on
+    close, so the final stats include the workers' last increments).
     """
 
     def __init__(
@@ -269,12 +293,17 @@ class _ProcessShmBackend:
         tracer: Tracer = NULL_TRACER,
         ring_capacity: int = 4 << 20,
         timeout: float = 60.0,
+        telemetry_every: int = 16,
     ):
         self._resolve = resolve_query
         self.metrics = metrics
         self.tracer = tracer
+        self.telemetry_every = max(1, telemetry_every)
+        self._round = 0
         self._timeout = timeout
         self._closed = False
+        if isinstance(tracer, RingTracer):
+            tracer.set_process_name(tracer.pid, "pipeline (parent)")
         self._requests: List[ShmRing] = []
         self._responses: List[ShmRing] = []
         self._workers: List[multiprocessing.process.BaseProcess] = []
@@ -359,14 +388,41 @@ class _ProcessShmBackend:
             self._send(index, payload)
             self._expect_ack(index)
 
+    def _merge_telemetry_frame(self, index: int) -> None:
+        """Read one TELEMETRY frame from a shard and fold it in."""
+        frame_type, body = _frames.decode_frame(self._await_raw(index))
+        if frame_type != _frames.FRAME_TELEMETRY:
+            raise TransportError(
+                f"shard {index}: expected TELEMETRY, got frame type {frame_type}"
+            )
+        merge_telemetry(
+            self.metrics,
+            self.tracer if isinstance(self.tracer, RingTracer) else None,
+            body,
+        )
+
     def apply_shard_batches(
-        self, shard_entries: Dict[int, List[ShardEntry]]
+        self,
+        shard_entries: Dict[int, List[ShardEntry]],
+        ingest_ns: Optional[Dict[int, List[int]]] = None,
     ) -> ShardBatchResults:
         out: ShardBatchResults = {}
-        with self.tracer.span("transport.roundtrip", shards=len(shard_entries)):
+        self._round += 1
+        want_telemetry = self._round % self.telemetry_every == 0
+        trace_id = getattr(self.tracer, "trace_id", 0)
+        with self.tracer.span(
+            "transport.roundtrip", shards=len(shard_entries)
+        ) as roundtrip:
+            parent_span_id = getattr(roundtrip, "span_id", 0)
             start = time.perf_counter()
             payloads = {
-                index: _frames.encode_batch_frame(entries)
+                index: _frames.encode_batch_frame(
+                    entries,
+                    ingest_ns=ingest_ns.get(index) if ingest_ns else None,
+                    trace_id=trace_id,
+                    parent_span_id=parent_span_id,
+                    want_telemetry=want_telemetry,
+                )
                 for index, entries in shard_entries.items()
             }
             self.metrics.histogram("transport/encode_us").observe(
@@ -388,6 +444,14 @@ class _ProcessShmBackend:
                 frame_type, body = _frames.decode_frame(raw)
                 decode_us.observe((time.perf_counter() - start) * 1e6)
                 if frame_type == _frames.FRAME_ERROR:
+                    # The worker sends its telemetry follow-up even after a
+                    # failed batch (frame alignment) — consume it so the
+                    # ring stays consistent for whoever catches this.
+                    if want_telemetry:
+                        try:
+                            self._merge_telemetry_frame(index)
+                        except TransportError:
+                            pass
                     raise TransportError(str(body))
                 if frame_type != _frames.FRAME_RESULT:
                     raise TransportError(
@@ -401,13 +465,54 @@ class _ProcessShmBackend:
                         for seq, deltas in results
                     ],
                 )
+                if want_telemetry:
+                    self._merge_telemetry_frame(index)
         return out
+
+    def drain_telemetry(self) -> None:
+        """Pull every live worker's pending telemetry now.
+
+        Sends an empty telemetry-flagged BATCH per shard (harmless: zero
+        entries apply nothing) and folds the responses in.  Used by the
+        reporting interval — worker gauges refresh on demand rather than
+        on the batch cadence — and by ``close()`` for the final merge.
+        """
+        if self._closed:
+            return
+        payload = _frames.encode_batch_frame(
+            [],
+            trace_id=getattr(self.tracer, "trace_id", 0),
+            want_telemetry=True,
+        )
+        live = [
+            index
+            for index, worker in enumerate(self._workers)
+            if worker.is_alive()
+        ]
+        for index in live:
+            self._send(index, payload)
+        for index in live:
+            frame_type, body = _frames.decode_frame(self._await_raw(index))
+            if frame_type == _frames.FRAME_ERROR:
+                raise TransportError(str(body))
+            if frame_type != _frames.FRAME_RESULT:
+                raise TransportError(
+                    f"shard {index}: expected RESULT, got frame type {frame_type}"
+                )
+            self._merge_telemetry_frame(index)
 
     def close(self) -> None:
         """Stop workers and unlink every segment.  Idempotent; tolerates
         workers that already crashed or never started."""
         if self._closed:
             return
+        try:
+            # Final telemetry merge so closing stats include the workers'
+            # last increments; best-effort — a crashed worker already lost
+            # its registry.
+            self.drain_telemetry()
+        except TransportError:
+            pass
         self._closed = True
         shutdown = _frames.encode_shutdown_frame()
         for index, worker in enumerate(self._workers):
@@ -626,7 +731,9 @@ class EventPipeline:
             self._lost_rows.discard(_row_key(event))
         if not len(self._batcher):
             self._oldest_pending_at = time.monotonic()
-        self._batcher.add(BatchEntry(seq, event))
+        self._batcher.add(
+            BatchEntry(seq, event, ingest_ns=time.perf_counter_ns())
+        )
         self.metrics.histogram("pipeline/queue_depth").observe(len(self._batcher))
         if self._batcher.is_due or self._deadline_exceeded():
             self.flush()
@@ -673,17 +780,21 @@ class EventPipeline:
             self.durability.sync()
         self._oldest_pending_at = time.monotonic() if len(self._batcher) else None
         shard_entries: Dict[int, List[ShardEntry]] = {}
+        shard_ingest: Dict[int, List[int]] = {}
+        shards_by_seq: Dict[int, List[int]] = {}
         for entry in batch:
             route = self.router.route_event(entry.event)
             self.router.note_event(route)
+            shards_by_seq[entry.seq] = list(route.shards)
             for index in route.shards:
                 select_probe, select_state = route.flags(index, entry.event.relation)
                 shard_entries.setdefault(index, []).append(
                     (entry.seq, entry.event, select_probe, select_state)
                 )
+                shard_ingest.setdefault(index, []).append(entry.ingest_ns)
         by_seq: Dict[int, List[Delta]] = {entry.seq: [] for entry in batch}
         for index, (elapsed, results) in sorted(
-            self._backend.apply_shard_batches(shard_entries).items()
+            self._backend.apply_shard_batches(shard_entries, shard_ingest).items()
         ):
             self.metrics.histogram(f"shard/{index}/batch_us").observe(elapsed * 1e6)
             self.metrics.counter(f"shard/{index}/events").inc(
@@ -693,6 +804,8 @@ class EventPipeline:
                 by_seq[seq].append(deltas)
         out: List[Tuple[int, DataEvent, Delta]] = []
         results_counter = self.metrics.counter("pipeline/results_produced")
+        e2e_global = self.metrics.histogram("pipeline/e2e_us")
+        e2e_by_shard: Dict[int, Any] = {}
         for entry in batch:
             merged = merge_deltas(by_seq[entry.seq])
             for query, matches in merged.items():
@@ -700,6 +813,17 @@ class EventPipeline:
                 callback = self._callbacks.get(query.qid)
                 if callback is not None:
                     callback(query, entry.event.row, matches)
+            # End-to-end latency: ingress stamp → delta emission (now,
+            # after this event's callbacks ran).  Per shard and global.
+            if entry.ingest_ns:
+                e2e_us = (time.perf_counter_ns() - entry.ingest_ns) / 1_000.0
+                e2e_global.observe(e2e_us)
+                for index in shards_by_seq.get(entry.seq, ()):
+                    hist = e2e_by_shard.get(index)
+                    if hist is None:
+                        hist = self.metrics.histogram(f"shard/{index}/e2e_us")
+                        e2e_by_shard[index] = hist
+                    hist.observe(e2e_us)
             out.append((entry.seq, entry.event, merged))
         self.metrics.counter("pipeline/events_applied").inc(len(batch))
         self.metrics.counter("pipeline/batches").inc()
@@ -750,15 +874,21 @@ class EventPipeline:
 
         Each sample recomputes that plane's tau by a full sweep, so this
         belongs on the reporting interval, not the event path.  Returns
-        ``[]`` in process mode (shard state lives elsewhere) or when the
-        hotspot tracker is disabled (``alpha=None``).
+        ``[]`` in process mode — shard state lives elsewhere — but in
+        ``process-shm`` mode it still drains worker telemetry first, so
+        the registry's merged ``obs/shard/...`` gauges (each worker
+        samples its own headroom before shipping) are fresh when the
+        caller snapshots.  Also ``[]`` when the hotspot tracker is
+        disabled (``alpha=None``).
         """
+        if isinstance(self._backend, _ProcessShmBackend):
+            self._backend.drain_telemetry()
+            return []
         if not isinstance(self._backend, _InlineBackend):
             return []
         samples: List[HeadroomSample] = []
         for shard in self._backend.shards:
-            if shard.telemetry is not None:
-                samples.extend(shard.telemetry.sample())
+            samples.extend(shard.sample_telemetry())
         return samples
 
     # -- lifecycle -----------------------------------------------------------

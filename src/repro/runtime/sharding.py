@@ -304,6 +304,14 @@ class Shard:
     def query_count(self) -> int:
         return self.band.query_count + self.select.query_count
 
+    def sample_telemetry(self) -> List[HeadroomSample]:
+        """Refresh this shard's headroom gauges (both planes) and return
+        the samples; ``[]`` when telemetry is not attached.  Full tau
+        sweep per plane — reporting-interval cost, not per-event.  The
+        shm worker calls this before shipping a telemetry frame so the
+        parent merges current headroom, not last-batch headroom."""
+        return self.telemetry.sample() if self.telemetry is not None else []
+
     # -- event application ---------------------------------------------------
 
     def apply(
@@ -638,8 +646,7 @@ class ShardedContinuousQuerySystem:
         tau sweep per plane — reporting-interval cost, not per-event)."""
         samples: List[HeadroomSample] = []
         for shard in self.shards:
-            if shard.telemetry is not None:
-                samples.extend(shard.telemetry.sample())
+            samples.extend(shard.sample_telemetry())
         return samples
 
     # Facade-compatible convenience constructors around ``apply``.

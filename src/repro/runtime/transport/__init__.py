@@ -18,19 +18,32 @@ that boundary with a pickle-free data plane:
   loop: drain the request ring, apply, answer on the response ring, exit
   on a shutdown frame.
 
+Since frame version 2 the BATCH frame also carries per-entry monotonic
+ingest timestamps plus the parent's trace context, and a telemetry-flagged
+batch is answered with RESULT **then** one TELEMETRY frame — worker span
+batches and metric deltas the pipeline merges back into the parent
+registry and trace (see :mod:`repro.obs.remote`).
+
 The pipeline side lives in :class:`repro.runtime.pipeline.EventPipeline`
 (``mode="process-shm"``).
 """
 
 from repro.runtime.transport.frames import (
+    BATCH_FLAG_TELEMETRY,
+    FRAME_TELEMETRY,
     FRAME_VERSION,
+    DecodedBatch,
     FrameError,
+    HistogramDelta,
+    TelemetryPayload,
     decode_batch_frame,
     decode_frame,
     decode_result_frame,
+    decode_telemetry_frame,
     encode_batch_frame,
     encode_control_frame,
     encode_result_frame,
+    encode_telemetry_frame,
 )
 from repro.runtime.transport.shm import (
     FrameCorruptionError,
@@ -40,16 +53,23 @@ from repro.runtime.transport.shm import (
 )
 
 __all__ = [
+    "BATCH_FLAG_TELEMETRY",
+    "FRAME_TELEMETRY",
     "FRAME_VERSION",
+    "DecodedBatch",
     "FrameError",
     "FrameCorruptionError",
+    "HistogramDelta",
     "RingTimeoutError",
     "ShmRing",
+    "TelemetryPayload",
     "TransportError",
     "decode_batch_frame",
     "decode_frame",
     "decode_result_frame",
+    "decode_telemetry_frame",
     "encode_batch_frame",
     "encode_control_frame",
     "encode_result_frame",
+    "encode_telemetry_frame",
 ]

@@ -9,28 +9,56 @@ event.
 
 Every frame starts ``[u8 frame_type][u8 version]``.  Frame types::
 
-    1  BATCH     ordered shard entries, columnar (below)
-    2  RESULT    elapsed + row table + (seq, qid, sign, row-ref) deltas
-    3  CONTROL   one durability-codec record (SUB band/select, UNSUB)
-    4  ACK       empty body — control acknowledged
-    5  SHUTDOWN  empty body — worker drains and exits
-    6  ERROR     utf-8 message — worker-side exception report
+    1  BATCH      trace context + ordered shard entries, columnar (below)
+    2  RESULT     elapsed + row table + (seq, qid, sign, row-ref) deltas
+    3  CONTROL    one durability-codec record (SUB band/select, UNSUB)
+    4  ACK        empty body — control acknowledged
+    5  SHUTDOWN   empty body — worker drains and exits
+    6  ERROR      utf-8 message — worker-side exception report
+    7  TELEMETRY  worker span batch + metric deltas (return path)
 
-**BATCH** — ``u32 n_entries`` then *segments*.  The entry list is split
+**BATCH** (version 2) — a trace-context header
+``[u8 flags][u64 trace_id][u64 parent_span_id]`` then ``u32 n_entries``
+and *segments*.  ``flags`` bit0 requests a TELEMETRY frame after the
+RESULT; ``trace_id``/``parent_span_id`` propagate the parent's trace so
+worker spans join it (zero means untraced).  The entry list is split
 into maximal runs of the same (kind, relation); each run is one segment
 ``[u8 seg_tag][u32 count]`` followed by flat columns::
 
-    seqs   <{n}q    event sequence numbers
-    ids    <{n}q    rid (R) or sid (S)
-    x      <{n}d    a (R) or b (S)
-    y      <{n}d    b (R) or c (S)
-    flags  {n}B     bit0 = select_probe, bit1 = select_state
+    seqs    <{n}q    event sequence numbers
+    ids     <{n}q    rid (R) or sid (S)
+    x       <{n}d    a (R) or b (S)
+    y       <{n}d    b (R) or c (S)
+    ingest  <{n}q    parent-side perf_counter_ns at ingest (0 = unknown)
+    flags   {n}B     bit0 = select_probe, bit1 = select_state
+
+The ingest column carries CLOCK_MONOTONIC readings, which share an
+origin across processes on one host — the worker subtracts them from its
+own clock to produce end-to-end latency without any wall-clock exchange.
 
 Segment tags: 1 INSERT_R, 2 INSERT_S, 3 DELETE_R, 4 DELETE_S.  Columns
 are contiguous little-endian int64/float64, so a numpy consumer can
 ``frombuffer`` them with zero copies (the worker's fastpath kernels
 consume exactly such flat columns); this module itself stays pure-``struct``
 — numpy imports are confined to the kernel allowlist (RA002).
+
+**TELEMETRY** — the worker-to-parent observability return path, carried
+over the same response ring as RESULT/ACK (strictly after a RESULT whose
+BATCH requested it, so the one-frame-in-flight protocol is preserved).
+Body: ``[u64 pid][u32 shard][u64 trace_id][u32 spans_dropped]`` then
+three length-prefixed sections::
+
+    u32 n_spans      per span: [u16 len]name  <qqQQQQ> ts dur tid
+                     span_id parent_id trace_id  [u32 len]args-JSON
+    u32 n_counters   per item: [u16 len]name  <q>  delta since last ship
+    u32 n_gauges     per item: [u16 len]name  <d>  current value
+    u32 n_histograms per item: [u16 len]name  <QdddI> count sum min max
+                     n_buckets, then n_buckets x <HQ> (index, delta)
+
+Counter and histogram sections are *deltas* (merging is addition on the
+parent); gauges are last-writer-wins absolutes.  Span ``args`` ride as
+UTF-8 JSON (data, not code — unlike pickle nothing executes on load),
+with 0 length meaning no args.
 
 **RESULT** — ``f64 elapsed``, a deduplicated row table of ``u32 n_rows``
 records ``<Bqdd>`` (tag 1 = R row rid/a/b, tag 2 = S row sid/b/c), then
@@ -58,12 +86,15 @@ never compared), which the property tests pin down.
 
 from __future__ import annotations
 
+import json
 import struct
-from typing import Any, Dict, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.durability.codec import decode_record, encode_event
 from repro.engine.events import DataEvent, EventKind
 from repro.engine.table import RTuple, STuple
+from repro.obs.tracing import SpanRecord
 from repro.runtime.sharding import ShardEntry
 from repro.runtime.transport.shm import TransportError
 
@@ -75,9 +106,13 @@ __all__ = [
     "FRAME_ACK",
     "FRAME_SHUTDOWN",
     "FRAME_ERROR",
+    "FRAME_TELEMETRY",
     "FrameError",
     "QidDeltas",
     "SeqResults",
+    "DecodedBatch",
+    "HistogramDelta",
+    "TelemetryPayload",
     "encode_batch_frame",
     "decode_batch_frame",
     "encode_result_frame",
@@ -86,10 +121,12 @@ __all__ = [
     "encode_ack_frame",
     "encode_shutdown_frame",
     "encode_error_frame",
+    "encode_telemetry_frame",
+    "decode_telemetry_frame",
     "decode_frame",
 ]
 
-FRAME_VERSION = 1
+FRAME_VERSION = 2
 
 FRAME_BATCH = 1
 FRAME_RESULT = 2
@@ -97,6 +134,10 @@ FRAME_CONTROL = 3
 FRAME_ACK = 4
 FRAME_SHUTDOWN = 5
 FRAME_ERROR = 6
+FRAME_TELEMETRY = 7
+
+#: BATCH flags bit0: the worker should follow its RESULT with a TELEMETRY.
+BATCH_FLAG_TELEMETRY = 1
 
 _SEG_INSERT_R = 1
 _SEG_INSERT_S = 2
@@ -105,9 +146,16 @@ _SEG_DELETE_S = 4
 
 _HDR = struct.Struct("<BB")
 _U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
 _SEG = struct.Struct("<BI")
 _F64 = struct.Struct("<d")
+_I64 = struct.Struct("<q")
 _ROW = struct.Struct("<Bqdd")  # row-table record: tag, id, x, y
+_BATCH_CTX = struct.Struct("<BQQ")  # flags, trace_id, parent_span_id
+_TELE_CTX = struct.Struct("<QIQI")  # pid, shard, trace_id, spans_dropped
+_TELE_SPAN = struct.Struct("<qqQQQQ")  # ts, dur, tid, span_id, parent_id, trace_id
+_TELE_HIST = struct.Struct("<QdddI")  # count, sum, min, max, n_buckets
+_TELE_BUCKET = struct.Struct("<HQ")  # bucket index, count delta
 
 _ROW_TAG_R = 1
 _ROW_TAG_S = 2
@@ -132,10 +180,41 @@ def _seg_tag(event: DataEvent) -> int:
 # -- BATCH -------------------------------------------------------------------
 
 
-def encode_batch_frame(entries: Sequence[ShardEntry]) -> bytes:
-    """Encode an ordered shard batch as columnar run segments."""
+@dataclass(slots=True)
+class DecodedBatch:
+    """A decoded BATCH frame: the ordered entries plus trace context.
+
+    ``ingest_ns`` is parallel to ``entries`` (0 = ingest time unknown);
+    ``want_telemetry`` mirrors BATCH flag bit0.
+    """
+
+    entries: List[ShardEntry]
+    ingest_ns: Tuple[int, ...] = ()
+    trace_id: int = 0
+    parent_span_id: int = 0
+    want_telemetry: bool = False
+
+
+def encode_batch_frame(
+    entries: Sequence[ShardEntry],
+    *,
+    ingest_ns: Optional[Sequence[int]] = None,
+    trace_id: int = 0,
+    parent_span_id: int = 0,
+    want_telemetry: bool = False,
+) -> bytes:
+    """Encode an ordered shard batch as columnar run segments.
+
+    ``ingest_ns`` (parallel to ``entries``) stamps each entry's
+    parent-side monotonic ingest time; omitted means "unknown" and
+    encodes as zeros.
+    """
+    if ingest_ns is not None and len(ingest_ns) != len(entries):
+        raise FrameError("ingest_ns must be parallel to entries")
+    flags_byte = BATCH_FLAG_TELEMETRY if want_telemetry else 0
     parts: List[bytes] = [
         _HDR.pack(FRAME_BATCH, FRAME_VERSION),
+        _BATCH_CTX.pack(flags_byte, trace_id, parent_span_id),
         _U32.pack(len(entries)),
     ]
     i, total = 0, len(entries)
@@ -155,6 +234,9 @@ def encode_batch_frame(entries: Sequence[ShardEntry]) -> bytes:
             ids = [entry[1].row.sid for entry in run]
             xs = [entry[1].row.b for entry in run]
             ys = [entry[1].row.c for entry in run]
+        ingest = (
+            list(ingest_ns[i:j]) if ingest_ns is not None else [0] * n
+        )
         flags = bytes(
             (1 if entry[2] else 0) | (2 if entry[3] else 0) for entry in run
         )
@@ -163,23 +245,29 @@ def encode_batch_frame(entries: Sequence[ShardEntry]) -> bytes:
         parts.append(struct.pack(f"<{n}q", *ids))
         parts.append(struct.pack(f"<{n}d", *xs))
         parts.append(struct.pack(f"<{n}d", *ys))
+        parts.append(struct.pack(f"<{n}q", *ingest))
         parts.append(flags)
         i = j
     return b"".join(parts)
 
 
-def decode_batch_frame(payload: bytes) -> List[ShardEntry]:
-    """Decode a BATCH frame body back into ordered shard entries."""
+def decode_batch_frame(payload: bytes) -> DecodedBatch:
+    """Decode a BATCH frame body back into entries + trace context."""
     offset = _HDR.size
+    if offset + _BATCH_CTX.size + _U32.size > len(payload):
+        raise FrameError("truncated batch context header")
+    flags_byte, trace_id, parent_span_id = _BATCH_CTX.unpack_from(payload, offset)
+    offset += _BATCH_CTX.size
     (n_entries,) = _U32.unpack_from(payload, offset)
     offset += _U32.size
     entries: List[ShardEntry] = []
+    ingest_all: List[int] = []
     while len(entries) < n_entries:
         if offset + _SEG.size > len(payload):
             raise FrameError("truncated batch segment header")
         tag, n = _SEG.unpack_from(payload, offset)
         offset += _SEG.size
-        need = 2 * 8 * n + 2 * 8 * n + n
+        need = 2 * 8 * n + 2 * 8 * n + 8 * n + n
         if offset + need > len(payload):
             raise FrameError(f"truncated batch segment (tag {tag}, n {n})")
         seqs = struct.unpack_from(f"<{n}q", payload, offset)
@@ -190,8 +278,11 @@ def decode_batch_frame(payload: bytes) -> List[ShardEntry]:
         offset += 8 * n
         ys = struct.unpack_from(f"<{n}d", payload, offset)
         offset += 8 * n
+        ingest = struct.unpack_from(f"<{n}q", payload, offset)
+        offset += 8 * n
         flags = payload[offset : offset + n]
         offset += n
+        ingest_all.extend(ingest)
         if tag in (_SEG_INSERT_R, _SEG_DELETE_R):
             kind = EventKind.INSERT if tag == _SEG_INSERT_R else EventKind.DELETE
             for k in range(n):
@@ -220,7 +311,13 @@ def decode_batch_frame(payload: bytes) -> List[ShardEntry]:
         raise FrameError(
             f"{len(payload) - offset} trailing byte(s) after batch segments"
         )
-    return entries
+    return DecodedBatch(
+        entries=entries,
+        ingest_ns=tuple(ingest_all),
+        trace_id=trace_id,
+        parent_span_id=parent_span_id,
+        want_telemetry=bool(flags_byte & BATCH_FLAG_TELEMETRY),
+    )
 
 
 # -- RESULT ------------------------------------------------------------------
@@ -366,13 +463,227 @@ def encode_error_frame(message: str) -> bytes:
     )
 
 
+# -- TELEMETRY ---------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class HistogramDelta:
+    """Additive histogram delta: counts/sum since the last ship, lifetime
+    min/max (folded via min/max on merge), nonzero bucket deltas as
+    ``(index, added)`` pairs."""
+
+    count: int
+    total: float
+    min_value: float
+    max_value: float
+    buckets: List[Tuple[int, int]] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class TelemetryPayload:
+    """One worker's observability delta: spans since the last ship plus
+    counter deltas, gauge absolutes, and histogram deltas."""
+
+    pid: int
+    shard: int
+    trace_id: int = 0
+    spans_dropped: int = 0
+    spans: List[SpanRecord] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, HistogramDelta] = field(default_factory=dict)
+
+
+def _pack_name(name: str) -> bytes:
+    encoded = name.encode("utf-8")
+    if len(encoded) > 0xFFFF:
+        raise FrameError(f"name too long to encode ({len(encoded)} bytes)")
+    return _U16.pack(len(encoded)) + encoded
+
+
+def _unpack_name(payload: bytes, offset: int) -> Tuple[str, int]:
+    if offset + _U16.size > len(payload):
+        raise FrameError("truncated telemetry name length")
+    (length,) = _U16.unpack_from(payload, offset)
+    offset += _U16.size
+    if offset + length > len(payload):
+        raise FrameError("truncated telemetry name")
+    return payload[offset : offset + length].decode("utf-8"), offset + length
+
+
+def encode_telemetry_frame(payload: TelemetryPayload) -> bytes:
+    """Encode a worker telemetry delta (spans + metric deltas)."""
+    parts: List[bytes] = [
+        _HDR.pack(FRAME_TELEMETRY, FRAME_VERSION),
+        _TELE_CTX.pack(
+            payload.pid,
+            payload.shard,
+            payload.trace_id,
+            # u32 on the wire; a drop counter past 4B spans only needs to
+            # stay honest about "a lot", not exact.
+            min(payload.spans_dropped, 0xFFFF_FFFF),
+        ),
+        _U32.pack(len(payload.spans)),
+    ]
+    for span in payload.spans:
+        args_blob = (
+            json.dumps(span.args, separators=(",", ":")).encode("utf-8")
+            if span.args
+            else b""
+        )
+        parts.append(_pack_name(span.name))
+        parts.append(
+            _TELE_SPAN.pack(
+                span.ts_ns,
+                span.dur_ns,
+                span.tid,
+                span.span_id,
+                span.parent_id,
+                span.trace_id,
+            )
+        )
+        parts.append(_U32.pack(len(args_blob)))
+        parts.append(args_blob)
+    parts.append(_U32.pack(len(payload.counters)))
+    for name, delta in sorted(payload.counters.items()):
+        parts.append(_pack_name(name))
+        parts.append(_I64.pack(delta))
+    parts.append(_U32.pack(len(payload.gauges)))
+    for name, value in sorted(payload.gauges.items()):
+        parts.append(_pack_name(name))
+        parts.append(_F64.pack(value))
+    parts.append(_U32.pack(len(payload.histograms)))
+    for name, hist in sorted(payload.histograms.items()):
+        parts.append(_pack_name(name))
+        parts.append(
+            _TELE_HIST.pack(
+                hist.count,
+                hist.total,
+                hist.min_value,
+                hist.max_value,
+                len(hist.buckets),
+            )
+        )
+        for index, added in hist.buckets:
+            parts.append(_TELE_BUCKET.pack(index, added))
+    return b"".join(parts)
+
+
+def decode_telemetry_frame(payload: bytes) -> TelemetryPayload:
+    """Decode a TELEMETRY frame body back into a :class:`TelemetryPayload`."""
+    offset = _HDR.size
+    if offset + _TELE_CTX.size + _U32.size > len(payload):
+        raise FrameError("truncated telemetry context header")
+    pid, shard, trace_id, spans_dropped = _TELE_CTX.unpack_from(payload, offset)
+    offset += _TELE_CTX.size
+    (n_spans,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    spans: List[SpanRecord] = []
+    for _ in range(n_spans):
+        name, offset = _unpack_name(payload, offset)
+        if offset + _TELE_SPAN.size + _U32.size > len(payload):
+            raise FrameError("truncated telemetry span")
+        ts_ns, dur_ns, tid, span_id, parent_id, span_trace = _TELE_SPAN.unpack_from(
+            payload, offset
+        )
+        offset += _TELE_SPAN.size
+        (args_len,) = _U32.unpack_from(payload, offset)
+        offset += _U32.size
+        if offset + args_len > len(payload):
+            raise FrameError("truncated telemetry span args")
+        args: Optional[Dict[str, Any]] = None
+        if args_len:
+            try:
+                args = json.loads(payload[offset : offset + args_len])
+            except ValueError as exc:
+                raise FrameError(f"bad telemetry span args: {exc}") from None
+        offset += args_len
+        spans.append(
+            SpanRecord(
+                name=name,
+                ts_ns=ts_ns,
+                dur_ns=dur_ns,
+                tid=tid,
+                args=args,
+                pid=pid,
+                trace_id=span_trace,
+                span_id=span_id,
+                parent_id=parent_id,
+            )
+        )
+    if offset + _U32.size > len(payload):
+        raise FrameError("truncated telemetry counter section")
+    (n_counters,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    counters: Dict[str, int] = {}
+    for _ in range(n_counters):
+        name, offset = _unpack_name(payload, offset)
+        if offset + _I64.size > len(payload):
+            raise FrameError("truncated telemetry counter")
+        (counters[name],) = _I64.unpack_from(payload, offset)
+        offset += _I64.size
+    if offset + _U32.size > len(payload):
+        raise FrameError("truncated telemetry gauge section")
+    (n_gauges,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    gauges: Dict[str, float] = {}
+    for _ in range(n_gauges):
+        name, offset = _unpack_name(payload, offset)
+        if offset + _F64.size > len(payload):
+            raise FrameError("truncated telemetry gauge")
+        (gauges[name],) = _F64.unpack_from(payload, offset)
+        offset += _F64.size
+    if offset + _U32.size > len(payload):
+        raise FrameError("truncated telemetry histogram section")
+    (n_histograms,) = _U32.unpack_from(payload, offset)
+    offset += _U32.size
+    histograms: Dict[str, HistogramDelta] = {}
+    for _ in range(n_histograms):
+        name, offset = _unpack_name(payload, offset)
+        if offset + _TELE_HIST.size > len(payload):
+            raise FrameError("truncated telemetry histogram header")
+        count, total, min_value, max_value, n_buckets = _TELE_HIST.unpack_from(
+            payload, offset
+        )
+        offset += _TELE_HIST.size
+        if offset + n_buckets * _TELE_BUCKET.size > len(payload):
+            raise FrameError("truncated telemetry histogram buckets")
+        buckets: List[Tuple[int, int]] = []
+        for _b in range(n_buckets):
+            index, added = _TELE_BUCKET.unpack_from(payload, offset)
+            offset += _TELE_BUCKET.size
+            buckets.append((index, added))
+        histograms[name] = HistogramDelta(
+            count=count,
+            total=total,
+            min_value=min_value,
+            max_value=max_value,
+            buckets=buckets,
+        )
+    if offset != len(payload):
+        raise FrameError(
+            f"{len(payload) - offset} trailing byte(s) after telemetry sections"
+        )
+    return TelemetryPayload(
+        pid=pid,
+        shard=shard,
+        trace_id=trace_id,
+        spans_dropped=spans_dropped,
+        spans=spans,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+    )
+
+
 def decode_frame(payload: bytes) -> Tuple[int, Any]:
     """Validate the frame header and decode the body.
 
-    Returns ``(frame_type, body)`` where the body is: decoded entries for
-    BATCH, ``(elapsed, results)`` for RESULT, a durability
-    :data:`~repro.durability.codec.DecodedRecord` for CONTROL, the message
-    string for ERROR, and ``None`` for ACK/SHUTDOWN.
+    Returns ``(frame_type, body)`` where the body is: a
+    :class:`DecodedBatch` for BATCH, ``(elapsed, results)`` for RESULT, a
+    durability :data:`~repro.durability.codec.DecodedRecord` for CONTROL,
+    a :class:`TelemetryPayload` for TELEMETRY, the message string for
+    ERROR, and ``None`` for ACK/SHUTDOWN.
     """
     if len(payload) < _HDR.size:
         raise FrameError(f"frame of {len(payload)} byte(s) has no header")
@@ -393,4 +704,6 @@ def decode_frame(payload: bytes) -> Tuple[int, Any]:
         return frame_type, None
     if frame_type == FRAME_ERROR:
         return frame_type, payload[_HDR.size :].decode("utf-8", errors="replace")
+    if frame_type == FRAME_TELEMETRY:
+        return frame_type, decode_telemetry_frame(payload)
     raise FrameError(f"unknown frame type {frame_type}")

@@ -12,6 +12,21 @@ Queries unpickle— *decode* — to fresh objects on every control frame and
 the engine tracks subscriptions by identity, so the worker keeps its own
 qid → object registry, exactly like the pickle-based process backend.
 
+Observability (PR 10): the worker runs its *own*
+:class:`~repro.obs.tracing.RingTracer` and
+:class:`~repro.runtime.metrics.MetricsRegistry` — the shard wires its
+hotspot telemetry and fastpath spans into them exactly as the inline
+backend would.  Each BATCH frame carries the parent's trace id and the
+open roundtrip span id; the worker adopts both so its spans join the
+parent's trace, and it observes per-entry ingest-to-apply latency from
+the batch's monotonic ingest timestamps (CLOCK_MONOTONIC is shared
+across processes on one host).  When a BATCH requests telemetry (flag
+bit0), the worker follows its response with one TELEMETRY frame — deltas
+collected by :class:`~repro.obs.remote.TelemetryCollector` — preserving
+the one-request/one-logical-response protocol (the pipeline reads RESULT
+then TELEMETRY).  The telemetry follow-up is sent even when the batch
+itself failed, so both sides stay frame-aligned.
+
 Exceptions inside a request are reported back as ERROR frames (the
 pipeline re-raises them as :class:`TransportError`); the loop itself only
 exits on a SHUTDOWN frame or an unrecoverable transport failure.
@@ -20,14 +35,17 @@ exits on a SHUTDOWN frame or an unrecoverable transport failure.
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 if TYPE_CHECKING:
     from multiprocessing.synchronize import Semaphore
 
 from repro.durability.codec import Unsubscribe
 from repro.engine.events import QueryEvent
-from repro.runtime.sharding import Shard, ShardEntry
+from repro.obs.remote import TelemetryCollector
+from repro.obs.tracing import RingTracer
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.sharding import Shard
 from repro.runtime.transport import frames
 from repro.runtime.transport.shm import ShmRing, TransportError
 
@@ -36,23 +54,47 @@ __all__ = ["shard_worker_main"]
 #: Response-ring send deadline (see module docstring).
 _RESPONSE_TIMEOUT = 30.0
 
+#: Worker span rings are smaller than the parent default — only the spans
+#: since the last telemetry ship need to survive, and telemetry rides on
+#: the batch cadence.
+_WORKER_TRACE_CAPACITY = 16_384
+
 
 def _apply_batch(
-    shard: Shard, entries: List[ShardEntry]
+    shard: Shard,
+    batch: frames.DecodedBatch,
+    tracer: RingTracer,
+    registry: MetricsRegistry,
 ) -> Tuple[float, frames.SeqResults]:
-    start = time.perf_counter()
-    results: frames.SeqResults = [
-        (seq, {query.qid: rows for query, rows in deltas.items()})
-        for seq, deltas in shard.apply_batch(entries)
-    ]
-    return time.perf_counter() - start, results
+    tracer.adopt_trace_id(batch.trace_id)
+    tracer.set_remote_parent(batch.parent_span_id)
+    start_ns = time.perf_counter_ns()
+    with tracer.span(
+        "worker.batch", shard=shard.index, events=len(batch.entries)
+    ):
+        results: frames.SeqResults = [
+            (seq, {query.qid: rows for query, rows in deltas.items()})
+            for seq, deltas in shard.apply_batch(batch.entries)
+        ]
+    end_ns = time.perf_counter_ns()
+    if batch.ingest_ns:
+        e2e = registry.histogram("worker/e2e/ingest_to_apply_us")
+        for ingest in batch.ingest_ns:
+            if ingest > 0:
+                e2e.observe((end_ns - ingest) / 1_000.0)
+    return (end_ns - start_ns) / 1e9, results
 
 
 def _handle(
-    shard: Shard, queries: Dict[int, Any], frame_type: int, body: Any
+    shard: Shard,
+    queries: Dict[int, Any],
+    frame_type: int,
+    body: Any,
+    tracer: RingTracer,
+    registry: MetricsRegistry,
 ) -> bytes:
     if frame_type == frames.FRAME_BATCH:
-        elapsed, results = _apply_batch(shard, body)
+        elapsed, results = _apply_batch(shard, body, tracer, registry)
         return frames.encode_result_frame(elapsed, results)
     if frame_type == frames.FRAME_CONTROL:
         if isinstance(body, Unsubscribe):
@@ -86,7 +128,11 @@ def shard_worker_main(
     """
     requests = ShmRing.attach(request_ring, doorbell=request_doorbell)
     responses = ShmRing.attach(response_ring, doorbell=response_doorbell)
-    shard = Shard(index, alpha=alpha, epsilon=epsilon)
+    registry = MetricsRegistry()
+    tracer = RingTracer(capacity=_WORKER_TRACE_CAPACITY)
+    shard = Shard(index, alpha=alpha, epsilon=epsilon, metrics=registry,
+                  tracer=tracer)
+    collector = TelemetryCollector(index, registry, tracer)
     queries: Dict[int, Any] = {}
     try:
         while True:
@@ -108,12 +154,28 @@ def shard_worker_main(
             if frame_type == frames.FRAME_SHUTDOWN:
                 break
             try:
-                response = _handle(shard, queries, frame_type, body)
+                response = _handle(
+                    shard, queries, frame_type, body, tracer, registry
+                )
             except Exception as exc:  # surfaced to the pipeline, not lost
                 response = frames.encode_error_frame(
                     f"shard {index} worker: {type(exc).__name__}: {exc}"
                 )
             responses.send(response, timeout=_RESPONSE_TIMEOUT)
+            # A telemetry-flagged BATCH gets its follow-up frame even when
+            # the batch errored — the parent reads a fixed number of
+            # responses per request, so skipping it would desynchronize
+            # the rings.
+            if (
+                frame_type == frames.FRAME_BATCH
+                and isinstance(body, frames.DecodedBatch)
+                and body.want_telemetry
+            ):
+                shard.sample_telemetry()  # refresh headroom gauges
+                responses.send(
+                    frames.encode_telemetry_frame(collector.collect()),
+                    timeout=_RESPONSE_TIMEOUT,
+                )
     finally:
         requests.close()
         responses.close()

@@ -15,6 +15,7 @@ from repro.obs.export import (
     estimate_quantiles,
     latest_snapshot,
     read_snapshots,
+    metric_help,
     render_prometheus,
     render_snapshot,
     sanitize_metric_name,
@@ -73,6 +74,34 @@ class TestEstimateQuantile:
         estimate = estimate_quantile([[top, 3]], 3, 0.99)
         assert estimate == bucket_bounds(top)[0]
 
+    def test_empty_is_zero_for_every_quantile(self):
+        for q in (0.0, 0.5, 1.0):
+            assert estimate_quantile([], 0, q) == 0.0
+            assert estimate_quantile([[3, 0]], 0, q) == 0.0
+
+    def test_all_mass_in_one_bucket_stays_inside_it(self):
+        # Every observation in bucket 5 = [16, 32): any quantile must land
+        # in that bucket, q=0 at its lower bound, q=1 strictly below its
+        # upper bound.
+        lo, hi = bucket_bounds(5)
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            estimate = estimate_quantile([[5, 1000]], 1000, q)
+            assert lo <= estimate < hi
+        # ...and the estimates are monotone in q.
+        low = estimate_quantile([[5, 1000]], 1000, 0.0)
+        high = estimate_quantile([[5, 1000]], 1000, 1.0)
+        assert low <= high
+
+    def test_q_zero_and_one_clamp_to_data_range(self):
+        # Mass in buckets 1=[1,2) and 3=[4,8): q=0 clamps into the lowest
+        # occupied bucket, q=1 stays below the highest occupied bucket's
+        # upper bound (never bleeds into empty buckets).
+        buckets = [[1, 10], [3, 10]]
+        bottom = estimate_quantile(buckets, 20, 0.0)
+        assert 1.0 <= bottom < 2.0
+        top = estimate_quantile(buckets, 20, 1.0)
+        assert 4.0 <= top < 8.0
+
     def test_from_live_histogram_snapshot(self):
         h = Histogram()
         for value in [1.0, 2.0, 3.0, 100.0]:
@@ -115,6 +144,37 @@ class TestPrometheusRendering:
         text = render_prometheus(registry.snapshot())
         assert "repro_durability_wal_fsync_total 1" in text
         assert "_total_total" not in text
+
+    def test_every_type_line_is_preceded_by_help(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline/events_applied").inc(3)
+        registry.counter("some/novel_counter").inc()
+        registry.gauge("runtime/queue_depth").set(2.0)
+        registry.histogram("pipeline/e2e_us").observe(5.0)
+        lines = render_prometheus(registry.snapshot()).splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                _, _, metric, _kind = line.split(" ")
+                assert lines[i - 1].startswith(f"# HELP {metric} "), lines[i - 1]
+                # HELP text is a sentence, not an empty stub.
+                help_text = lines[i - 1].split(" ", 3)[3]
+                assert help_text.strip().endswith(".")
+
+    def test_known_names_get_specific_help(self):
+        assert "latency" in metric_help("pipeline/e2e_us").lower()
+        assert "promoted" in metric_help("obs/shard/0/band/promotions").lower()
+        # Unknown names fall back to a generic but well-formed line.
+        fallback = metric_help("totally/unknown_metric")
+        assert "totally/unknown_metric" in fallback
+        assert fallback.endswith(".")
+
+    def test_help_lines_render_once_per_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("a/events").inc()
+        registry.counter("b/events").inc()
+        text = render_prometheus(registry.snapshot())
+        assert text.count("# HELP repro_a_events_total ") == 1
+        assert text.count("# HELP repro_b_events_total ") == 1
 
 
 class TestRenderSnapshot:
@@ -168,6 +228,72 @@ class TestSnapshotStream:
         path.write_text('{"seq": 0}\nnot json\n')
         with pytest.raises(ValueError, match=r":2:"):
             read_snapshots(str(path))
+
+
+class TestSnapshotRotation:
+    def _record_size(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        probe = str(tmp_path / "probe.jsonl")
+        SnapshotWriter(probe).write(registry)
+        import os
+
+        return os.path.getsize(probe)
+
+    def test_rotates_at_max_bytes_and_reads_both_generations(self, tmp_path):
+        import os
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = str(tmp_path / "snaps.jsonl")
+        # Room for ~3 records per generation.
+        writer = SnapshotWriter(path, max_bytes=self._record_size(tmp_path) * 3 + 8)
+        for _ in range(8):
+            writer.write(registry)
+        assert writer.rotations >= 1
+        assert os.path.exists(path + ".1")
+        records = read_snapshots(path)
+        seqs = [r["seq"] for r in records]
+        # Reads span the rotation boundary, in order, ending at the newest.
+        assert seqs == sorted(seqs)
+        assert len(seqs) >= 4
+        assert seqs[-1] == 7
+        assert latest_snapshot(path)["seq"] == 7
+
+    def test_only_one_previous_generation_kept(self, tmp_path):
+        import os
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        path = str(tmp_path / "snaps.jsonl")
+        writer = SnapshotWriter(path, max_bytes=1)  # rotate on every write
+        for _ in range(5):
+            writer.write(registry)
+        assert writer.rotations == 5
+        siblings = sorted(os.listdir(tmp_path))
+        assert siblings == ["snaps.jsonl", "snaps.jsonl.1"]
+
+    def test_no_rotation_without_max_bytes(self, tmp_path):
+        import os
+
+        registry = MetricsRegistry()
+        path = str(tmp_path / "snaps.jsonl")
+        writer = SnapshotWriter(path)
+        for _ in range(50):
+            writer.write(registry)
+        assert writer.rotations == 0
+        assert not os.path.exists(path + ".1")
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            SnapshotWriter(str(tmp_path / "s.jsonl"), max_bytes=0)
+
+    def test_read_snapshots_without_rotation_file(self, tmp_path):
+        registry = MetricsRegistry()
+        path = str(tmp_path / "snaps.jsonl")
+        writer = SnapshotWriter(path, max_bytes=10_000_000)
+        writer.write(registry)
+        assert [r["seq"] for r in read_snapshots(path)] == [0]
 
 
 class TestMetricsServer:

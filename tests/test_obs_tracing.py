@@ -6,11 +6,14 @@ import threading
 
 import pytest
 
+import os
+
 from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
     RingTracer,
     SpanRecord,
+    new_trace_id,
     to_chrome_trace,
     write_chrome_trace,
 )
@@ -135,7 +138,8 @@ class TestChromeTraceExport:
             with tracer.span(f"s{i}"):
                 pass
         trace = tracer.to_chrome_trace()
-        assert trace["otherData"] == {"dropped_spans": 3}
+        assert trace["otherData"]["dropped_spans"] == 3
+        assert trace["otherData"]["trace_id"] == tracer.trace_id
         assert len(trace["traceEvents"]) == 2
 
     def test_write_chrome_trace_roundtrip(self, tmp_path):
@@ -147,7 +151,7 @@ class TestChromeTraceExport:
         assert written == 1
         loaded = json.loads(path.read_text())
         assert loaded["traceEvents"][0]["name"] == "phase"
-        assert loaded["otherData"] == {"dropped_spans": 0}
+        assert loaded["otherData"]["dropped_spans"] == 0
 
     def test_write_chrome_trace_accepts_plain_spans(self, tmp_path):
         path = tmp_path / "trace.json"
@@ -155,3 +159,107 @@ class TestChromeTraceExport:
         assert written == 2
         loaded = json.loads(path.read_text())
         assert "otherData" not in loaded
+
+
+class TestTracePropagation:
+    def test_new_trace_id_is_nonzero_and_63_bit(self):
+        for _ in range(50):
+            tid = new_trace_id()
+            assert 0 < tid < 2**63
+
+    def test_tracer_mints_trace_id_and_stamps_spans(self):
+        tracer = RingTracer(capacity=4)
+        assert tracer.trace_id != 0
+        with tracer.span("x"):
+            pass
+        [record] = tracer.snapshot()
+        assert record.trace_id == tracer.trace_id
+        assert record.pid == os.getpid()
+        assert record.span_id != 0
+
+    def test_adopt_trace_id(self):
+        tracer = RingTracer(capacity=4)
+        tracer.adopt_trace_id(42)
+        assert tracer.trace_id == 42
+        tracer.adopt_trace_id(0)  # zero = "no context", ignored
+        assert tracer.trace_id == 42
+        with tracer.span("x"):
+            pass
+        assert tracer.snapshot()[0].trace_id == 42
+
+    def test_remote_parent_stamps_top_level_spans(self):
+        tracer = RingTracer(capacity=8)
+        tracer.set_remote_parent(777)
+        with tracer.span("top"):
+            pass
+        [record] = tracer.snapshot()
+        assert record.parent_id == 777
+
+    def test_open_span_exposes_its_id_for_propagation(self):
+        tracer = RingTracer(capacity=8)
+        with tracer.span("roundtrip") as span:
+            assert span.span_id != 0  # readable while open (BATCH stamping)
+        [record] = tracer.snapshot()
+        assert record.span_id == span.span_id
+
+    def test_span_ids_are_unique_and_pid_scoped(self):
+        tracer = RingTracer(capacity=16)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        ids = [r.span_id for r in tracer.snapshot()]
+        assert len(set(ids)) == 5
+        assert all(sid >> 24 == os.getpid() for sid in ids)
+
+    def test_record_foreign_span_preserves_identity(self):
+        tracer = RingTracer(capacity=4)
+        foreign = SpanRecord(
+            name="worker.batch", ts_ns=10, dur_ns=5, tid=1,
+            pid=99999, trace_id=tracer.trace_id, span_id=7, parent_id=3,
+        )
+        tracer.record(foreign)
+        [record] = tracer.snapshot()
+        assert record.pid == 99999
+        assert record.span_id == 7
+
+    def test_since_returns_only_fresh_spans(self):
+        tracer = RingTracer(capacity=16)
+        with tracer.span("a"):
+            pass
+        fresh, seen = tracer.since(0)
+        assert [r.name for r in fresh] == ["a"] and seen == 1
+        with tracer.span("b"):
+            pass
+        fresh, seen = tracer.since(seen)
+        assert [r.name for r in fresh] == ["b"] and seen == 2
+        fresh, seen = tracer.since(seen)
+        assert fresh == [] and seen == 2
+
+    def test_process_lanes_emit_metadata_events(self):
+        tracer = RingTracer(capacity=8)
+        tracer.set_process_name(tracer.pid, "pipeline (parent)")
+        tracer.set_process_name(4242, "shard0 worker (pid 4242)")
+        with tracer.span("x"):
+            pass
+        trace = tracer.to_chrome_trace()
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        named = {
+            e["pid"]: e["args"]["name"]
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert named[tracer.pid] == "pipeline (parent)"
+        assert named[4242] == "shard0 worker (pid 4242)"
+        # metadata sorts before the X events
+        assert trace["traceEvents"][0]["ph"] == "M"
+
+    def test_x_events_carry_trace_context_args(self):
+        tracer = RingTracer(capacity=4)
+        with tracer.span("x", shard=1):
+            pass
+        trace = tracer.to_chrome_trace()
+        [event] = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert event["pid"] == os.getpid()
+        assert event["args"]["shard"] == 1
+        assert event["args"]["trace_id"] == tracer.trace_id
+        assert event["args"]["span_id"] != 0

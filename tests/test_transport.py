@@ -251,6 +251,90 @@ class TestPipelineLifecycle:
             pipe.close()
 
 
+class TestCrossProcessTelemetry:
+    def test_merged_trace_and_metrics_span_processes(self):
+        import os
+
+        from repro.obs.tracing import RingTracer
+        from repro.runtime.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        tracer = RingTracer()
+        pipe = EventPipeline(
+            num_shards=2,
+            batch_size=8,
+            mode="process-shm",
+            metrics=registry,
+            tracer=tracer,
+        )
+        try:
+            pipe.subscribe(BandJoinQuery(Interval(0.0, 100.0), qid=1))
+            for i in range(200):
+                pipe.submit(_r_insert(i, float(i % 50), 1.0))
+            pipe.drain()
+            pipe.sample_hotspots()  # drains pending worker telemetry
+        finally:
+            pipe.close()
+
+        # One trace across processes: parent and both workers share the
+        # parent's trace id, and spans carry at least two distinct pids.
+        spans = tracer.snapshot()
+        pids = {s.pid for s in spans}
+        assert os.getpid() in pids
+        assert len(pids) >= 2, f"expected worker spans, saw pids {pids}"
+        worker_spans = [s for s in spans if s.pid != os.getpid()]
+        batch_spans = [s for s in worker_spans if s.name == "worker.batch"]
+        assert batch_spans, "no worker.batch spans merged"
+        # Spans recorded after the first BATCH share the parent's trace id
+        # (pre-adoption spans, e.g. from subscribe, keep the worker's own).
+        assert all(s.trace_id == tracer.trace_id for s in batch_spans)
+        # Non-empty batches parent to the pipeline's roundtrip span (the
+        # empty telemetry-drain batches legitimately have no open parent).
+        real_batches = [s for s in batch_spans if (s.args or {}).get("events")]
+        assert real_batches
+        assert all(s.parent_id != 0 for s in real_batches)
+
+        # The Chrome export names a lane per process.
+        trace = tracer.to_chrome_trace()
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert meta.get(os.getpid()) == "pipeline (parent)"
+        assert sum("worker" in name for name in meta.values()) >= 2
+
+        # Worker metrics merged under shard prefixes; e2e histograms filled
+        # on both sides of the boundary.
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["pipeline/e2e_us"]["count"] == 200
+        for shard in (0, 1):
+            merged = snapshot["histograms"].get(
+                f"shard{shard}/worker/e2e/ingest_to_apply_us"
+            )
+            assert merged is not None and merged["count"] > 0
+            assert snapshot["histograms"][f"shard/{shard}/e2e_us"]["count"] > 0
+
+    def test_inline_mode_unchanged_by_telemetry_wiring(self):
+        from repro.runtime.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        pipe = EventPipeline(num_shards=2, batch_size=8, metrics=registry)
+        try:
+            pipe.subscribe(BandJoinQuery(Interval(0.0, 100.0), qid=1))
+            for i in range(50):
+                pipe.submit(_r_insert(i, float(i % 10), 1.0))
+            pipe.drain()
+        finally:
+            pipe.close()
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["pipeline/e2e_us"]["count"] == 50
+        # No worker registries inline — nothing merged under shardN/.
+        assert not any(
+            name.startswith("shard0/worker/") for name in snapshot["histograms"]
+        )
+
+
 class TestReplayEquivalence:
     def test_process_shm_matches_reference_on_mixed_stream(self):
         stream = generate_mixed_stream(

@@ -107,18 +107,59 @@ class TestBatchFrameRoundTrip:
         payload = frames.encode_batch_frame(entries)
         frame_type, decoded = frames.decode_frame(payload)
         assert frame_type == frames.FRAME_BATCH
-        assert _entries_equal(decoded, entries)
+        assert _entries_equal(decoded.entries, entries)
+        # No context supplied: the trace fields decode as "absent".
+        assert decoded.trace_id == 0
+        assert decoded.parent_span_id == 0
+        assert decoded.want_telemetry is False
+        # Unstamped batches carry a zero ingest column (0 = "not stamped").
+        assert decoded.ingest_ns == (0,) * len(entries)
 
     @settings(max_examples=100)
     @given(shard_entries())
     def test_encode_decode_encode_fixed_point(self, entries):
         payload = frames.encode_batch_frame(entries)
         _, decoded = frames.decode_frame(payload)
-        assert frames.encode_batch_frame(decoded) == payload
+        assert frames.encode_batch_frame(decoded.entries) == payload
 
     def test_empty_batch(self):
         payload = frames.encode_batch_frame([])
-        assert frames.decode_frame(payload) == (frames.FRAME_BATCH, [])
+        frame_type, decoded = frames.decode_frame(payload)
+        assert frame_type == frames.FRAME_BATCH
+        assert decoded.entries == []
+
+    @settings(max_examples=100)
+    @given(
+        shard_entries(min_size=1),
+        st.integers(min_value=1, max_value=2**63 - 1),
+        st.integers(min_value=0, max_value=2**63 - 1),
+        st.booleans(),
+    )
+    def test_trace_context_roundtrip(self, entries, trace_id, parent, want):
+        ingest = list(range(1, len(entries) + 1))
+        payload = frames.encode_batch_frame(
+            entries,
+            ingest_ns=ingest,
+            trace_id=trace_id,
+            parent_span_id=parent,
+            want_telemetry=want,
+        )
+        _, decoded = frames.decode_frame(payload)
+        assert decoded.trace_id == trace_id
+        assert decoded.parent_span_id == parent
+        assert decoded.want_telemetry is want
+        assert list(decoded.ingest_ns) == ingest
+        assert _entries_equal(decoded.entries, entries)
+
+    def test_ingest_length_must_match_entries(self):
+        entry = (
+            0,
+            DataEvent(EventKind.INSERT, "R", RTuple(1, 0.0, 0.0)),
+            False,
+            False,
+        )
+        with pytest.raises(frames.FrameError, match="parallel"):
+            frames.encode_batch_frame([entry], ingest_ns=[1, 2])
 
 
 class TestResultFrameRoundTrip:
@@ -187,3 +228,129 @@ class TestLifecycleFrames:
             frames.decode_frame(bytes([250, frames.FRAME_VERSION]))
         with pytest.raises(frames.FrameError, match="carries no body"):
             frames.decode_frame(frames.encode_ack_frame() + b"junk")
+
+
+metric_names = st.text(min_size=1, max_size=40)
+
+u63 = st.integers(min_value=0, max_value=2**63 - 1)
+
+
+@st.composite
+def telemetry_payloads(draw):
+    from repro.obs.tracing import SpanRecord
+
+    # One frame = one worker: every span shares the payload's pid (the
+    # wire format carries it once in the header, not per span).
+    pid = draw(st.integers(min_value=1, max_value=2**22))
+    spans = [
+        SpanRecord(
+            name=draw(metric_names),
+            ts_ns=draw(i64),
+            dur_ns=draw(st.integers(min_value=0, max_value=2**62)),
+            tid=draw(u63),
+            # Empty args normalize to None on the wire, so only generate
+            # None or non-empty dicts.
+            args=draw(
+                st.one_of(
+                    st.none(),
+                    st.dictionaries(
+                        st.text(min_size=1, max_size=8),
+                        st.integers(min_value=-1000, max_value=1000),
+                        min_size=1,
+                        max_size=3,
+                    ),
+                )
+            ),
+            pid=pid,
+            trace_id=draw(u63),
+            span_id=draw(u63),
+            parent_id=draw(u63),
+        )
+        for _ in range(draw(st.integers(0, 6)))
+    ]
+    counters = draw(
+        st.dictionaries(metric_names, st.integers(min_value=0, max_value=2**40), max_size=5)
+    )
+    gauges = draw(
+        st.dictionaries(
+            metric_names,
+            st.floats(allow_nan=False, allow_infinity=True, width=64),
+            max_size=5,
+        )
+    )
+    histograms = draw(
+        st.dictionaries(
+            metric_names,
+            st.builds(
+                frames.HistogramDelta,
+                count=st.integers(min_value=1, max_value=2**40),
+                total=st.floats(allow_nan=False, allow_infinity=False, width=64),
+                min_value=st.floats(allow_nan=False, allow_infinity=True, width=64),
+                max_value=st.floats(allow_nan=False, allow_infinity=True, width=64),
+                buckets=st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=63),
+                        st.integers(min_value=1, max_value=2**40),
+                    ),
+                    max_size=6,
+                    unique_by=lambda pair: pair[0],
+                ),
+            ),
+            max_size=3,
+        )
+    )
+    return frames.TelemetryPayload(
+        pid=pid,
+        shard=draw(st.integers(min_value=0, max_value=255)),
+        trace_id=draw(u63),
+        spans_dropped=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        spans=spans,
+        counters=counters,
+        gauges=gauges,
+        histograms=histograms,
+    )
+
+
+class TestTelemetryFrameRoundTrip:
+    @settings(max_examples=150)
+    @given(telemetry_payloads())
+    def test_roundtrip(self, payload):
+        encoded = frames.encode_telemetry_frame(payload)
+        frame_type, decoded = frames.decode_frame(encoded)
+        assert frame_type == frames.FRAME_TELEMETRY
+        assert decoded.pid == payload.pid
+        assert decoded.shard == payload.shard
+        assert decoded.trace_id == payload.trace_id
+        assert decoded.spans_dropped == payload.spans_dropped
+        assert decoded.counters == payload.counters
+        assert decoded.gauges == payload.gauges
+        assert len(decoded.spans) == len(payload.spans)
+        for got, want in zip(decoded.spans, payload.spans):
+            assert got.name == want.name
+            assert got.ts_ns == want.ts_ns
+            assert got.dur_ns == want.dur_ns
+            assert (got.pid, got.trace_id, got.span_id, got.parent_id) == (
+                want.pid, want.trace_id, want.span_id, want.parent_id
+            )
+            assert got.args == want.args
+        assert set(decoded.histograms) == set(payload.histograms)
+        for name, want_hist in payload.histograms.items():
+            got_hist = decoded.histograms[name]
+            assert got_hist.count == want_hist.count
+            assert got_hist.total == want_hist.total
+            assert sorted(got_hist.buckets) == sorted(want_hist.buckets)
+
+    @settings(max_examples=50)
+    @given(telemetry_payloads())
+    def test_encode_decode_encode_fixed_point(self, payload):
+        encoded = frames.encode_telemetry_frame(payload)
+        _, decoded = frames.decode_frame(encoded)
+        assert frames.encode_telemetry_frame(decoded) == encoded
+
+    def test_empty_payload(self):
+        payload = frames.TelemetryPayload(pid=1, shard=0)
+        _, decoded = frames.decode_frame(frames.encode_telemetry_frame(payload))
+        assert decoded.spans == []
+        assert decoded.counters == {}
+        assert decoded.gauges == {}
+        assert decoded.histograms == {}
